@@ -1,0 +1,166 @@
+//! libaio: Linux native AIO. At QD 1 it behaves like the sync path with
+//! a little extra bookkeeping (Fig. 6); with deep queues it trades
+//! latency for throughput (KVell_64, Fig. 16).
+
+use std::sync::Arc;
+
+use bypassd::System;
+use bypassd_os::aio::{AioCtx, AioData, AioOp};
+use bypassd_os::{Kernel, OpenFlags, Pid, SysResult};
+use bypassd_sim::engine::ActorCtx;
+
+use crate::traits::{BackendFactory, BackendKind, Handle, StorageBackend};
+
+/// One simulated process using libaio with a fixed queue depth.
+pub struct LibaioFactory {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    depth: usize,
+}
+
+impl LibaioFactory {
+    /// Spawns the process; `depth` is the per-thread AIO context depth.
+    pub fn new(system: &System, uid: u32, gid: u32, depth: usize) -> Self {
+        let kernel = Arc::clone(system.kernel());
+        let pid = kernel.spawn_process(uid, gid);
+        LibaioFactory {
+            kernel,
+            pid,
+            depth: depth.max(1),
+        }
+    }
+}
+
+impl BackendFactory for LibaioFactory {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Libaio
+    }
+
+    fn make_thread(&self) -> Box<dyn StorageBackend> {
+        Box::new(LibaioBackend {
+            kernel: Arc::clone(&self.kernel),
+            pid: self.pid,
+            depth: self.depth,
+            aio: None,
+            completions: Vec::new(),
+        })
+    }
+}
+
+struct LibaioBackend {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    depth: usize,
+    aio: Option<AioCtx>,
+    completions: Vec<(u64, Vec<u8>)>,
+}
+
+impl LibaioBackend {
+    fn ensure_ctx(&mut self, ctx: &mut ActorCtx) {
+        if self.aio.is_none() {
+            self.aio = Some(self.kernel.io_setup(ctx, self.depth));
+        }
+    }
+}
+
+impl StorageBackend for LibaioBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Libaio
+    }
+
+    fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Handle> {
+        let flags = if writable {
+            OpenFlags::rdwr_direct()
+        } else {
+            OpenFlags::rdonly_direct()
+        };
+        self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
+    }
+
+    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+        self.ensure_ctx(ctx);
+        let aio = self.aio.as_ref().unwrap();
+        self.kernel.io_submit(
+            ctx,
+            self.pid,
+            aio,
+            vec![AioOp {
+                fd: h,
+                offset,
+                user_data: 0,
+                data: AioData::Read(buf.len()),
+            }],
+        )?;
+        let events = self.kernel.io_getevents(ctx, aio, 1, 1);
+        let ev = events.into_iter().next().expect("aio completion lost");
+        buf.copy_from_slice(&ev.data);
+        Ok(ev.len)
+    }
+
+    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+        self.ensure_ctx(ctx);
+        let aio = self.aio.as_ref().unwrap();
+        self.kernel.io_submit(
+            ctx,
+            self.pid,
+            aio,
+            vec![AioOp {
+                fd: h,
+                offset,
+                user_data: 0,
+                data: AioData::Write(data.to_vec()),
+            }],
+        )?;
+        let ev = self.kernel.io_getevents(ctx, aio, 1, 1);
+        Ok(ev.first().map(|e| e.len).unwrap_or(0))
+    }
+
+    fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_fsync(ctx, self.pid, h)
+    }
+
+    fn close(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_close(ctx, self.pid, h)
+    }
+
+    fn submit(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        write: bool,
+        offset: u64,
+        len_or_data: Result<usize, Vec<u8>>,
+        token: u64,
+    ) -> SysResult<()> {
+        self.ensure_ctx(ctx);
+        let aio = self.aio.as_ref().unwrap();
+        let data = match len_or_data {
+            Ok(len) => AioData::Read(len),
+            Err(d) => AioData::Write(d),
+        };
+        debug_assert_eq!(matches!(data, AioData::Write(_)), write);
+        self.kernel.io_submit(
+            ctx,
+            self.pid,
+            aio,
+            vec![AioOp {
+                fd: h,
+                offset,
+                user_data: token,
+                data,
+            }],
+        )?;
+        Ok(())
+    }
+
+    fn poll(&mut self, ctx: &mut ActorCtx, min: usize) -> SysResult<Vec<(u64, Vec<u8>)>> {
+        self.ensure_ctx(ctx);
+        let aio = self.aio.as_ref().unwrap();
+        let events = self.kernel.io_getevents(ctx, aio, min, self.depth);
+        Ok(events.into_iter().map(|e| (e.user_data, e.data)).collect())
+    }
+
+    fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)> {
+        &mut self.completions
+    }
+}

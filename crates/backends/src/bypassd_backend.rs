@@ -1,0 +1,77 @@
+//! BypassD: the paper's system, via UserLib.
+
+use std::sync::Arc;
+
+use bypassd::{System, UserProcess, UserThread};
+use bypassd_os::SysResult;
+use bypassd_sim::engine::ActorCtx;
+
+use crate::traits::{BackendFactory, BackendKind, Handle, StorageBackend};
+
+/// One simulated process using BypassD (threads share UserLib state but
+/// own private queues and DMA buffers, §4.5.1).
+pub struct BypassdFactory {
+    proc: Arc<UserProcess>,
+}
+
+impl BypassdFactory {
+    /// Starts the process.
+    pub fn new(system: &System, uid: u32, gid: u32) -> Self {
+        BypassdFactory {
+            proc: UserProcess::start(system, uid, gid),
+        }
+    }
+
+    /// The underlying UserLib process (for op counters etc.).
+    pub fn user_process(&self) -> &Arc<UserProcess> {
+        &self.proc
+    }
+}
+
+impl BackendFactory for BypassdFactory {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Bypassd
+    }
+
+    fn make_thread(&self) -> Box<dyn StorageBackend> {
+        Box::new(BypassdBackend {
+            thread: self.proc.thread(),
+            completions: Vec::new(),
+        })
+    }
+}
+
+struct BypassdBackend {
+    thread: UserThread,
+    completions: Vec<(u64, Vec<u8>)>,
+}
+
+impl StorageBackend for BypassdBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Bypassd
+    }
+
+    fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Handle> {
+        self.thread.open(ctx, path, writable)
+    }
+
+    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+        self.thread.pread(ctx, h, buf, offset)
+    }
+
+    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+        self.thread.pwrite(ctx, h, data, offset)
+    }
+
+    fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.thread.fsync(ctx, h)
+    }
+
+    fn close(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.thread.close(ctx, h)
+    }
+
+    fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)> {
+        &mut self.completions
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline: synchronous kernel syscalls with O_DIRECT (Table 1's path).
+
+use std::sync::Arc;
+
+use bypassd::System;
+use bypassd_os::{Kernel, OpenFlags, Pid, SysResult};
+use bypassd_sim::engine::ActorCtx;
+
+use crate::traits::{BackendFactory, BackendKind, Handle, StorageBackend};
+
+/// One simulated process using plain synchronous syscalls.
+pub struct SyncFactory {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+}
+
+impl SyncFactory {
+    /// Spawns the process.
+    pub fn new(system: &System, uid: u32, gid: u32) -> Self {
+        let kernel = Arc::clone(system.kernel());
+        let pid = kernel.spawn_process(uid, gid);
+        SyncFactory { kernel, pid }
+    }
+
+    /// The backing process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+impl BackendFactory for SyncFactory {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sync
+    }
+
+    fn make_thread(&self) -> Box<dyn StorageBackend> {
+        Box::new(SyncBackend {
+            kernel: Arc::clone(&self.kernel),
+            pid: self.pid,
+            completions: Vec::new(),
+        })
+    }
+}
+
+pub(crate) struct SyncBackend {
+    pub(crate) kernel: Arc<Kernel>,
+    pub(crate) pid: Pid,
+    pub(crate) completions: Vec<(u64, Vec<u8>)>,
+}
+
+impl StorageBackend for SyncBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sync
+    }
+
+    fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Handle> {
+        let flags = if writable {
+            OpenFlags::rdwr_direct()
+        } else {
+            OpenFlags::rdonly_direct()
+        };
+        self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
+    }
+
+    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+        self.kernel.sys_pread(ctx, self.pid, h, buf, offset)
+    }
+
+    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+        self.kernel.sys_pwrite(ctx, self.pid, h, data, offset)
+    }
+
+    fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_fsync(ctx, self.pid, h)
+    }
+
+    fn close(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_close(ctx, self.pid, h)
+    }
+
+    fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)> {
+        &mut self.completions
+    }
+}

@@ -1,0 +1,175 @@
+//! The backend abstraction the workload generators drive.
+
+use bypassd_os::SysResult;
+use bypassd_sim::engine::ActorCtx;
+
+/// Selects one of the six compared I/O paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Baseline Linux synchronous syscalls.
+    Sync,
+    /// Linux native AIO.
+    Libaio,
+    /// io_uring with SQPOLL.
+    IoUring,
+    /// SPDK-style userspace driver (no FS, exclusive device).
+    Spdk,
+    /// XRP (eBPF resubmission in the driver).
+    Xrp,
+    /// BypassD (this paper).
+    Bypassd,
+}
+
+impl BackendKind {
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Sync => "sync",
+            BackendKind::Libaio => "libaio",
+            BackendKind::IoUring => "io_uring",
+            BackendKind::Spdk => "spdk",
+            BackendKind::Xrp => "xrp",
+            BackendKind::Bypassd => "bypassd",
+        }
+    }
+
+    /// All kinds, in the paper's usual legend order.
+    pub fn all() -> [BackendKind; 6] {
+        [
+            BackendKind::Sync,
+            BackendKind::Libaio,
+            BackendKind::IoUring,
+            BackendKind::Spdk,
+            BackendKind::Xrp,
+            BackendKind::Bypassd,
+        ]
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A file handle within a backend.
+pub type Handle = i32;
+
+/// One thread's view of a storage backend.
+///
+/// All calls advance the actor's virtual time per the backend's cost
+/// model and move real bytes.
+pub trait StorageBackend: Send {
+    /// The backend kind.
+    fn kind(&self) -> BackendKind;
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    /// Path/permission errors from the underlying path.
+    fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Handle>;
+
+    /// Positional read.
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64)
+        -> SysResult<usize>;
+
+    /// Positional write.
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64)
+        -> SysResult<usize>;
+
+    /// Durability barrier.
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()>;
+
+    /// Closes the handle.
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn close(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()>;
+
+    /// Chained dependent reads of `len` bytes each: read at `offset`,
+    /// call `next(buffer)`; repeat at the returned offset until `None`.
+    /// Returns the final buffer. Baselines loop over [`Self::pread`];
+    /// XRP overrides with in-driver resubmission.
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn chained_read(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        offset: u64,
+        len: u64,
+        next: &mut dyn FnMut(&[u8]) -> Option<u64>,
+    ) -> SysResult<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        let mut cur = offset;
+        loop {
+            self.pread(ctx, h, &mut buf, cur)?;
+            match next(&buf) {
+                Some(n) => cur = n,
+                None => return Ok(buf),
+            }
+        }
+    }
+
+    /// Submits an asynchronous operation; returns a token. The default
+    /// executes synchronously and buffers the completion for
+    /// [`Self::poll`] — only libaio genuinely overlaps (KVell, Fig. 16).
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn submit(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        write: bool,
+        offset: u64,
+        len_or_data: Result<usize, Vec<u8>>,
+        token: u64,
+    ) -> SysResult<()> {
+        let data = match len_or_data {
+            Ok(len) => {
+                let mut buf = vec![0u8; len];
+                debug_assert!(!write);
+                self.pread(ctx, h, &mut buf, offset)?;
+                buf
+            }
+            Err(d) => {
+                debug_assert!(write);
+                self.pwrite(ctx, h, &d, offset)?;
+                Vec::new()
+            }
+        };
+        self.sync_completions().push((token, data));
+        Ok(())
+    }
+
+    /// Collects at least `min` completions (tokens + read data).
+    ///
+    /// # Errors
+    /// Backend-path errors.
+    fn poll(&mut self, _ctx: &mut ActorCtx, _min: usize) -> SysResult<Vec<(u64, Vec<u8>)>> {
+        Ok(std::mem::take(self.sync_completions()))
+    }
+
+    /// Buffer for the default synchronous `submit`/`poll` implementation.
+    fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)>;
+}
+
+/// Mints per-thread backends for one simulated process.
+pub trait BackendFactory: Send + Sync {
+    /// The backend kind.
+    fn kind(&self) -> BackendKind;
+
+    /// Creates a thread-private backend instance (untimed setup).
+    fn make_thread(&self) -> Box<dyn StorageBackend>;
+}

@@ -1,0 +1,95 @@
+//! io_uring with SQPOLL and fixed buffers (the paper's configuration).
+
+use std::sync::Arc;
+
+use bypassd::System;
+use bypassd_os::uring::Uring;
+use bypassd_os::{Kernel, OpenFlags, Pid, SysResult};
+use bypassd_sim::engine::ActorCtx;
+
+use crate::traits::{BackendFactory, BackendKind, Handle, StorageBackend};
+
+/// One simulated process using io_uring; each thread gets its own ring
+/// (and thus its own SQPOLL kernel thread — the Fig. 9 core cost).
+pub struct UringFactory {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+}
+
+impl UringFactory {
+    /// Spawns the process.
+    pub fn new(system: &System, uid: u32, gid: u32) -> Self {
+        let kernel = Arc::clone(system.kernel());
+        let pid = kernel.spawn_process(uid, gid);
+        UringFactory { kernel, pid }
+    }
+}
+
+impl BackendFactory for UringFactory {
+    fn kind(&self) -> BackendKind {
+        BackendKind::IoUring
+    }
+
+    fn make_thread(&self) -> Box<dyn StorageBackend> {
+        Box::new(UringBackend {
+            kernel: Arc::clone(&self.kernel),
+            pid: self.pid,
+            ring: None,
+            completions: Vec::new(),
+        })
+    }
+}
+
+struct UringBackend {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    ring: Option<Uring>,
+    completions: Vec<(u64, Vec<u8>)>,
+}
+
+impl UringBackend {
+    fn ensure_ring(&mut self, ctx: &mut ActorCtx) {
+        if self.ring.is_none() {
+            self.ring = Some(self.kernel.uring_setup(ctx, 64));
+        }
+    }
+}
+
+impl StorageBackend for UringBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::IoUring
+    }
+
+    fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Handle> {
+        let flags = if writable {
+            OpenFlags::rdwr_direct()
+        } else {
+            OpenFlags::rdonly_direct()
+        };
+        self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
+    }
+
+    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+        self.ensure_ring(ctx);
+        let ring = self.ring.as_ref().unwrap();
+        self.kernel.uring_read(ctx, self.pid, ring, h, buf, offset)
+    }
+
+    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+        self.ensure_ring(ctx);
+        let ring = self.ring.as_ref().unwrap();
+        self.kernel.uring_write(ctx, self.pid, ring, h, data, offset)
+    }
+
+    fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_fsync(ctx, self.pid, h)
+    }
+
+    fn close(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {
+        self.kernel.sys_close(ctx, self.pid, h)
+    }
+
+    fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)> {
+        &mut self.completions
+    }
+}

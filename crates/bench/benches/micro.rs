@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks of the core data structures: the hot paths
+//! whose costs the simulation's wall-clock time depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bypassd_ext4::alloc::BlockAllocator;
+use bypassd_ext4::extent::ExtentTree;
+use bypassd_ext4::layout::Extent;
+use bypassd_hw::iommu::AccessKind;
+use bypassd_hw::page_table::{walk_raw, AddressSpace};
+use bypassd_hw::pte::Pte;
+use bypassd_hw::types::{DevId, Lba, Pasid, Vba, VirtAddr, PAGE_SIZE};
+use bypassd_hw::{Iommu, PhysMem};
+use bypassd_sim::rng::{Rng, Zipfian};
+use bypassd_sim::stats::Histogram;
+use bypassd_sim::time::Nanos;
+
+fn bench_page_walk(c: &mut Criterion) {
+    let mem = PhysMem::new();
+    let mut asid = AddressSpace::new(&mem);
+    for i in 0..512u64 {
+        asid.map_page(
+            VirtAddr(0x4000_0000 + i * PAGE_SIZE),
+            Pte::leaf(i + 1, true),
+        );
+    }
+    let root = asid.root_frame();
+    let mut i = 0u64;
+    c.bench_function("page_table_walk", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(walk_raw(&mem, root, VirtAddr(0x4000_0000 + i * PAGE_SIZE)))
+        })
+    });
+}
+
+fn bench_iommu_translate(c: &mut Criterion) {
+    let mem = PhysMem::new();
+    let mut asid = AddressSpace::new(&mem);
+    let vba = Vba(0x4000_0000);
+    for i in 0..512u64 {
+        asid.map_page(
+            vba.as_virt().offset(i * PAGE_SIZE),
+            Pte::fte(Lba::from_block(1000 + i), DevId(1), true),
+        );
+    }
+    let mut iommu = Iommu::new(&mem);
+    iommu.register(Pasid(1), asid.root_frame());
+    let mut i = 0u64;
+    c.bench_function("iommu_translate_4k", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(
+                iommu
+                    .translate(
+                        Pasid(1),
+                        vba.offset(i * PAGE_SIZE),
+                        PAGE_SIZE,
+                        AccessKind::Read,
+                        DevId(1),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_extent_resolve(c: &mut Criterion) {
+    let mut tree = ExtentTree::new();
+    for i in 0..1000u64 {
+        tree.insert(Extent {
+            file_block: i * 4,
+            start_block: 10_000 + i * 7,
+            len: 4,
+        });
+    }
+    let mut i = 0u64;
+    c.bench_function("extent_resolve_16k", |b| {
+        b.iter(|| {
+            i = (i + 13) % 3900;
+            black_box(tree.resolve_bytes(i * 4096, 16 * 1024))
+        })
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("block_alloc_free_64", |b| {
+        let mut a = BlockAllocator::new(1 << 20, 100);
+        b.iter(|| {
+            let run = a.alloc(64).unwrap();
+            a.free_run(run.start, run.len);
+            black_box(run)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = Histogram::new();
+    let mut v = 1u64;
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Nanos(v % 100_000_000));
+        })
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let z = Zipfian::new(1_000_000_000, 0.99);
+    let mut rng = Rng::new(7);
+    c.bench_function("zipfian_sample_1e9", |b| {
+        b.iter(|| black_box(z.next(&mut rng)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_page_walk, bench_iommu_translate, bench_extent_resolve,
+              bench_allocator, bench_histogram, bench_zipfian
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 1: latency breakdown of a 4 KB `read()` on the Optane SSD
+//! through the standard Linux kernel.
+
+use bypassd_bench::{run_one, std_system};
+use bypassd_os::OpenFlags;
+use bypassd_sim::report::Table;
+use bypassd_sim::time::Nanos;
+
+fn main() {
+    let system = std_system();
+    system.fs().populate("/t1", 1 << 20, 0x11).unwrap();
+
+    let cost = *system.kernel().cost();
+    let device = system.device().timing().service(false, 4096);
+
+    // Measure the end-to-end syscall.
+    let sys2 = system.clone();
+    let total: Nanos = run_one(move |ctx| {
+        let pid = sys2.kernel().spawn_process(0, 0);
+        let k = sys2.kernel();
+        let fd = k.sys_open(ctx, pid, "/t1", OpenFlags::rdonly_direct(), 0).unwrap();
+        let mut buf = vec![0u8; 4096];
+        k.sys_pread(ctx, pid, fd, &mut buf, 0).unwrap(); // warm extent cache
+        let t0 = ctx.now();
+        k.sys_pread(ctx, pid, fd, &mut buf, 4096).unwrap();
+        ctx.now() - t0
+    });
+
+    let mut t = Table::new(
+        "Table 1: latency breakdown of 4KB read() (paper ns vs measured ns)",
+        &["layer", "paper", "measured"],
+    );
+    let row = |t: &mut Table, name: &str, paper: u64, measured: Nanos| {
+        t.row(&[name, &paper.to_string(), &measured.as_nanos().to_string()]);
+    };
+    row(&mut t, "kernel<->user mode switches", 260, cost.user_to_kernel + cost.kernel_to_user);
+    row(&mut t, "VFS + ext4", 2810, cost.vfs(4096));
+    row(&mut t, "block I/O layer", 540, cost.block_layer);
+    row(&mut t, "NVMe driver", 220, cost.nvme_driver);
+    row(&mut t, "device time", 4020, device);
+    row(&mut t, "total", 7850, total);
+    t.print();
+
+    let measured = total.as_nanos();
+    assert!(
+        (7_500..8_300).contains(&measured),
+        "Table 1 total out of band: {measured}ns"
+    );
+    println!("OK: measured total {measured}ns vs paper 7850ns");
+}

@@ -1,0 +1,890 @@
+//! UserLib: the interposition shim (§3.2, §4.2, §4.5).
+//!
+//! A [`UserProcess`] is shared by all of a process's threads and holds
+//! the file-info table and the partial-write serialisation list. Each
+//! [`UserThread`] owns a private PASID-bound NVMe queue pair and pinned
+//! DMA buffer, so threads never synchronise on the data path (the paper's
+//! explanation for BypassD's flat latency up to device saturation, §6.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bypassd_hw::types::{Vba, SECTOR_SIZE};
+use bypassd_os::process::{Fd, Pid};
+use bypassd_os::{Errno, OpenFlags, SysResult};
+use bypassd_sim::engine::ActorCtx;
+use bypassd_sim::time::Nanos;
+use bypassd_ssd::device::{BlockAddr, Command};
+use bypassd_ssd::dma::DmaBuffer;
+use bypassd_ssd::queue::{NvmeStatus, QueueId};
+
+use crate::system::System;
+
+/// Per-open state tracked by UserLib (flags, offset, size, starting VBA —
+/// §3.2).
+#[derive(Debug, Clone)]
+struct FileState {
+    vba: Option<Vba>,
+    size: u64,
+    offset: u64,
+    writable: bool,
+    /// Permanently on the kernel interface (revoked, §3.6).
+    fallback: bool,
+    /// High-water mark of preallocated-but-unsized blocks (§5.1).
+    prealloc_end: u64,
+    /// Optimized-append chunk (0 = disabled).
+    append_chunk: u64,
+    /// Local size not yet flushed to the kernel.
+    size_dirty: bool,
+}
+
+/// A write submitted through the non-blocking interface (§5.1) that has
+/// not yet been confirmed by the device. Reads overlay these so a reader
+/// always sees the latest data even before the write lands.
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    offset: u64,
+    data: Vec<u8>,
+    ready: Nanos,
+}
+
+/// Process-wide UserLib state, shared between threads.
+pub struct UserProcess {
+    system: System,
+    pid: Pid,
+    files: Mutex<HashMap<Fd, FileState>>,
+    /// In-flight partial writes per inode-less key (fd-scoped is enough
+    /// within a process): byte ranges being read-modify-written.
+    partials: Mutex<HashMap<Fd, Vec<(u64, u64)>>>,
+    /// Unconfirmed non-blocking writes per fd (§5.1 enhancement).
+    pending_writes: Mutex<HashMap<Fd, Vec<PendingWrite>>>,
+    direct_ops: AtomicU64,
+    fallback_ops: AtomicU64,
+}
+
+impl UserProcess {
+    /// Starts a process with the given credentials.
+    pub fn start(system: &System, uid: u32, gid: u32) -> Arc<UserProcess> {
+        let pid = system.kernel().spawn_process(uid, gid);
+        Arc::new(UserProcess {
+            system: system.clone(),
+            pid,
+            files: Mutex::new(HashMap::new()),
+            partials: Mutex::new(HashMap::new()),
+            pending_writes: Mutex::new(HashMap::new()),
+            direct_ops: AtomicU64::new(0),
+            fallback_ops: AtomicU64::new(0),
+        })
+    }
+
+    /// Starts a process inside a container (mount namespace rooted at
+    /// `root`, §5.2). BypassD works unmodified in containers: the kernel
+    /// scopes every path the process can name, so it can only fmap — and
+    /// therefore directly access — files inside its namespace.
+    ///
+    /// # Errors
+    /// `NoEnt`/`NotDir` if `root` is not an existing directory.
+    pub fn start_in(
+        system: &System,
+        uid: u32,
+        gid: u32,
+        root: &str,
+    ) -> SysResult<Arc<UserProcess>> {
+        let pid = system.kernel().spawn_process_in(uid, gid, root)?;
+        Ok(Arc::new(UserProcess {
+            system: system.clone(),
+            pid,
+            files: Mutex::new(HashMap::new()),
+            partials: Mutex::new(HashMap::new()),
+            pending_writes: Mutex::new(HashMap::new()),
+            direct_ops: AtomicU64::new(0),
+            fallback_ops: AtomicU64::new(0),
+        }))
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The wired system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Creates a thread handle with a private queue pair and DMA buffer
+    /// (setup-time work, untimed).
+    pub fn thread(self: &Arc<Self>) -> UserThread {
+        let pasid = self.system.kernel().pasid_of(self.pid);
+        let qid = self.system.device().create_queue(Some(pasid), 64);
+        let dma = DmaBuffer::alloc(self.system.mem(), 1 << 20);
+        UserThread {
+            proc: Arc::clone(self),
+            qid,
+            dma,
+        }
+    }
+
+    /// (direct I/Os, kernel-fallback I/Os) completed so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (
+            self.direct_ops.load(Ordering::Relaxed),
+            self.fallback_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Enables the optimized append enhancement (§5.1) for `fd`:
+    /// preallocate `chunk` bytes at a time and overwrite them directly,
+    /// flushing the size at fsync/close.
+    pub fn enable_optimized_append(&self, fd: Fd, chunk: u64) {
+        if let Some(st) = self.files.lock().get_mut(&fd) {
+            st.append_chunk = chunk.max(SECTOR_SIZE);
+            st.prealloc_end = st.size;
+        }
+    }
+}
+
+impl std::fmt::Debug for UserProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserProcess")
+            .field("pid", &self.pid)
+            .field("open_files", &self.files.lock().len())
+            .finish()
+    }
+}
+
+/// A thread's handle: private queue + DMA buffer.
+pub struct UserThread {
+    proc: Arc<UserProcess>,
+    qid: QueueId,
+    dma: DmaBuffer,
+}
+
+impl std::fmt::Debug for UserThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserThread")
+            .field("pid", &self.proc.pid)
+            .field("queue", &self.qid)
+            .finish()
+    }
+}
+
+/// Outcome of one direct device round trip.
+enum DirectIo {
+    Done,
+    Revoked,
+    Fault,
+}
+
+impl UserThread {
+    /// The owning process.
+    pub fn process(&self) -> &Arc<UserProcess> {
+        &self.proc
+    }
+
+    fn kernel(&self) -> &Arc<bypassd_os::Kernel> {
+        self.proc.system.kernel()
+    }
+
+    fn cost(&self) -> bypassd_os::CostModel {
+        *self.kernel().cost()
+    }
+
+    // ---- open/close ----
+
+    /// Opens (optionally creating) a file for BypassD access: forwards
+    /// the open to the kernel with BypassD intent and issues `fmap()`
+    /// (Table 3). A denied fmap silently falls back to the kernel
+    /// interface.
+    ///
+    /// # Errors
+    /// Kernel open errors (`NoEnt`, `Perm`, …).
+    pub fn open_with(
+        &mut self,
+        ctx: &mut ActorCtx,
+        path: &str,
+        writable: bool,
+        create: bool,
+    ) -> SysResult<Fd> {
+        let mut flags = if writable {
+            OpenFlags::rdwr_direct()
+        } else {
+            OpenFlags::rdonly_direct()
+        }
+        .bypassd();
+        if create {
+            flags = flags.creat();
+        }
+        let kernel = Arc::clone(self.kernel());
+        let fd = kernel.sys_open(ctx, self.proc.pid, path, flags, 0o644)?;
+        let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
+        let size = kernel.sys_fstat(ctx, self.proc.pid, fd)?.size;
+        let fallback = vba.is_null();
+        if fallback {
+            kernel.mark_kernel_fallback(self.proc.pid, fd)?;
+        }
+        self.proc.files.lock().insert(
+            fd,
+            FileState {
+                vba: (!fallback).then_some(vba),
+                size,
+                offset: 0,
+                writable,
+                fallback,
+                prealloc_end: size,
+                append_chunk: 0,
+                size_dirty: false,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Opens an existing file (`writable` selects O_RDONLY/O_RDWR).
+    ///
+    /// # Errors
+    /// As [`UserThread::open_with`].
+    pub fn open(&mut self, ctx: &mut ActorCtx, path: &str, writable: bool) -> SysResult<Fd> {
+        self.open_with(ctx, path, writable, false)
+    }
+
+    /// Closes a file: flushes a dirty local size, then forwards to the
+    /// kernel (which detaches file table entries — Table 3).
+    ///
+    /// # Errors
+    /// `BadF`.
+    pub fn close(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
+        self.flush_writes(ctx, fd)?;
+        self.proc.pending_writes.lock().remove(&fd);
+        let st = self.proc.files.lock().remove(&fd).ok_or(Errno::BadF)?;
+        let kernel = Arc::clone(self.kernel());
+        if st.size_dirty {
+            kernel.sys_set_size(ctx, self.proc.pid, fd, st.size)?;
+        }
+        kernel.sys_close(ctx, self.proc.pid, fd)
+    }
+
+    /// Current size as tracked by UserLib.
+    ///
+    /// # Errors
+    /// `BadF`.
+    pub fn size(&self, fd: Fd) -> SysResult<u64> {
+        self.proc
+            .files
+            .lock()
+            .get(&fd)
+            .map(|s| s.size)
+            .ok_or(Errno::BadF)
+    }
+
+    /// Repositions the file offset.
+    ///
+    /// # Errors
+    /// `BadF`.
+    pub fn lseek(&mut self, fd: Fd, pos: u64) -> SysResult<u64> {
+        let mut files = self.proc.files.lock();
+        let st = files.get_mut(&fd).ok_or(Errno::BadF)?;
+        st.offset = pos;
+        Ok(pos)
+    }
+
+    // ---- data path ----
+
+    fn state(&self, fd: Fd) -> SysResult<FileState> {
+        self.proc.files.lock().get(&fd).cloned().ok_or(Errno::BadF)
+    }
+
+    /// One direct device round trip over `[start, start+span)` of the
+    /// file (sector aligned), reading into / writing from the thread DMA
+    /// buffer at offset 0.
+    fn direct_io(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        vba: Vba,
+        start: u64,
+        span: u64,
+        write: bool,
+    ) -> SysResult<DirectIo> {
+        debug_assert!(start.is_multiple_of(SECTOR_SIZE) && span.is_multiple_of(SECTOR_SIZE) && span > 0);
+        ctx.delay(self.cost().userlib_overhead);
+        let addr = BlockAddr::Vba(vba.offset(start));
+        let sectors = (span / SECTOR_SIZE) as u32;
+        let cmd = if write {
+            Command::write(addr, sectors, &self.dma)
+        } else {
+            Command::read(addr, sectors, &self.dma)
+        };
+        let (status, ready) = self.proc.system.device().execute(self.qid, cmd, ctx.now());
+        ctx.wait_until(ready);
+        match status {
+            NvmeStatus::Success => Ok(DirectIo::Done),
+            NvmeStatus::TranslationFault(_) => {
+                // Revocation or growth race: re-fmap (§3.6).
+                let kernel = Arc::clone(self.kernel());
+                let writable = self.state(fd)?.writable;
+                let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
+                let mut files = self.proc.files.lock();
+                let st = files.get_mut(&fd).ok_or(Errno::BadF)?;
+                if vba.is_null() {
+                    st.fallback = true;
+                    st.vba = None;
+                    drop(files);
+                    kernel.mark_kernel_fallback(self.proc.pid, fd)?;
+                    Ok(DirectIo::Revoked)
+                } else {
+                    st.vba = Some(vba);
+                    Ok(DirectIo::Fault)
+                }
+            }
+            _ => Err(Errno::Inval),
+        }
+    }
+
+    /// `pread()`: issued directly from userspace (§4.2); falls back to
+    /// the kernel after revocation.
+    ///
+    /// # Errors
+    /// `BadF`, kernel-path errors after fallback.
+    pub fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let mut st = self.state(fd)?;
+        if st.fallback {
+            self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+            let kernel = Arc::clone(self.kernel());
+            return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+        }
+        if offset >= st.size {
+            // Another process may have grown the file (its new FTEs are
+            // already visible through the shared fragments, §4.1) — the
+            // size, however, is kernel metadata: refresh it.
+            let kernel = Arc::clone(self.kernel());
+            let size = kernel.sys_fstat(ctx, self.proc.pid, fd)?.size;
+            if let Some(f) = self.proc.files.lock().get_mut(&fd) {
+                f.size = f.size.max(size);
+                st = f.clone();
+            }
+            if offset >= st.size {
+                return Ok(0);
+            }
+        }
+        let len = (buf.len() as u64).min(st.size - offset);
+        let Some(vba) = st.vba else {
+            return Err(Errno::Inval);
+        };
+        let start = offset - offset % SECTOR_SIZE;
+        let end = (offset + len).div_ceil(SECTOR_SIZE) * SECTOR_SIZE;
+        let mut attempts = 0;
+        loop {
+            // Chunk by the DMA buffer size.
+            let mut pos = start;
+            let mut ok = true;
+            while pos < end {
+                let span = (end - pos).min(self.dma.len() as u64);
+                match self.direct_io(ctx, fd, vba, pos, span, false)? {
+                    DirectIo::Done => {
+                        ctx.delay(self.cost().user_copy(span.min(len)));
+                        let lo = offset.max(pos);
+                        let hi = (offset + len).min(pos + span);
+                        let mut tmp = vec![0u8; (hi - lo) as usize];
+                        self.dma.read((lo - pos) as usize, &mut tmp);
+                        buf[(lo - offset) as usize..(hi - offset) as usize]
+                            .copy_from_slice(&tmp);
+                        pos += span;
+                    }
+                    DirectIo::Revoked => {
+                        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                        let kernel = Arc::clone(self.kernel());
+                        return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+                    }
+                    DirectIo::Fault => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+                // Read-after-write consistency for non-blocking writes:
+                // overlay any unconfirmed data (§5.1).
+                self.prune_pending(fd, ctx.now());
+                self.overlay_pending(fd, &mut buf[..len as usize], offset);
+                return Ok(len as usize);
+            }
+            attempts += 1;
+            if attempts >= 2 {
+                // Persistent fault (e.g. a hole): let the kernel path
+                // handle this one op.
+                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                let kernel = Arc::clone(self.kernel());
+                return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+            }
+        }
+    }
+
+    /// `pwrite()`: overwrites go directly to the device; appends are
+    /// routed through the kernel (Table 3) unless optimized append is
+    /// enabled (§5.1); sub-sector writes are serialised read-modify-write
+    /// (§4.5.1).
+    ///
+    /// # Errors
+    /// `BadF`, `Perm`, kernel-path errors.
+    pub fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let st = self.state(fd)?;
+        if !st.writable {
+            return Err(Errno::Perm);
+        }
+        if st.fallback {
+            self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+            let kernel = Arc::clone(self.kernel());
+            return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+        }
+        let len = data.len() as u64;
+        let end = offset + len;
+        if end > st.size {
+            return self.append_path(ctx, fd, data, offset, st);
+        }
+        if !offset.is_multiple_of(SECTOR_SIZE) || !len.is_multiple_of(SECTOR_SIZE) {
+            return self.partial_write(ctx, fd, data, offset);
+        }
+        self.overwrite(ctx, fd, data, offset)
+    }
+
+    /// Aligned overwrite of existing blocks.
+    fn overwrite(&mut self, ctx: &mut ActorCtx, fd: Fd, data: &[u8], offset: u64) -> SysResult<usize> {
+        let st = self.state(fd)?;
+        let Some(vba) = st.vba else {
+            return Err(Errno::Inval);
+        };
+        let mut attempts = 0;
+        loop {
+            let mut pos = 0u64;
+            let mut ok = true;
+            while pos < data.len() as u64 {
+                let span = (data.len() as u64 - pos).min(self.dma.len() as u64);
+                ctx.delay(self.cost().user_copy(span));
+                self.dma
+                    .write(0, &data[pos as usize..(pos + span) as usize]);
+                match self.direct_io(ctx, fd, vba, offset + pos, span, true)? {
+                    DirectIo::Done => pos += span,
+                    DirectIo::Revoked => {
+                        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                        let kernel = Arc::clone(self.kernel());
+                        return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+                    }
+                    DirectIo::Fault => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+                return Ok(data.len());
+            }
+            attempts += 1;
+            if attempts >= 2 {
+                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                let kernel = Arc::clone(self.kernel());
+                return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+            }
+        }
+    }
+
+    /// Append handling: kernel route, or direct overwrite of
+    /// preallocated blocks when optimized append is on.
+    fn append_path(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+        st: FileState,
+    ) -> SysResult<usize> {
+        let kernel = Arc::clone(self.kernel());
+        let len = data.len() as u64;
+        let end = offset + len;
+        let aligned_tail = offset == st.size && offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE);
+        if st.append_chunk > 0 && aligned_tail {
+            // Optimized append: preallocate (KEEP_SIZE) then overwrite
+            // directly; size flushed at fsync/close (§5.1).
+            if end > st.prealloc_end {
+                let grow = (end - st.prealloc_end).max(st.append_chunk);
+                kernel.sys_fallocate_keep(ctx, self.proc.pid, fd, st.prealloc_end, grow)?;
+                if let Some(f) = self.proc.files.lock().get_mut(&fd) {
+                    f.prealloc_end = st.prealloc_end + grow;
+                }
+            }
+            let vba = st.vba.ok_or(Errno::Inval)?;
+            ctx.delay(self.cost().user_copy(len));
+            self.dma.write(0, data);
+            match self.direct_io(ctx, fd, vba, offset, len, true)? {
+                DirectIo::Done => {
+                    let mut files = self.proc.files.lock();
+                    if let Some(f) = files.get_mut(&fd) {
+                        f.size = f.size.max(end);
+                        f.size_dirty = true;
+                    }
+                    self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+                    return Ok(data.len());
+                }
+                DirectIo::Revoked | DirectIo::Fault => {
+                    // Fall through to the kernel append below.
+                }
+            }
+        }
+        let n = if offset == st.size {
+            // Tail append: the kernel path handles any alignment.
+            kernel.sys_append(ctx, self.proc.pid, fd, data)?
+        } else if offset > st.size {
+            // Write past a gap: materialise the hole with fallocate
+            // (zeroed blocks + size extension), then retry as an
+            // in-place write (aligned or serialised RMW).
+            kernel.sys_fallocate(ctx, self.proc.pid, fd, st.size, end - st.size)?;
+            {
+                let mut files = self.proc.files.lock();
+                if let Some(f) = files.get_mut(&fd) {
+                    f.size = f.size.max(end);
+                    f.prealloc_end = f.prealloc_end.max(f.size);
+                }
+            }
+            self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+            return self.pwrite(ctx, fd, data, offset);
+        } else if aligned_tail || offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) {
+            kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset)?
+        } else {
+            // Unaligned write straddling EOF: split into the in-place
+            // head (RMW path) and an appended tail (kernel path).
+            let head = (st.size - offset) as usize;
+            self.pwrite(ctx, fd, &data[..head], offset)?;
+            let kernel = Arc::clone(self.kernel());
+            let tail = kernel.sys_append(ctx, self.proc.pid, fd, &data[head..])?;
+            head + tail
+        };
+        let mut files = self.proc.files.lock();
+        if let Some(f) = files.get_mut(&fd) {
+            f.size = f.size.max(end);
+            f.prealloc_end = f.prealloc_end.max(f.size);
+        }
+        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Serialised read-modify-write for sub-sector writes (§4.5.1).
+    fn partial_write(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let len = data.len() as u64;
+        let start = offset - offset % SECTOR_SIZE;
+        let end = (offset + len).div_ceil(SECTOR_SIZE) * SECTOR_SIZE;
+        // Wait until no in-flight partial write overlaps our sectors.
+        loop {
+            let mut partials = self.proc.partials.lock();
+            let conflict = partials
+                .get(&fd)
+                .is_some_and(|v| v.iter().any(|(s, e)| *s < end && start < *e));
+            if !conflict {
+                partials.entry(fd).or_default().push((start, end));
+                break;
+            }
+            drop(partials);
+            ctx.delay(Nanos(200));
+        }
+        let result = self.partial_write_inner(ctx, fd, data, offset, start, end);
+        // Always deregister.
+        let mut partials = self.proc.partials.lock();
+        if let Some(v) = partials.get_mut(&fd) {
+            v.retain(|r| *r != (start, end));
+        }
+        result
+    }
+
+    fn partial_write_inner(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+        start: u64,
+        end: u64,
+    ) -> SysResult<usize> {
+        let st = self.state(fd)?;
+        let Some(vba) = st.vba else {
+            return Err(Errno::Inval);
+        };
+        let span = end - start;
+        // Read old sectors.
+        match self.direct_io(ctx, fd, vba, start, span, false)? {
+            DirectIo::Done => {}
+            _ => {
+                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                let kernel = Arc::clone(self.kernel());
+                return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+            }
+        }
+        // Modify.
+        ctx.delay(self.cost().user_copy(data.len() as u64));
+        self.dma.write((offset - start) as usize, data);
+        // Write back.
+        match self.direct_io(ctx, fd, vba, start, span, true)? {
+            DirectIo::Done => {
+                self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+                Ok(data.len())
+            }
+            _ => {
+                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+                let kernel = Arc::clone(self.kernel());
+                kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset)
+            }
+        }
+    }
+
+    // ---- non-blocking writes (§5.1 enhancement) ----
+
+    /// Submits an aligned overwrite without waiting for the device
+    /// (§5.1): the call returns after copying into the DMA buffer and
+    /// ringing the doorbell. Reads see the new data immediately (the
+    /// pending-write overlay); durability comes at [`UserThread::fsync`]
+    /// or [`UserThread::flush_writes`].
+    ///
+    /// Falls back to the synchronous path for unaligned writes, appends,
+    /// or revoked files.
+    ///
+    /// # Errors
+    /// `Perm` on read-only fds; kernel-path errors on fallback.
+    pub fn pwrite_async(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let st = self.state(fd)?;
+        if !st.writable {
+            return Err(Errno::Perm);
+        }
+        let len = data.len() as u64;
+        let aligned = offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) && len > 0;
+        let in_place = offset + len <= st.size;
+        if st.fallback || !aligned || !in_place || st.vba.is_none() || len > 256 * 1024 {
+            return self.pwrite(ctx, fd, data, offset);
+        }
+        let vba = st.vba.unwrap();
+        // Serialise against overlapping pending writes (same-file
+        // write-write ordering, the CrossFS-style range rule).
+        loop {
+            let pending = self.proc.pending_writes.lock();
+            let conflict = pending.get(&fd).is_some_and(|v| {
+                v.iter()
+                    .any(|p| p.offset < offset + len && offset < p.offset + p.data.len() as u64)
+            });
+            drop(pending);
+            if !conflict {
+                break;
+            }
+            self.flush_writes(ctx, fd)?;
+        }
+        ctx.delay(self.cost().userlib_overhead + self.cost().user_copy(len));
+        // Each async write stages through its own small DMA buffer so the
+        // thread buffer stays free for subsequent operations.
+        let dma = DmaBuffer::alloc(self.proc.system.mem(), data.len());
+        dma.write(0, data);
+        let first_try = {
+            let dev = self.proc.system.device();
+            let cmd =
+                Command::write(BlockAddr::Vba(vba.offset(offset)), (len / SECTOR_SIZE) as u32, &dma);
+            dev.submit(self.qid, cmd, ctx.now())
+        };
+        let cid = match first_try {
+            Ok(c) => c,
+            Err(_) => {
+                // Queue full: drain and retry once, then give up to sync.
+                self.flush_writes(ctx, fd)?;
+                let retry = {
+                    let dev = self.proc.system.device();
+                    let cmd = Command::write(
+                        BlockAddr::Vba(vba.offset(offset)),
+                        (len / SECTOR_SIZE) as u32,
+                        &dma,
+                    );
+                    dev.submit(self.qid, cmd, ctx.now())
+                };
+                match retry {
+                    Ok(c) => c,
+                    Err(_) => return self.pwrite(ctx, fd, data, offset),
+                }
+            }
+        };
+        let dev = self.proc.system.device();
+        let ready = dev.ready_time(self.qid, cid).expect("submitted write vanished");
+        let comp = dev
+            .reap_at(self.qid, cid, ready)
+            .expect("completion not posted");
+        if !comp.status.is_ok() {
+            // Translation fault (revocation mid-flight): fall back.
+            return self.pwrite(ctx, fd, data, offset);
+        }
+        self.proc
+            .pending_writes
+            .lock()
+            .entry(fd)
+            .or_default()
+            .push(PendingWrite {
+                offset,
+                data: data.to_vec(),
+                ready,
+            });
+        self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(data.len())
+    }
+
+    /// Waits for every non-blocking write on `fd` to reach the device.
+    ///
+    /// # Errors
+    /// `BadF`.
+    pub fn flush_writes(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
+        let latest = {
+            let pending = self.proc.pending_writes.lock();
+            pending
+                .get(&fd)
+                .map(|v| v.iter().map(|p| p.ready).fold(Nanos::ZERO, Nanos::max))
+        };
+        if let Some(t) = latest {
+            ctx.wait_until(t);
+            let now = ctx.now();
+            let mut pending = self.proc.pending_writes.lock();
+            if let Some(v) = pending.get_mut(&fd) {
+                v.retain(|p| p.ready > now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Outstanding non-blocking writes on `fd`.
+    pub fn pending_write_count(&self, fd: Fd) -> usize {
+        self.proc
+            .pending_writes
+            .lock()
+            .get(&fd)
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Drops completed entries from the pending-write overlay (called by
+    /// reads so the overlay stays small).
+    fn prune_pending(&self, fd: Fd, now: Nanos) {
+        let mut pending = self.proc.pending_writes.lock();
+        if let Some(v) = pending.get_mut(&fd) {
+            v.retain(|p| p.ready > now);
+        }
+    }
+
+    /// Overlays unconfirmed writes onto a freshly-read buffer
+    /// (read-after-write consistency for the non-blocking interface).
+    fn overlay_pending(&self, fd: Fd, buf: &mut [u8], offset: u64) {
+        let pending = self.proc.pending_writes.lock();
+        let Some(v) = pending.get(&fd) else { return };
+        let end = offset + buf.len() as u64;
+        for p in v {
+            let p_end = p.offset + p.data.len() as u64;
+            if p.offset < end && offset < p_end {
+                let lo = offset.max(p.offset);
+                let hi = end.min(p_end);
+                buf[(lo - offset) as usize..(hi - offset) as usize]
+                    .copy_from_slice(&p.data[(lo - p.offset) as usize..(hi - p.offset) as usize]);
+            }
+        }
+    }
+
+    /// `read()` at the shared file offset.
+    ///
+    /// # Errors
+    /// As [`UserThread::pread`].
+    pub fn read(&mut self, ctx: &mut ActorCtx, fd: Fd, buf: &mut [u8]) -> SysResult<usize> {
+        let off = self.state(fd)?.offset;
+        let n = self.pread(ctx, fd, buf, off)?;
+        if let Some(st) = self.proc.files.lock().get_mut(&fd) {
+            st.offset += n as u64;
+        }
+        Ok(n)
+    }
+
+    /// `write()` at the shared file offset.
+    ///
+    /// # Errors
+    /// As [`UserThread::pwrite`].
+    pub fn write(&mut self, ctx: &mut ActorCtx, fd: Fd, data: &[u8]) -> SysResult<usize> {
+        let off = self.state(fd)?.offset;
+        let n = self.pwrite(ctx, fd, data, off)?;
+        if let Some(st) = self.proc.files.lock().get_mut(&fd) {
+            st.offset += n as u64;
+        }
+        Ok(n)
+    }
+
+    /// `fsync()`: flushes the local size (optimized append), then
+    /// forwards to the kernel, which flushes queues and metadata
+    /// (Table 3).
+    ///
+    /// # Errors
+    /// `BadF`.
+    pub fn fsync(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
+        // Drain the non-blocking write pipeline before the device flush.
+        self.flush_writes(ctx, fd)?;
+        let kernel = Arc::clone(self.kernel());
+        let dirty = {
+            let files = self.proc.files.lock();
+            files.get(&fd).ok_or(Errno::BadF)?.size_dirty
+        };
+        if dirty {
+            let size = self.state(fd)?.size;
+            kernel.sys_set_size(ctx, self.proc.pid, fd, size)?;
+            if let Some(st) = self.proc.files.lock().get_mut(&fd) {
+                st.size_dirty = false;
+            }
+        }
+        kernel.sys_fsync(ctx, self.proc.pid, fd)
+    }
+
+    /// `fallocate()` passthrough (updates the local size).
+    ///
+    /// # Errors
+    /// As the kernel call.
+    pub fn fallocate(&mut self, ctx: &mut ActorCtx, fd: Fd, offset: u64, len: u64) -> SysResult<()> {
+        let kernel = Arc::clone(self.kernel());
+        kernel.sys_fallocate(ctx, self.proc.pid, fd, offset, len)?;
+        let mut files = self.proc.files.lock();
+        if let Some(st) = files.get_mut(&fd) {
+            st.size = st.size.max(offset + len);
+            st.prealloc_end = st.prealloc_end.max(st.size);
+        }
+        Ok(())
+    }
+
+    /// True if this fd has fallen back to the kernel interface.
+    pub fn is_fallback(&self, fd: Fd) -> bool {
+        self.proc
+            .files
+            .lock()
+            .get(&fd)
+            .map(|s| s.fallback)
+            .unwrap_or(false)
+    }
+}

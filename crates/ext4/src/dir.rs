@@ -1,0 +1,150 @@
+//! Directory content encoding and POSIX permission checks.
+//!
+//! Directory data is a flat sequence of records:
+//! `ino: u64, name_len: u16, name bytes`. A record with `ino == 0` is a
+//! tombstone covering `name_len` bytes of dead name. Directories are
+//! regular files from the allocator's point of view; their blocks are
+//! journaled as metadata.
+
+use crate::layout::Ino;
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Target inode.
+    pub ino: Ino,
+    /// File name (no slashes).
+    pub name: String,
+}
+
+/// Serialises entries to directory file content.
+pub fn encode_dir(entries: &[DirEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        out.extend_from_slice(&e.ino.0.to_le_bytes());
+        let name = e.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+    }
+    out
+}
+
+/// Parses directory file content (tombstones skipped).
+pub fn decode_dir(mut buf: &[u8]) -> Vec<DirEntry> {
+    let mut out = Vec::new();
+    while buf.len() >= 10 {
+        let ino = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let name_len = u16::from_le_bytes(buf[8..10].try_into().unwrap()) as usize;
+        if ino == 0 && name_len == 0 {
+            break; // zero padding: end of content
+        }
+        if buf.len() < 10 + name_len {
+            break;
+        }
+        if ino != 0 {
+            if let Ok(name) = std::str::from_utf8(&buf[10..10 + name_len]) {
+                out.push(DirEntry {
+                    ino: Ino(ino),
+                    name: name.to_string(),
+                });
+            }
+        }
+        buf = &buf[10 + name_len..];
+    }
+    out
+}
+
+/// Splits a path into components, rejecting empty/absolute-less paths.
+///
+/// Paths are absolute (`/a/b/c`); `/` resolves to the empty component
+/// list (the root directory).
+pub fn split_path(path: &str) -> Option<Vec<&str>> {
+    if !path.starts_with('/') {
+        return None;
+    }
+    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    if comps.iter().any(|c| *c == "." || *c == ".." || c.len() > 255) {
+        return None;
+    }
+    Some(comps)
+}
+
+/// POSIX-style permission check: does (uid, gid) have read (and, if
+/// requested, write) access under `mode` owned by (`fuid`, `fgid`)?
+/// Root (uid 0) always passes.
+pub fn access_ok(mode: u16, fuid: u32, fgid: u32, uid: u32, gid: u32, write: bool) -> bool {
+    if uid == 0 {
+        return true;
+    }
+    let class_shift = if uid == fuid {
+        6
+    } else if gid == fgid {
+        3
+    } else {
+        0
+    };
+    let bits = (mode >> class_shift) & 0o7;
+    let need = if write { 0o6 } else { 0o4 };
+    bits & need == need
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_roundtrip() {
+        let entries = vec![
+            DirEntry { ino: Ino(2), name: "alpha".into() },
+            DirEntry { ino: Ino(3), name: "b".into() },
+            DirEntry { ino: Ino(4), name: "a-much-longer-name.txt".into() },
+        ];
+        let enc = encode_dir(&entries);
+        assert_eq!(decode_dir(&enc), entries);
+    }
+
+    #[test]
+    fn tombstones_skipped() {
+        let entries = vec![
+            DirEntry { ino: Ino(2), name: "keep".into() },
+            DirEntry { ino: Ino(0), name: "dead".into() },
+            DirEntry { ino: Ino(3), name: "also".into() },
+        ];
+        let enc = encode_dir(&entries);
+        let dec = decode_dir(&enc);
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0].name, "keep");
+        assert_eq!(dec[1].name, "also");
+    }
+
+    #[test]
+    fn zero_padding_terminates() {
+        let mut enc = encode_dir(&[DirEntry { ino: Ino(2), name: "x".into() }]);
+        enc.extend_from_slice(&[0u8; 100]);
+        assert_eq!(decode_dir(&enc).len(), 1);
+    }
+
+    #[test]
+    fn split_path_cases() {
+        assert_eq!(split_path("/"), Some(vec![]));
+        assert_eq!(split_path("/a/b"), Some(vec!["a", "b"]));
+        assert_eq!(split_path("/a//b/"), Some(vec!["a", "b"]));
+        assert_eq!(split_path("a/b"), None, "relative paths rejected");
+        assert_eq!(split_path("/a/../b"), None, "dotdot rejected");
+    }
+
+    #[test]
+    fn permission_matrix() {
+        let mode = 0o640;
+        // Owner rw.
+        assert!(access_ok(mode, 10, 20, 10, 99, false));
+        assert!(access_ok(mode, 10, 20, 10, 99, true));
+        // Group r only.
+        assert!(access_ok(mode, 10, 20, 11, 20, false));
+        assert!(!access_ok(mode, 10, 20, 11, 20, true));
+        // Other: nothing.
+        assert!(!access_ok(mode, 10, 20, 11, 21, false));
+        // Root: everything.
+        assert!(access_ok(0o000, 10, 20, 0, 0, true));
+    }
+}

@@ -1,0 +1,422 @@
+//! `fmap()`: file tables, sharing, and revocation (§3.4, §3.6, §4.1).
+//!
+//! The file system builds **file table fragments** — one page-table leaf
+//! frame per 2 MB of file, holding 512 FTEs — bottom-up and caches them in
+//! the inode. `fmap()` then attaches the shared fragments to the calling
+//! process's page table with one pointer update each (warm fmap ≈ constant
+//! time per fragment); building them is the cold-fmap cost Table 5
+//! measures. Fragments are *shared*: growth via append/fallocate writes
+//! new FTEs into the cached frames and every mapped process sees the new
+//! blocks immediately. Per-open read-only permission lives in the private
+//! attachment entry. Revocation detaches the attachment entries and
+//! invalidates the IOMMU, after which direct I/O faults and UserLib falls
+//! back to the kernel interface.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bypassd_hw::page_table::{AddressSpace, AttachLevel};
+use bypassd_hw::pte::Pte;
+use bypassd_hw::types::{Pasid, PhysAddr, Vba, PAGE_SIZE};
+use bypassd_sim::time::Nanos;
+
+use crate::fs::{Ext4, Ext4Error, Ext4Result, FsInner};
+use crate::layout::{Ino, BLOCK_SIZE};
+
+/// FTEs per fragment (one leaf table).
+pub const FTES_PER_FRAGMENT: u64 = 512;
+/// Bytes of file covered by one fragment.
+pub const FRAGMENT_SPAN: u64 = FTES_PER_FRAGMENT * PAGE_SIZE;
+
+/// The shared, pre-populated file tables cached in an inode.
+#[derive(Debug, Default)]
+pub struct FileTables {
+    /// Leaf-table frames, one per 2 MB of file.
+    pub fragments: Vec<u64>,
+}
+
+/// One process's attachment of a file's tables.
+pub struct Mapping {
+    /// Starting VBA in the process address space.
+    pub vba: Vba,
+    /// Whether this open permits writes.
+    pub writable: bool,
+    /// The process's PASID (for IOMMU invalidation).
+    pub pasid: Pasid,
+    /// The process's page tables.
+    pub asid: Arc<Mutex<AddressSpace>>,
+    /// Fragments currently attached.
+    pub attached: usize,
+    /// Fragments the reserved virtual region can hold.
+    pub capacity: usize,
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("vba", &self.vba)
+            .field("writable", &self.writable)
+            .field("attached", &self.attached)
+            .finish()
+    }
+}
+
+/// Identifies the calling process to `fmap()`.
+#[derive(Clone)]
+pub struct MapTarget {
+    /// Process id.
+    pub pid: u64,
+    /// The PASID its queues are bound to.
+    pub pasid: Pasid,
+    /// Its page tables.
+    pub asid: Arc<Mutex<AddressSpace>>,
+}
+
+impl std::fmt::Debug for MapTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapTarget")
+            .field("pid", &self.pid)
+            .field("pasid", &self.pasid)
+            .finish()
+    }
+}
+
+/// Which fmap path was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmapCost {
+    /// File tables were already cached; attachment only.
+    Warm,
+    /// File tables were built from the extent tree.
+    Cold,
+    /// Direct access denied (VBA 0): concurrent kernel-interface use or a
+    /// prior revocation (§4.5.2).
+    Denied,
+}
+
+/// `fmap()` result: the VBA (null when denied) plus modelled cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmapOutcome {
+    /// Starting virtual block address, or [`Vba::NULL`] when denied.
+    pub vba: Vba,
+    /// Modelled in-kernel cost of this fmap (excludes syscall entry/exit).
+    pub cost: Nanos,
+    /// Path taken.
+    pub kind: FmapCost,
+}
+
+impl Ext4 {
+    fn write_fte(&self, frame: u64, index: u64, pte: Pte) {
+        self.mem
+            .write_u64(PhysAddr::from_frame(frame, index * 8), pte.bits());
+    }
+
+    /// Builds the file-table fragments for `ino` from its extent tree.
+    /// Returns the modelled cost. Caller must hold `inner`.
+    fn build_file_tables(&self, inner: &mut FsInner, ino: Ino) -> Ext4Result<Nanos> {
+        let mut cost = self.ensure_extents(inner, ino)?;
+        let ci = inner.icache.get(&ino.0).unwrap();
+        if ci.ftab.is_some() {
+            return Ok(cost);
+        }
+        let dev_id = self.dev.dev_id();
+        let tree = ci.extents.clone().unwrap();
+        let size = ci.disk.size;
+        let blocks = size.div_ceil(BLOCK_SIZE);
+        let n_fragments = blocks.div_ceil(FTES_PER_FRAGMENT) as usize;
+        let mut fragments = Vec::with_capacity(n_fragments);
+        for _ in 0..n_fragments {
+            fragments.push(self.mem.alloc_frame());
+        }
+        // Bottom-up fill: FTEs carry the LBA of each 4 KB block, with
+        // maximum (RW) rights preset — per-open permission is applied at
+        // attach time (§4.1).
+        for e in tree.iter() {
+            for i in 0..e.len as u64 {
+                let fb = e.file_block + i;
+                if fb >= blocks {
+                    break;
+                }
+                let frag = (fb / FTES_PER_FRAGMENT) as usize;
+                let idx = fb % FTES_PER_FRAGMENT;
+                let lba = e.lba_of(fb);
+                self.write_fte(fragments[frag], idx, Pte::fte(lba, dev_id, true));
+            }
+        }
+        cost += Nanos(inner.timing.cold_fragment_build.as_nanos() * n_fragments as u64);
+        inner.icache.get_mut(&ino.0).unwrap().ftab = Some(FileTables { fragments });
+        Ok(cost)
+    }
+
+    /// The BypassD `fmap()` system call body (§3.3, §4.1): ensures file
+    /// tables exist and attaches them to the caller's page table.
+    ///
+    /// Returns `Denied` (VBA 0) when the file is currently open through
+    /// the kernel interface or direct access was revoked (§4.5.2).
+    ///
+    /// # Errors
+    /// `NotFound`, `IsDir`.
+    pub fn fmap(&self, ino: Ino, target: &MapTarget, want_write: bool) -> Ext4Result<FmapOutcome> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let cost0 = self.ensure_extents(inner, ino)?;
+        let ci = inner.icache.get(&ino.0).unwrap();
+        if ci.disk.is_dir() {
+            return Err(Ext4Error::IsDir);
+        }
+        if ci.kernel_opens > 0 || ci.direct_denied {
+            return Ok(FmapOutcome {
+                vba: Vba::NULL,
+                cost: cost0,
+                kind: FmapCost::Denied,
+            });
+        }
+        if let Some(m) = ci.mappings.get(&target.pid) {
+            // Already mapped by this process: idempotent.
+            return Ok(FmapOutcome {
+                vba: m.vba,
+                cost: cost0,
+                kind: FmapCost::Warm,
+            });
+        }
+        let was_cold = ci.ftab.is_none();
+        let mut cost = cost0 + self.build_file_tables(inner, ino)?;
+        let ci = inner.icache.get(&ino.0).unwrap();
+        let fragments = ci.ftab.as_ref().unwrap().fragments.clone();
+
+        // Reserve a virtual region with growth headroom (§4.1: region is a
+        // multiple of the attach granularity, can exceed the file size).
+        let capacity = (fragments.len() * 2).max(16);
+        let vba = {
+            let mut asid = target.asid.lock();
+            let base = asid.alloc_region(capacity as u64 * FRAGMENT_SPAN, FRAGMENT_SPAN);
+            for (i, frame) in fragments.iter().enumerate() {
+                asid.attach_fragment(
+                    base.offset(i as u64 * FRAGMENT_SPAN),
+                    AttachLevel::Pmd,
+                    *frame,
+                    want_write,
+                );
+            }
+            Vba(base.0)
+        };
+        cost += Nanos(inner.timing.warm_attach.as_nanos() * fragments.len() as u64);
+        inner.icache.get_mut(&ino.0).unwrap().mappings.insert(
+            target.pid,
+            Mapping {
+                vba,
+                writable: want_write,
+                pasid: target.pasid,
+                asid: Arc::clone(&target.asid),
+                attached: fragments.len(),
+                capacity,
+            },
+        );
+        Ok(FmapOutcome {
+            vba,
+            cost,
+            kind: if was_cold { FmapCost::Cold } else { FmapCost::Warm },
+        })
+    }
+
+    /// Removes `pid`'s mapping of `ino` (file close).
+    ///
+    /// # Errors
+    /// `NotFound`.
+    pub fn funmap(&self, ino: Ino, pid: u64) -> Ext4Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if !inner.icache.contains_key(&ino.0) {
+            return Err(Ext4Error::NotFound);
+        }
+        let ci = inner.icache.get_mut(&ino.0).unwrap();
+        if let Some(m) = ci.mappings.remove(&pid) {
+            {
+                let mut asid = m.asid.lock();
+                for i in 0..m.attached {
+                    asid.detach_fragment(
+                        Vba(m.vba.0 + i as u64 * FRAGMENT_SPAN).as_virt(),
+                        AttachLevel::Pmd,
+                    );
+                }
+            }
+            self.iommu.lock().invalidate_pasid(m.pasid);
+        }
+        if ci.mappings.is_empty() && ci.kernel_opens == 0 {
+            ci.direct_denied = false;
+        }
+        Ok(())
+    }
+
+    fn revoke_locked(&self, inner: &mut FsInner, ino: Ino) -> Vec<u64> {
+        let Some(ci) = inner.icache.get_mut(&ino.0) else {
+            return Vec::new();
+        };
+        let mappings = std::mem::take(&mut ci.mappings);
+        ci.direct_denied = true;
+        let mut pids = Vec::new();
+        for (pid, m) in mappings {
+            {
+                let mut asid = m.asid.lock();
+                for i in 0..m.attached {
+                    asid.detach_fragment(
+                        Vba(m.vba.0 + i as u64 * FRAGMENT_SPAN).as_virt(),
+                        AttachLevel::Pmd,
+                    );
+                }
+            }
+            self.iommu.lock().invalidate_pasid(m.pasid);
+            pids.push(pid);
+        }
+        pids
+    }
+
+    /// Kernel-initiated revocation of every direct mapping of `ino`
+    /// (§3.6). Direct I/O then faults in the IOMMU; UserLib re-fmaps,
+    /// receives VBA 0, and falls back to the kernel interface.
+    pub fn revoke_direct(&self, ino: Ino) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        self.revoke_locked(&mut inner, ino)
+    }
+
+    /// Notes an open through the kernel interface; revokes existing
+    /// direct mappings (§4.5.2 — no concurrent BypassD + kernel access).
+    /// Returns the revoked pids.
+    ///
+    /// # Errors
+    /// `NotFound`.
+    pub fn note_kernel_open(&self, ino: Ino) -> Ext4Result<Vec<u64>> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let _ = self.ensure_extents(inner, ino)?;
+        let revoked = {
+            let ci = inner.icache.get(&ino.0).unwrap();
+            if ci.mappings.is_empty() {
+                Vec::new()
+            } else {
+                self.revoke_locked(inner, ino)
+            }
+        };
+        inner.icache.get_mut(&ino.0).unwrap().kernel_opens += 1;
+        Ok(revoked)
+    }
+
+    /// Notes a kernel-interface close; direct eligibility returns once no
+    /// kernel opens or mappings remain.
+    ///
+    /// # Errors
+    /// `NotFound`.
+    pub fn note_kernel_close(&self, ino: Ino) -> Ext4Result<()> {
+        let mut inner = self.inner.lock();
+        let ci = inner.icache.get_mut(&ino.0).ok_or(Ext4Error::NotFound)?;
+        ci.kernel_opens = ci.kernel_opens.saturating_sub(1);
+        if ci.kernel_opens == 0 && ci.mappings.is_empty() {
+            ci.direct_denied = false;
+        }
+        Ok(())
+    }
+
+    /// True if `pid` currently holds a direct mapping of `ino`.
+    pub fn is_mapped(&self, ino: Ino, pid: u64) -> bool {
+        self.inner
+            .lock()
+            .icache
+            .get(&ino.0)
+            .is_some_and(|ci| ci.mappings.contains_key(&pid))
+    }
+
+    /// Frames currently used by `ino`'s cached file tables (memory
+    /// overhead accounting, §6.3).
+    pub fn file_table_frames(&self, ino: Ino) -> usize {
+        self.inner
+            .lock()
+            .icache
+            .get(&ino.0)
+            .and_then(|ci| ci.ftab.as_ref().map(|f| f.fragments.len()))
+            .unwrap_or(0)
+    }
+
+    /// Installs FTEs for newly allocated runs and attaches any new
+    /// fragments to every mapping. Called by `allocate`. Returns cost.
+    pub(crate) fn extend_file_tables(
+        &self,
+        inner: &mut FsInner,
+        ino: Ino,
+        new_runs: &[(u64, u64, u64)],
+    ) -> Nanos {
+        let dev_id = self.dev.dev_id();
+        let mut cost = Nanos::ZERO;
+        let Some(ci) = inner.icache.get_mut(&ino.0) else {
+            return cost;
+        };
+        let Some(ftab) = ci.ftab.as_mut() else {
+            return cost; // tables built lazily at next fmap
+        };
+        let timing = inner.timing;
+        let mut overflowed = false;
+        for (fb0, start_block, len) in new_runs {
+            for i in 0..*len {
+                let fb = fb0 + i;
+                let frag = (fb / FTES_PER_FRAGMENT) as usize;
+                while frag >= ftab.fragments.len() {
+                    // New fragment: allocate and attach to every mapping.
+                    let frame = self.mem.alloc_frame();
+                    let idx = ftab.fragments.len();
+                    ftab.fragments.push(frame);
+                    cost += timing.cold_fragment_build;
+                    for m in ci.mappings.values_mut() {
+                        if idx >= m.capacity {
+                            overflowed = true;
+                            continue;
+                        }
+                        m.asid.lock().attach_fragment(
+                            Vba(m.vba.0 + idx as u64 * FRAGMENT_SPAN).as_virt(),
+                            AttachLevel::Pmd,
+                            frame,
+                            m.writable,
+                        );
+                        m.attached = m.attached.max(idx + 1);
+                        cost += timing.warm_attach;
+                    }
+                }
+                let idx = fb % FTES_PER_FRAGMENT;
+                let lba = bypassd_hw::types::Lba::from_block(start_block + i);
+                self.write_fte(ftab.fragments[frag], idx, Pte::fte(lba, dev_id, true));
+            }
+        }
+        if overflowed {
+            // A mapping's reserved region cannot hold the grown file:
+            // revoke and let those processes fall back (§3.6).
+            let pids = self.revoke_locked(inner, ino);
+            debug_assert!(!pids.is_empty());
+        }
+        cost
+    }
+
+    /// Clears FTEs past `keep_blocks` and invalidates mappings' cached
+    /// translations. Called by `truncate`. Returns cost.
+    pub(crate) fn shrink_file_tables(
+        &self,
+        inner: &mut FsInner,
+        ino: Ino,
+        keep_blocks: u64,
+    ) -> Nanos {
+        let Some(ci) = inner.icache.get_mut(&ino.0) else {
+            return Nanos::ZERO;
+        };
+        let Some(ftab) = ci.ftab.as_mut() else {
+            return Nanos::ZERO;
+        };
+        let total_ftes = ftab.fragments.len() as u64 * FTES_PER_FRAGMENT;
+        for fb in keep_blocks..total_ftes {
+            let frag = (fb / FTES_PER_FRAGMENT) as usize;
+            let idx = fb % FTES_PER_FRAGMENT;
+            self.write_fte(ftab.fragments[frag], idx, Pte::EMPTY);
+        }
+        let mut iommu = self.iommu.lock();
+        for m in ci.mappings.values() {
+            iommu.invalidate_pasid(m.pasid);
+        }
+        Nanos(50)
+    }
+}

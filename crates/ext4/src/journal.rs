@@ -1,0 +1,337 @@
+//! Ordered metadata journaling.
+//!
+//! The paper evaluates "ext4 without data journaling" (§4): data blocks go
+//! straight to their home location, metadata blocks are written ahead to a
+//! journal region and only then checkpointed home. A transaction is:
+//!
+//! ```text
+//! [descriptor: magic, tid, count, home block numbers...]
+//! [count data blocks]
+//! [commit: magic, tid]
+//! ```
+//!
+//! Recovery scans the region from the start, replaying transactions whose
+//! commit record is present, stopping at the first invalid or
+//! non-monotonic record. The journal wraps to the start when full — safe
+//! because checkpointing is immediate, so wrapped-over transactions were
+//! already home.
+
+use std::sync::Arc;
+
+use bypassd_hw::types::Lba;
+use bypassd_ssd::device::NvmeDevice;
+
+use crate::layout::BLOCK_SIZE;
+
+const JD_MAGIC: u64 = 0x4A44_BEEF_0001;
+const JC_MAGIC: u64 = 0x4A43_BEEF_0002;
+
+/// Maximum home-block records per transaction.
+pub const MAX_TX_BLOCKS: usize = ((BLOCK_SIZE - 24) / 8) as usize;
+
+/// An open transaction: metadata blocks staged for write-ahead.
+#[derive(Debug, Default)]
+pub struct Tx {
+    records: Vec<(u64, Vec<u8>)>,
+}
+
+impl Tx {
+    /// Stages a metadata block write (home block number + contents).
+    /// A later write to the same block replaces the earlier one.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly one block, or the transaction
+    /// exceeds [`MAX_TX_BLOCKS`] distinct blocks.
+    pub fn stage(&mut self, home_block: u64, data: Vec<u8>) {
+        assert_eq!(data.len(), BLOCK_SIZE as usize, "journal stages whole blocks");
+        if let Some(slot) = self.records.iter_mut().find(|(b, _)| *b == home_block) {
+            slot.1 = data;
+            return;
+        }
+        assert!(self.records.len() < MAX_TX_BLOCKS, "transaction too large");
+        self.records.push((home_block, data));
+    }
+
+    /// Number of staged blocks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The staged contents for `home_block`, if present.
+    pub fn staged(&self, home_block: u64) -> Option<&[u8]> {
+        self.records
+            .iter()
+            .find(|(b, _)| *b == home_block)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Iterates staged `(home_block, data)` records.
+    pub fn records(&self) -> impl Iterator<Item = &(u64, Vec<u8>)> {
+        self.records.iter()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The journal: a circular region of `len` blocks at `start`.
+#[derive(Debug)]
+pub struct Journal {
+    dev: Arc<NvmeDevice>,
+    start: u64,
+    len: u64,
+    head: u64,
+    tid: u64,
+    commits: u64,
+    blocks_logged: u64,
+}
+
+impl Journal {
+    /// Creates a journal over `[start, start+len)` blocks of `dev`.
+    ///
+    /// # Panics
+    /// Panics if the region is too small for one maximal transaction.
+    pub fn new(dev: Arc<NvmeDevice>, start: u64, len: u64) -> Self {
+        assert!(len as usize >= MAX_TX_BLOCKS + 2, "journal region too small");
+        Journal {
+            dev,
+            start,
+            len,
+            head: 0,
+            tid: 1,
+            commits: 0,
+            blocks_logged: 0,
+        }
+    }
+
+    fn write_block(&self, offset: u64, data: &[u8]) {
+        self.dev
+            .write_raw(Lba::from_block(self.start + offset), data);
+    }
+
+    /// Commits a transaction: writes descriptor, data and commit blocks.
+    /// Returns the number of journal blocks consumed (0 for an empty tx).
+    pub fn commit(&mut self, tx: &Tx) -> u64 {
+        if tx.is_empty() {
+            return 0;
+        }
+        let needed = tx.records.len() as u64 + 2;
+        if self.head + needed > self.len {
+            self.head = 0; // wrap: older transactions are checkpointed
+        }
+        let mut desc = Vec::with_capacity(BLOCK_SIZE as usize);
+        desc.extend_from_slice(&JD_MAGIC.to_le_bytes());
+        desc.extend_from_slice(&self.tid.to_le_bytes());
+        desc.extend_from_slice(&(tx.records.len() as u64).to_le_bytes());
+        for (home, _) in &tx.records {
+            desc.extend_from_slice(&home.to_le_bytes());
+        }
+        desc.resize(BLOCK_SIZE as usize, 0);
+        self.write_block(self.head, &desc);
+        for (i, (_, data)) in tx.records.iter().enumerate() {
+            self.write_block(self.head + 1 + i as u64, data);
+        }
+        let mut commit = Vec::with_capacity(BLOCK_SIZE as usize);
+        commit.extend_from_slice(&JC_MAGIC.to_le_bytes());
+        commit.extend_from_slice(&self.tid.to_le_bytes());
+        commit.resize(BLOCK_SIZE as usize, 0);
+        self.write_block(self.head + 1 + tx.records.len() as u64, &commit);
+
+        self.head += needed;
+        self.tid += 1;
+        self.commits += 1;
+        self.blocks_logged += needed;
+        needed
+    }
+
+    /// Scans the region and applies every committed transaction (in tid
+    /// order) through `apply(home_block, data)`. Returns the number of
+    /// transactions replayed, and positions the journal after them.
+    pub fn recover(&mut self, mut apply: impl FnMut(u64, &[u8])) -> u64 {
+        let mut offset = 0u64;
+        let mut last_tid = 0u64;
+        let mut replayed = 0u64;
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        'scan: while offset + 2 <= self.len {
+            self.dev
+                .read_raw(Lba::from_block(self.start + offset), &mut buf);
+            let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+            let tid = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            let count = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+            if magic != JD_MAGIC
+                || tid <= last_tid
+                || count == 0
+                || count as usize > MAX_TX_BLOCKS
+                || offset + count + 2 > self.len
+            {
+                break;
+            }
+            let homes: Vec<u64> = (0..count as usize)
+                .map(|i| u64::from_le_bytes(buf[24 + i * 8..32 + i * 8].try_into().unwrap()))
+                .collect();
+            // Check commit record before applying anything.
+            let mut cbuf = vec![0u8; BLOCK_SIZE as usize];
+            self.dev.read_raw(
+                Lba::from_block(self.start + offset + 1 + count),
+                &mut cbuf,
+            );
+            let cmagic = u64::from_le_bytes(cbuf[0..8].try_into().unwrap());
+            let ctid = u64::from_le_bytes(cbuf[8..16].try_into().unwrap());
+            if cmagic != JC_MAGIC || ctid != tid {
+                break 'scan; // torn transaction: discard
+            }
+            for (i, home) in homes.iter().enumerate() {
+                let mut data = vec![0u8; BLOCK_SIZE as usize];
+                self.dev.read_raw(
+                    Lba::from_block(self.start + offset + 1 + i as u64),
+                    &mut data,
+                );
+                apply(*home, &data);
+            }
+            last_tid = tid;
+            offset += count + 2;
+            replayed += 1;
+        }
+        self.head = offset;
+        self.tid = last_tid + 1;
+        replayed
+    }
+
+    /// (commits, blocks logged) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.commits, self.blocks_logged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypassd_hw::mem::PhysMem;
+    use bypassd_hw::types::DevId;
+    use bypassd_hw::iommu::Iommu;
+    use bypassd_ssd::timing::MediaTiming;
+    use parking_lot::Mutex;
+
+    fn device() -> Arc<NvmeDevice> {
+        let mem = PhysMem::new();
+        let iommu = Arc::new(Mutex::new(Iommu::new(&mem)));
+        NvmeDevice::new(DevId(0), 1 << 20, MediaTiming::default(), iommu)
+    }
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE as usize]
+    }
+
+    #[test]
+    fn commit_then_recover_applies_blocks() {
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut tx = Tx::default();
+        tx.stage(1000, block_of(0xAA));
+        tx.stage(2000, block_of(0xBB));
+        j.commit(&tx);
+
+        let mut j2 = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut applied = Vec::new();
+        let n = j2.recover(|home, data| applied.push((home, data[0])));
+        assert_eq!(n, 1);
+        assert_eq!(applied, vec![(1000, 0xAA), (2000, 0xBB)]);
+    }
+
+    #[test]
+    fn multiple_transactions_in_order() {
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        for i in 0..5u8 {
+            let mut tx = Tx::default();
+            tx.stage(100 + i as u64, block_of(i));
+            j.commit(&tx);
+        }
+        let mut j2 = Journal::new(dev, 10, 600);
+        let mut order = Vec::new();
+        assert_eq!(j2.recover(|home, _| order.push(home)), 5);
+        assert_eq!(order, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn torn_transaction_discarded() {
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut tx = Tx::default();
+        tx.stage(1000, block_of(1));
+        j.commit(&tx);
+        // Hand-write a descriptor with no commit record (simulated crash
+        // mid-transaction).
+        let mut desc = Vec::new();
+        desc.extend_from_slice(&JD_MAGIC.to_le_bytes());
+        desc.extend_from_slice(&2u64.to_le_bytes());
+        desc.extend_from_slice(&1u64.to_le_bytes());
+        desc.extend_from_slice(&3000u64.to_le_bytes());
+        desc.resize(BLOCK_SIZE as usize, 0);
+        dev.write_raw(Lba::from_block(10 + 3), &desc);
+
+        let mut j2 = Journal::new(dev, 10, 600);
+        let mut applied = Vec::new();
+        assert_eq!(j2.recover(|home, _| applied.push(home)), 1);
+        assert_eq!(applied, vec![1000], "torn tx must not be applied");
+    }
+
+    #[test]
+    fn empty_tx_is_free() {
+        let dev = device();
+        let mut j = Journal::new(dev, 10, 600);
+        assert_eq!(j.commit(&Tx::default()), 0);
+        assert_eq!(j.stats(), (0, 0));
+    }
+
+    #[test]
+    fn restaging_same_block_overwrites() {
+        let mut tx = Tx::default();
+        tx.stage(5, block_of(1));
+        tx.stage(5, block_of(2));
+        assert_eq!(tx.len(), 1);
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        j.commit(&tx);
+        let mut j2 = Journal::new(dev, 10, 600);
+        let mut val = 0u8;
+        j2.recover(|_, data| val = data[0]);
+        assert_eq!(val, 2);
+    }
+
+    #[test]
+    fn wrap_resets_to_region_start() {
+        let dev = device();
+        let region = (MAX_TX_BLOCKS + 2) as u64 + 4;
+        let mut j = Journal::new(Arc::clone(&dev), 10, region);
+        // Two transactions of 3 blocks each fit; a big one forces a wrap.
+        for i in 0..2u8 {
+            let mut tx = Tx::default();
+            tx.stage(i as u64, block_of(i));
+            j.commit(&tx);
+        }
+        let mut big = Tx::default();
+        for i in 0..MAX_TX_BLOCKS {
+            big.stage(10_000 + i as u64, block_of(9));
+        }
+        j.commit(&big);
+        assert_eq!(j.head, (MAX_TX_BLOCKS + 2) as u64, "head must have wrapped");
+        // Recovery after the wrap sees only the wrapped transaction (the
+        // older ones have lower tids at later offsets, so the monotonic
+        // check stops the scan correctly).
+        let mut j2 = Journal::new(dev, 10, region);
+        let mut homes = Vec::new();
+        j2.recover(|home, _| homes.push(home));
+        assert_eq!(homes.len(), MAX_TX_BLOCKS);
+        assert_eq!(homes[0], 10_000);
+    }
+
+    #[test]
+    fn recover_empty_region_is_noop() {
+        let dev = device();
+        let mut j = Journal::new(dev, 10, 600);
+        assert_eq!(j.recover(|_, _| panic!("nothing to apply")), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Bit-packed page table entries, including BypassD file table entries.
+//!
+//! Layout (Fig. 3 of the paper, concretised):
+//!
+//! ```text
+//! bit  0        PRESENT
+//! bit  1        WRITABLE (R/W)
+//! bit  2        USER
+//! bit  5        ACCESSED
+//! bit  6        DIRTY
+//! bits 12..48   payload: PFN (regular/table entries) or LBA (file table
+//!               entries, in 512 B sectors, 4 KB aligned)
+//! bits 48..58   DevID (file table entries only)
+//! bit  58       FT — marks a file table entry
+//! ```
+//!
+//! The `FT` bit and `DevID` live in bits that real x86-64 PTEs leave
+//! ignored/available, exactly where the paper proposes to put them.
+
+use crate::types::{DevId, Lba};
+use std::fmt;
+
+const PRESENT: u64 = 1 << 0;
+const WRITABLE: u64 = 1 << 1;
+const USER: u64 = 1 << 2;
+const ACCESSED: u64 = 1 << 5;
+const DIRTY: u64 = 1 << 6;
+const FT: u64 = 1 << 58;
+const PAYLOAD_SHIFT: u32 = 12;
+const PAYLOAD_MASK: u64 = ((1u64 << 36) - 1) << PAYLOAD_SHIFT;
+const DEVID_SHIFT: u32 = 48;
+const DEVID_MASK: u64 = ((1u64 << 10) - 1) << DEVID_SHIFT;
+
+/// A page table entry (any level), possibly a file table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// The all-zero (not-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// An entry pointing at a next-level table frame.
+    pub fn table(frame: u64) -> Pte {
+        Pte(PRESENT | WRITABLE | USER | (frame << PAYLOAD_SHIFT) & PAYLOAD_MASK)
+    }
+
+    /// A leaf entry mapping a memory page.
+    pub fn leaf(frame: u64, writable: bool) -> Pte {
+        let mut bits = PRESENT | USER | ((frame << PAYLOAD_SHIFT) & PAYLOAD_MASK);
+        if writable {
+            bits |= WRITABLE;
+        }
+        Pte(bits)
+    }
+
+    /// A **file table entry**: LBA payload, device ID, FT bit (Fig. 3).
+    ///
+    /// Shared file-table fragments are built with `writable = true` (the
+    /// paper presets maximum rights on the shared part; per-open
+    /// permissions are applied on the private attachment entries).
+    ///
+    /// # Panics
+    /// Panics if the LBA or device ID exceed their field widths or the LBA
+    /// is not 4 KB aligned.
+    pub fn fte(lba: Lba, dev: DevId, writable: bool) -> Pte {
+        assert!(lba.0.is_multiple_of(crate::types::SECTORS_PER_PAGE), "FTE LBA must be 4KB-aligned");
+        let payload = lba.0 / crate::types::SECTORS_PER_PAGE;
+        assert!(payload < (1 << 36), "LBA exceeds FTE payload width");
+        assert!((dev.0 as u64) < (1 << 10), "DevID exceeds FTE field width");
+        let mut bits = PRESENT
+            | USER
+            | FT
+            | ((payload << PAYLOAD_SHIFT) & PAYLOAD_MASK)
+            | ((dev.0 as u64) << DEVID_SHIFT);
+        if writable {
+            bits |= WRITABLE;
+        }
+        Pte(bits)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if the entry is present.
+    pub const fn present(self) -> bool {
+        self.0 & PRESENT != 0
+    }
+
+    /// True if writes are permitted through this entry.
+    pub const fn writable(self) -> bool {
+        self.0 & WRITABLE != 0
+    }
+
+    /// True if user-mode accessible.
+    pub const fn user(self) -> bool {
+        self.0 & USER != 0
+    }
+
+    /// True if this is a file table entry (FT bit set).
+    pub const fn is_fte(self) -> bool {
+        self.0 & FT != 0
+    }
+
+    /// Page frame number payload (regular/table entries).
+    pub const fn frame(self) -> u64 {
+        (self.0 & PAYLOAD_MASK) >> PAYLOAD_SHIFT
+    }
+
+    /// LBA payload of a file table entry (first sector of the 4 KB block).
+    pub const fn lba(self) -> Lba {
+        Lba(((self.0 & PAYLOAD_MASK) >> PAYLOAD_SHIFT) * crate::types::SECTORS_PER_PAGE)
+    }
+
+    /// Device ID of a file table entry.
+    pub const fn dev_id(self) -> DevId {
+        DevId(((self.0 & DEVID_MASK) >> DEVID_SHIFT) as u16)
+    }
+
+    /// Copy with the accessed bit set.
+    pub const fn accessed(self) -> Pte {
+        Pte(self.0 | ACCESSED)
+    }
+
+    /// True if accessed bit is set.
+    pub const fn is_accessed(self) -> bool {
+        self.0 & ACCESSED != 0
+    }
+
+    /// Copy with the dirty bit set.
+    pub const fn dirtied(self) -> Pte {
+        Pte(self.0 | DIRTY)
+    }
+
+    /// True if dirty bit is set.
+    pub const fn is_dirty(self) -> bool {
+        self.0 & DIRTY != 0
+    }
+
+    /// Copy with the writable bit cleared (per-open read-only attachment).
+    pub const fn read_only(self) -> Pte {
+        Pte(self.0 & !WRITABLE)
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.present() {
+            return write!(f, "PTE(empty)");
+        }
+        if self.is_fte() {
+            write!(
+                f,
+                "FTE({}, {}, {})",
+                self.lba(),
+                self.dev_id(),
+                if self.writable() { "rw" } else { "ro" }
+            )
+        } else {
+            write!(
+                f,
+                "PTE(frame={}, {})",
+                self.frame(),
+                if self.writable() { "rw" } else { "ro" }
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SECTORS_PER_PAGE;
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::EMPTY.present());
+        assert!(!Pte::EMPTY.is_fte());
+    }
+
+    #[test]
+    fn table_entry_roundtrip() {
+        let e = Pte::table(0x1234);
+        assert!(e.present());
+        assert!(e.writable());
+        assert!(!e.is_fte());
+        assert_eq!(e.frame(), 0x1234);
+    }
+
+    #[test]
+    fn leaf_permissions() {
+        let ro = Pte::leaf(7, false);
+        let rw = Pte::leaf(7, true);
+        assert!(!ro.writable());
+        assert!(rw.writable());
+        assert_eq!(ro.frame(), 7);
+    }
+
+    #[test]
+    fn fte_roundtrip() {
+        let lba = Lba::from_block(123_456);
+        let e = Pte::fte(lba, DevId(3), true);
+        assert!(e.present());
+        assert!(e.is_fte());
+        assert!(e.writable());
+        assert_eq!(e.lba(), lba);
+        assert_eq!(e.dev_id(), DevId(3));
+    }
+
+    #[test]
+    fn fte_distinguished_from_pte_with_same_payload() {
+        let fte = Pte::fte(Lba(8 * 99), DevId(0), true);
+        let pte = Pte::leaf(99, true);
+        assert_ne!(fte, pte);
+        assert!(fte.is_fte());
+        assert!(!pte.is_fte());
+    }
+
+    #[test]
+    #[should_panic(expected = "4KB-aligned")]
+    fn fte_rejects_unaligned_lba() {
+        let _ = Pte::fte(Lba(3), DevId(0), true);
+    }
+
+    #[test]
+    fn max_lba_fits() {
+        let max_block = (1u64 << 36) - 1;
+        let e = Pte::fte(Lba(max_block * SECTORS_PER_PAGE), DevId(1023), false);
+        assert_eq!(e.lba().0, max_block * SECTORS_PER_PAGE);
+        assert_eq!(e.dev_id(), DevId(1023));
+    }
+
+    #[test]
+    fn accessed_dirty_bits() {
+        let e = Pte::leaf(1, true);
+        assert!(!e.is_accessed());
+        assert!(!e.is_dirty());
+        let e = e.accessed().dirtied();
+        assert!(e.is_accessed());
+        assert!(e.is_dirty());
+        // Payload untouched.
+        assert_eq!(e.frame(), 1);
+    }
+
+    #[test]
+    fn read_only_downgrade() {
+        let e = Pte::fte(Lba(0), DevId(1), true).read_only();
+        assert!(!e.writable());
+        assert!(e.is_fte());
+        assert_eq!(e.dev_id(), DevId(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Pte::EMPTY), "PTE(empty)");
+        let f = format!("{}", Pte::fte(Lba(8), DevId(2), false));
+        assert!(f.contains("FTE"));
+        assert!(f.contains("ro"));
+    }
+}

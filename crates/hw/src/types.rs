@@ -1,0 +1,241 @@
+//! Address and identifier newtypes plus geometry constants.
+//!
+//! Keeping virtual addresses, physical addresses, virtual *block* addresses
+//! and logical block addresses as distinct types statically prevents the
+//! class of confusion BypassD's security argument depends on: a process can
+//! hold VBAs but never LBAs.
+
+use std::fmt;
+
+/// Size of a memory page and of an ext4 block, in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Size of one device sector (Optane P5800X exposes 512 B blocks).
+pub const SECTOR_SIZE: u64 = 512;
+/// Sectors per 4 KB page/block.
+pub const SECTORS_PER_PAGE: u64 = PAGE_SIZE / SECTOR_SIZE;
+
+/// A virtual address in a process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The containing page's base address.
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// True if page-aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGE_SIZE)
+    }
+
+    /// Radix index at page-table `level` (4 = PGD … 1 = PTE).
+    ///
+    /// # Panics
+    /// Panics if `level` is not in `1..=4`.
+    pub fn index(self, level: u8) -> usize {
+        assert!((1..=4).contains(&level), "bad page table level {level}");
+        ((self.0 >> (12 + 9 * (level as u64 - 1))) & 0x1FF) as usize
+    }
+
+    /// Adds a byte offset.
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+/// A virtual block address: the virtual address returned by `fmap()` for a
+/// file's contents. Structurally a [`VirtAddr`]; the distinct type marks
+/// values that designate file data rather than memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vba(pub u64);
+
+impl Vba {
+    /// The null VBA — `fmap()` returns this to deny direct access (§3.6).
+    pub const NULL: Vba = Vba(0);
+
+    /// True if this is the null (deny) value.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// View as a plain virtual address (for page-table walks).
+    pub const fn as_virt(self) -> VirtAddr {
+        VirtAddr(self.0)
+    }
+
+    /// Adds a byte offset (e.g. the file offset of a read).
+    pub const fn offset(self, bytes: u64) -> Vba {
+        Vba(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Vba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VBA:{:#x}", self.0)
+    }
+}
+
+/// A physical memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Frame number containing this address.
+    pub const fn frame(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// Offset within the frame.
+    pub const fn frame_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Builds an address from a frame number and offset.
+    ///
+    /// # Panics
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn from_frame(frame: u64, offset: u64) -> PhysAddr {
+        assert!(offset < PAGE_SIZE, "frame offset out of range: {offset}");
+        PhysAddr(frame * PAGE_SIZE + offset)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+/// A device logical block address, in 512 B sectors.
+///
+/// ext4 allocates 4 KB blocks, i.e. [`SECTORS_PER_PAGE`]-sector aligned
+/// runs; file table entries store the sector address of each 4 KB block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// Byte offset on the device.
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * SECTOR_SIZE
+    }
+
+    /// LBA advanced by `n` sectors.
+    pub const fn advance(self, sectors: u64) -> Lba {
+        Lba(self.0 + sectors)
+    }
+
+    /// The 4 KB device block index containing this sector.
+    pub const fn block(self) -> u64 {
+        self.0 / SECTORS_PER_PAGE
+    }
+
+    /// First sector of 4 KB device block `block`.
+    pub const fn from_block(block: u64) -> Lba {
+        Lba(block * SECTORS_PER_PAGE)
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LBA:{}", self.0)
+    }
+}
+
+/// A Process Address Space ID, as bound to NVMe queues (§3.3) and carried
+/// in ATS translation requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pasid(pub u32);
+
+impl fmt::Display for Pasid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PASID:{}", self.0)
+    }
+}
+
+/// A device identifier, stored in each file table entry so a VBA can only
+/// address blocks on the device holding the file (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DevId(pub u16);
+
+impl fmt::Display for DevId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dev:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_page_math() {
+        let va = VirtAddr(0x1234_5678);
+        assert_eq!(va.page_base().0, 0x1234_5000);
+        assert_eq!(va.page_offset(), 0x678);
+        assert!(!va.is_page_aligned());
+        assert!(va.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn radix_indices_cover_levels() {
+        // VA with distinct 9-bit groups: build from indices.
+        let va = VirtAddr((3u64 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0xAB);
+        assert_eq!(va.index(4), 3);
+        assert_eq!(va.index(3), 5);
+        assert_eq!(va.index(2), 7);
+        assert_eq!(va.index(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad page table level")]
+    fn radix_index_rejects_level_zero() {
+        VirtAddr(0).index(0);
+    }
+
+    #[test]
+    fn vba_null_semantics() {
+        assert!(Vba::NULL.is_null());
+        assert!(!Vba(0x1000).is_null());
+        assert_eq!(Vba(0x1000).offset(0x234).0, 0x1234);
+        assert_eq!(Vba(0x2000).as_virt(), VirtAddr(0x2000));
+    }
+
+    #[test]
+    fn phys_addr_frames() {
+        let pa = PhysAddr::from_frame(10, 100);
+        assert_eq!(pa.frame(), 10);
+        assert_eq!(pa.frame_offset(), 100);
+        assert_eq!(pa.0, 10 * PAGE_SIZE + 100);
+    }
+
+    #[test]
+    fn lba_geometry() {
+        let lba = Lba::from_block(5);
+        assert_eq!(lba.0, 40);
+        assert_eq!(lba.block(), 5);
+        assert_eq!(lba.byte_offset(), 40 * 512);
+        assert_eq!(lba.advance(8).block(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VirtAddr(0x10)), "VA:0x10");
+        assert_eq!(format!("{}", Vba(0x20)), "VBA:0x20");
+        assert_eq!(format!("{}", PhysAddr(0x30)), "PA:0x30");
+        assert_eq!(format!("{}", Lba(7)), "LBA:7");
+        assert_eq!(format!("{}", Pasid(1)), "PASID:1");
+        assert_eq!(format!("{}", DevId(2)), "Dev:2");
+    }
+}

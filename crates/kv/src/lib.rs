@@ -1,0 +1,26 @@
+//! # bypassd-kv
+//!
+//! The storage engines of the paper's application evaluation (§6.4–6.5),
+//! scaled down in dataset size but structurally faithful (the I/O chain
+//! lengths, cache behaviour and batching are what the figures depend on):
+//!
+//! * [`ycsb`] — YCSB workload generators A–F (zipfian, latest, scans).
+//! * [`btree`] — a WiredTiger-like B-tree store: 512 B pages, an
+//!   in-memory page cache shared by threads, chained index descents on
+//!   cache misses (Figs. 13–14).
+//! * [`bpfkv`] — BPF-KV: a fixed-depth B+-tree index over an unsorted
+//!   log, no cache, 7 dependent I/Os per lookup (Fig. 15).
+//! * [`kvell`] — KVell: in-memory index, unsorted on-disk slots, batched
+//!   asynchronous I/O with a queue-depth knob (Fig. 16).
+//! * [`util`] — untimed bulk file writer for engine setup.
+
+pub mod bpfkv;
+pub mod btree;
+pub mod kvell;
+pub mod util;
+pub mod ycsb;
+
+pub use bpfkv::{BpfKv, BpfKvConfig};
+pub use btree::{BtreeConfig, BtreeStore};
+pub use kvell::{Kvell, KvellConfig};
+pub use ycsb::{YcsbGen, YcsbOp, YcsbWorkload};

@@ -1,0 +1,122 @@
+//! Untimed bulk file construction for engine setup.
+
+use bypassd::System;
+use bypassd_ext4::layout::Ino;
+use bypassd_ext4::Ext4Error;
+
+/// Streams chunks into a pre-sized file without advancing virtual time
+/// (benchmark setup, like the paper's store-creation phase).
+pub struct FileWriter {
+    system: System,
+    ino: Ino,
+    pos: u64,
+    size: u64,
+}
+
+impl FileWriter {
+    /// Creates (or replaces) `path` with `size` fully-allocated bytes.
+    ///
+    /// # Errors
+    /// Allocation/creation failures.
+    pub fn create(system: &System, path: &str, size: u64) -> Result<Self, Ext4Error> {
+        let ino = system.fs().populate(path, size, 0)?;
+        Ok(FileWriter {
+            system: system.clone(),
+            ino,
+            pos: 0,
+            size,
+        })
+    }
+
+    /// The file's inode.
+    pub fn ino(&self) -> Ino {
+        self.ino
+    }
+
+    /// Appends a chunk at the current position.
+    ///
+    /// # Panics
+    /// Panics if the chunk overruns the preallocated size.
+    pub fn write_chunk(&mut self, data: &[u8]) {
+        self.write_at(self.pos, data);
+        self.pos += data.len() as u64;
+    }
+
+    /// Writes at an absolute offset (sector granularity not required —
+    /// this is setup-time raw access).
+    ///
+    /// # Panics
+    /// Panics on overrun.
+    pub fn write_at(&self, offset: u64, data: &[u8]) {
+        assert!(
+            offset + data.len() as u64 <= self.size,
+            "write past preallocated size"
+        );
+        // Sector-align the raw write window.
+        let start = offset - offset % 512;
+        let end = (offset + data.len() as u64).div_ceil(512) * 512;
+        let (segs, _) = self
+            .system
+            .fs()
+            .resolve(self.ino, start, end - start)
+            .expect("resolve of preallocated file failed");
+        let mut window = vec![0u8; (end - start) as usize];
+        // Preserve surrounding bytes when unaligned (skip the read for
+        // aligned writes — the common bulk-build case).
+        if start != offset || end != offset + data.len() as u64 {
+            let mut pos = 0usize;
+            for (lba, len) in &segs {
+                let lba = lba.expect("hole in preallocated file");
+                self.system
+                    .device()
+                    .read_raw(lba, &mut window[pos..pos + *len as usize]);
+                pos += *len as usize;
+            }
+        }
+        let off = (offset - start) as usize;
+        window[off..off + data.len()].copy_from_slice(data);
+        let mut pos = 0usize;
+        for (lba, len) in &segs {
+            let lba = lba.unwrap();
+            self.system
+                .device()
+                .write_raw(lba, &window[pos..pos + *len as usize]);
+            pos += *len as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_land_at_offsets() {
+        let sys = System::builder().capacity(1 << 28).build();
+        let mut w = FileWriter::create(&sys, "/blob", 1 << 20).unwrap();
+        w.write_chunk(&[1u8; 512]);
+        w.write_chunk(&[2u8; 1024]);
+        w.write_at(4096, &[3u8; 100]);
+        let ino = w.ino();
+        let (segs, _) = sys.fs().resolve(ino, 0, 8192).unwrap();
+        let mut buf = vec![0u8; 8192];
+        let mut pos = 0;
+        for (lba, len) in segs {
+            sys.device()
+                .read_raw(lba.unwrap(), &mut buf[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+        assert!(buf[..512].iter().all(|&b| b == 1));
+        assert!(buf[512..1536].iter().all(|&b| b == 2));
+        assert!(buf[4096..4196].iter().all(|&b| b == 3));
+        assert!(buf[4196..4608].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past preallocated")]
+    fn overrun_panics() {
+        let sys = System::builder().capacity(1 << 28).build();
+        let w = FileWriter::create(&sys, "/b2", 1024).unwrap();
+        w.write_at(1000, &[0u8; 100]);
+    }
+}

@@ -1,0 +1,477 @@
+//! The discrete-event conductor.
+//!
+//! Simulated actors are real OS threads, but the conductor admits exactly
+//! one at a time: whenever an actor blocks (via [`ActorCtx::delay`] or
+//! [`ActorCtx::wait_until`]) or finishes, the conductor advances virtual
+//! time to the earliest pending wakeup and hands the run token to that
+//! actor. Ties are broken FIFO by a global sequence number, so a run is
+//! fully deterministic for a fixed set of actors and seeds.
+//!
+//! Shared simulation state (the SSD model, the kernel, …) can be protected
+//! by ordinary mutexes — they are never contended because only one actor
+//! executes at any moment.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::Nanos;
+
+/// Identifies an actor within one [`Simulation`].
+pub type ActorId = u64;
+
+#[derive(Debug)]
+struct SimState {
+    /// Current virtual time.
+    now: Nanos,
+    /// Min-heap of (wake time, sequence, actor) — the actor run queue.
+    waiting: BinaryHeap<Reverse<(Nanos, u64, ActorId)>>,
+    /// The actor currently holding the run token, if any.
+    current: Option<ActorId>,
+    /// Number of spawned actors that have not finished.
+    live: usize,
+    /// Monotone tie-breaker for FIFO ordering of equal wake times.
+    next_seq: u64,
+    /// Next actor id to hand out.
+    next_id: ActorId,
+    /// Whether the simulation has started executing actors.
+    started: bool,
+    /// Name of an actor that panicked, if any.
+    panicked: Option<String>,
+}
+
+struct Inner {
+    state: Mutex<SimState>,
+    cond: Condvar,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    /// Pop the earliest waiting actor, advance time, and wake it.
+    /// Must be called with the state lock held and `current == None`.
+    fn dispatch_next(&self, state: &mut SimState) {
+        debug_assert!(state.current.is_none());
+        if let Some(Reverse((t, _seq, id))) = state.waiting.pop() {
+            state.now = state.now.max(t);
+            state.current = Some(id);
+            self.cond.notify_all();
+        } else if state.live > 0 && state.started {
+            panic!(
+                "simulation deadlock: {} live actor(s) but none runnable \
+                 (an actor blocked outside the simulation primitives?)",
+                state.live
+            );
+        } else {
+            // All done; wake `run()`.
+            self.cond.notify_all();
+        }
+    }
+
+    /// Enqueue `id` to wake at `t` (which must be >= now for determinism).
+    fn enqueue(&self, state: &mut SimState, t: Nanos, id: ActorId) {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.waiting.push(Reverse((t.max(state.now), seq, id)));
+    }
+
+    /// Block the calling actor until it holds the run token.
+    fn wait_for_token(&self, id: ActorId) {
+        let mut state = self.state.lock();
+        while state.current != Some(id) {
+            self.cond.wait(&mut state);
+        }
+    }
+}
+
+/// Ensures the run token is passed on even if the actor panics.
+struct FinishGuard {
+    inner: Arc<Inner>,
+    id: ActorId,
+    name: String,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        debug_assert_eq!(state.current, Some(self.id));
+        state.current = None;
+        state.live -= 1;
+        if std::thread::panicking() {
+            state.panicked = Some(self.name.clone());
+        }
+        self.inner.dispatch_next(&mut state);
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Spawn actors with [`Simulation::spawn`] / [`Simulation::spawn_at`], then
+/// call [`Simulation::run`] to execute them to completion. After `run`
+/// returns, [`Simulation::now`] reports the final virtual time.
+///
+/// ```rust
+/// use bypassd_sim::{Simulation, Nanos};
+/// let sim = Simulation::new();
+/// sim.spawn("a", |ctx| ctx.delay(Nanos(10)));
+/// sim.spawn("b", |ctx| ctx.delay(Nanos(5)));
+/// sim.run();
+/// assert_eq!(sim.now(), Nanos(10));
+/// ```
+pub struct Simulation {
+    inner: Arc<Inner>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        Simulation {
+            inner: Arc::new(Inner {
+                state: Mutex::new(SimState {
+                    now: Nanos::ZERO,
+                    waiting: BinaryHeap::new(),
+                    current: None,
+                    live: 0,
+                    next_seq: 0,
+                    next_id: 0,
+                    started: false,
+                    panicked: None,
+                }),
+                cond: Condvar::new(),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Spawns an actor that becomes runnable at virtual time zero.
+    pub fn spawn<F>(&self, name: &str, f: F) -> ActorId
+    where
+        F: FnOnce(&mut ActorCtx) + Send + 'static,
+    {
+        self.spawn_at(Nanos::ZERO, name, f)
+    }
+
+    /// Spawns an actor that becomes runnable at virtual time `start`.
+    ///
+    /// May be called before [`Simulation::run`] or from inside another
+    /// actor (see [`ActorCtx::spawn_at`]).
+    pub fn spawn_at<F>(&self, start: Nanos, name: &str, f: F) -> ActorId
+    where
+        F: FnOnce(&mut ActorCtx) + Send + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        let id;
+        {
+            let mut state = inner.state.lock();
+            id = state.next_id;
+            state.next_id += 1;
+            state.live += 1;
+            self.inner.enqueue(&mut state, start, id);
+        }
+        let name = name.to_string();
+        let thread_inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                thread_inner.wait_for_token(id);
+                let mut ctx = ActorCtx {
+                    inner: Arc::clone(&thread_inner),
+                    id,
+                    name: name.clone(),
+                };
+                let _guard = FinishGuard {
+                    inner: thread_inner,
+                    id,
+                    name,
+                };
+                f(&mut ctx);
+            })
+            .expect("failed to spawn simulation actor thread");
+        self.inner.threads.lock().push(handle);
+        id
+    }
+
+    /// Runs the simulation until every actor has finished.
+    ///
+    /// # Panics
+    /// Panics if any actor panicked, or on deadlock (an actor blocked
+    /// outside the simulation primitives).
+    pub fn run(&self) {
+        {
+            let mut state = self.inner.state.lock();
+            state.started = true;
+            if state.current.is_none() {
+                self.inner.dispatch_next(&mut state);
+            }
+            while state.live > 0 {
+                self.inner.cond.wait(&mut state);
+            }
+        }
+        // Join threads so panics/resources are fully settled.
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let state = self.inner.state.lock();
+        if let Some(name) = &state.panicked {
+            panic!("simulation actor '{name}' panicked");
+        }
+    }
+
+    /// The current virtual time (final time, once [`Simulation::run`] has
+    /// returned).
+    pub fn now(&self) -> Nanos {
+        self.inner.state.lock().now
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Simulation")
+            .field("now", &state.now)
+            .field("live", &state.live)
+            .finish()
+    }
+}
+
+/// Handle through which an actor interacts with virtual time.
+///
+/// An `ActorCtx` is passed to each actor closure; it must not be sent to
+/// other actors.
+pub struct ActorCtx {
+    inner: Arc<Inner>,
+    id: ActorId,
+    name: String,
+}
+
+impl ActorCtx {
+    /// The current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.inner.state.lock().now
+    }
+
+    /// This actor's identifier.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// This actor's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Advances this actor's virtual time by `d`, yielding to any actor
+    /// scheduled earlier.
+    pub fn delay(&mut self, d: Nanos) {
+        let t = self.now() + d;
+        self.wait_until(t);
+    }
+
+    /// Blocks this actor until virtual time `t` (no-op if `t` has passed,
+    /// but still yields to equal-time actors queued earlier).
+    pub fn wait_until(&mut self, t: Nanos) {
+        {
+            let mut state = self.inner.state.lock();
+            debug_assert_eq!(state.current, Some(self.id));
+            state.current = None;
+            self.inner.enqueue(&mut state, t, self.id);
+            self.inner.dispatch_next(&mut state);
+        }
+        self.inner.wait_for_token(self.id);
+    }
+
+    /// Yields to any other actor scheduled at the current time.
+    pub fn yield_now(&mut self) {
+        let now = self.now();
+        self.wait_until(now);
+    }
+
+    /// Spawns a new actor runnable at time `start` (clamped to now).
+    pub fn spawn_at<F>(&self, start: Nanos, name: &str, f: F) -> ActorId
+    where
+        F: FnOnce(&mut ActorCtx) + Send + 'static,
+    {
+        let sim = Simulation {
+            inner: Arc::clone(&self.inner),
+        };
+        sim.spawn_at(start, name, f)
+    }
+}
+
+impl std::fmt::Debug for ActorCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorCtx")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_actor_advances_time() {
+        let sim = Simulation::new();
+        sim.spawn("a", |ctx| {
+            assert_eq!(ctx.now(), Nanos::ZERO);
+            ctx.delay(Nanos(100));
+            assert_eq!(ctx.now(), Nanos(100));
+            ctx.delay(Nanos(50));
+            assert_eq!(ctx.now(), Nanos(150));
+        });
+        sim.run();
+        assert_eq!(sim.now(), Nanos(150));
+    }
+
+    #[test]
+    fn actors_interleave_in_time_order() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        sim.spawn("fast", move |ctx| {
+            for i in 0..3 {
+                ctx.delay(Nanos(10));
+                l1.lock().push(("fast", i, ctx.now()));
+            }
+        });
+        let l2 = Arc::clone(&log);
+        sim.spawn("slow", move |ctx| {
+            for i in 0..2 {
+                ctx.delay(Nanos(15));
+                l2.lock().push(("slow", i, ctx.now()));
+            }
+        });
+        sim.run();
+        let log = log.lock();
+        let order: Vec<_> = log.iter().map(|(n, i, t)| (*n, *i, t.0)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("fast", 0, 10),
+                ("slow", 0, 15),
+                ("fast", 1, 20),
+                // Both wake at 30; "slow" enqueued its wait earlier (at
+                // t=15 vs t=20), so FIFO ordering runs it first.
+                ("slow", 1, 30),
+                ("fast", 2, 30),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_times_run_fifo() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for name in ["a", "b", "c"] {
+            let l = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                ctx.delay(Nanos(5));
+                l.lock().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn spawn_at_delays_start() {
+        let sim = Simulation::new();
+        let started_at = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&started_at);
+        sim.spawn_at(Nanos(500), "late", move |ctx| {
+            s.store(ctx.now().0, Ordering::SeqCst);
+        });
+        sim.run();
+        assert_eq!(started_at.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn actor_can_spawn_actor() {
+        let sim = Simulation::new();
+        let result = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&result);
+        sim.spawn("parent", move |ctx| {
+            ctx.delay(Nanos(10));
+            let r2 = Arc::clone(&r);
+            ctx.spawn_at(Nanos(25), "child", move |cctx| {
+                r2.store(cctx.now().0, Ordering::SeqCst);
+            });
+            ctx.delay(Nanos(100));
+        });
+        sim.run();
+        assert_eq!(result.load(Ordering::SeqCst), 25);
+        assert_eq!(sim.now(), Nanos(110));
+    }
+
+    #[test]
+    fn wait_until_past_time_does_not_go_backwards() {
+        let sim = Simulation::new();
+        sim.spawn("a", |ctx| {
+            ctx.delay(Nanos(100));
+            ctx.wait_until(Nanos(10));
+            assert_eq!(ctx.now(), Nanos(100));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run_once() -> Vec<(u64, u64)> {
+            let sim = Simulation::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for id in 0..4u64 {
+                let l = Arc::clone(&log);
+                sim.spawn(&format!("w{id}"), move |ctx| {
+                    let mut step = 7 + id * 3;
+                    for _ in 0..5 {
+                        ctx.delay(Nanos(step));
+                        l.lock().push((id, ctx.now().0));
+                        step = step * 31 % 97 + 1;
+                    }
+                });
+            }
+            sim.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn actor_panic_propagates() {
+        let sim = Simulation::new();
+        sim.spawn("boom", |_ctx| panic!("intentional"));
+        sim.run();
+    }
+
+    #[test]
+    fn yield_now_lets_same_time_actor_run() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        sim.spawn("first", move |ctx| {
+            l1.lock().push("first-before");
+            ctx.yield_now();
+            l1.lock().push("first-after");
+        });
+        let l2 = Arc::clone(&log);
+        sim.spawn("second", move |_ctx| {
+            l2.lock().push("second");
+        });
+        sim.run();
+        assert_eq!(*log.lock(), vec!["first-before", "second", "first-after"]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # bypassd-sim
+//!
+//! Deterministic discrete-event simulation (DES) kernel used by the BypassD
+//! reproduction. It provides:
+//!
+//! * [`time::Nanos`] — the virtual time unit (nanoseconds).
+//! * [`engine::Simulation`] — a conductor that runs *real OS threads* as
+//!   simulated actors, exactly one at a time, always the one with the
+//!   earliest virtual timestamp. Workload code stays straight-line
+//!   imperative while runs remain bit-for-bit reproducible.
+//! * [`rng`] — seedable PRNG plus the YCSB zipfian/latest distributions.
+//! * [`stats`] — log-bucketed latency histograms and throughput counters.
+//! * [`report`] — plain-text table formatting for the benchmark harnesses.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bypassd_sim::engine::Simulation;
+//! use bypassd_sim::time::Nanos;
+//!
+//! let sim = Simulation::new();
+//! sim.spawn("worker", |ctx| {
+//!     ctx.delay(Nanos::from_micros(5));
+//!     assert_eq!(ctx.now(), Nanos::from_micros(5));
+//! });
+//! sim.run();
+//! assert_eq!(sim.now(), Nanos::from_micros(5));
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{ActorCtx, Simulation};
+pub use time::Nanos;

@@ -1,0 +1,738 @@
+//! The NVMe device: command processing over queue pairs.
+//!
+//! Two command addressing modes exist (§4.3):
+//!
+//! * **LBA commands** — the pre-BypassD world: allowed only on queues with
+//!   no PASID (kernel driver queues, or an SPDK process that has claimed
+//!   the whole device). User queues may *not* issue LBA commands; that is
+//!   precisely the protection SPDK lacks.
+//! * **VBA commands** — BypassD: allowed only on PASID-bound user queues.
+//!   The device sends the VBA, size, access kind and the queue's PASID to
+//!   the IOMMU via ATS. For **reads**, translation is serialised before
+//!   media access (the device needs block addresses first). For
+//!   **writes**, translation overlaps the host→device data transfer, so
+//!   writes see no translation latency (§4.3).
+//!
+//! Translation faults complete the command with an error status instead of
+//! touching media — the hook that makes kernel revocation effective (§3.6).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bypassd_hw::iommu::{AccessKind, Iommu};
+use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
+use bypassd_sim::time::Nanos;
+
+use crate::dma::DmaBuffer;
+use crate::queue::{Completion, NvmeStatus, QueueId, QueuePair};
+use crate::store::SectorStore;
+use crate::timing::{DeviceTimer, MediaTiming};
+
+/// NVMe opcode subset used by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Read sectors into the DMA buffer.
+    Read,
+    /// Write sectors from the DMA buffer.
+    Write,
+    /// Flush the device write path.
+    Flush,
+    /// Write zeroes without a data buffer (used for block zeroing on
+    /// allocation, §4.1).
+    WriteZeroes,
+}
+
+/// How a command addresses the media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockAddr {
+    /// Raw logical block address (kernel / SPDK paths).
+    Lba(Lba),
+    /// Virtual block address, translated by the IOMMU (BypassD path).
+    Vba(Vba),
+}
+
+/// One I/O command.
+#[derive(Debug)]
+pub struct Command<'a> {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Target address (ignored for `Flush`).
+    pub addr: BlockAddr,
+    /// Sector count (ignored for `Flush`).
+    pub sectors: u32,
+    /// Data buffer (required for `Read`/`Write`).
+    pub dma: Option<&'a DmaBuffer>,
+    /// Byte offset into the DMA buffer.
+    pub dma_offset: usize,
+}
+
+impl<'a> Command<'a> {
+    /// A read of `sectors` sectors into `dma` at offset 0.
+    pub fn read(addr: BlockAddr, sectors: u32, dma: &'a DmaBuffer) -> Self {
+        Command {
+            opcode: Opcode::Read,
+            addr,
+            sectors,
+            dma: Some(dma),
+            dma_offset: 0,
+        }
+    }
+
+    /// A write of `sectors` sectors from `dma` at offset 0.
+    pub fn write(addr: BlockAddr, sectors: u32, dma: &'a DmaBuffer) -> Self {
+        Command {
+            opcode: Opcode::Write,
+            addr,
+            sectors,
+            dma: Some(dma),
+            dma_offset: 0,
+        }
+    }
+
+    /// A flush.
+    pub fn flush() -> Self {
+        Command {
+            opcode: Opcode::Flush,
+            addr: BlockAddr::Lba(Lba(0)),
+            sectors: 0,
+            dma: None,
+            dma_offset: 0,
+        }
+    }
+
+    /// A write-zeroes over `sectors` sectors.
+    pub fn write_zeroes(addr: BlockAddr, sectors: u32) -> Self {
+        Command {
+            opcode: Opcode::WriteZeroes,
+            addr,
+            sectors,
+            dma: None,
+            dma_offset: 0,
+        }
+    }
+}
+
+/// Submission failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue has `depth` commands outstanding.
+    QueueFull,
+    /// No such queue.
+    UnknownQueue,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("submission queue full"),
+            SubmitError::UnknownQueue => f.write_str("unknown queue"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate device counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Completed read commands.
+    pub reads: u64,
+    /// Completed write commands.
+    pub writes: u64,
+    /// Bytes read from media.
+    pub read_bytes: u64,
+    /// Bytes written to media.
+    pub written_bytes: u64,
+    /// Flush commands.
+    pub flushes: u64,
+    /// VBA translation faults surfaced as failed completions.
+    pub translation_faults: u64,
+}
+
+struct DevState {
+    store: SectorStore,
+    timer: DeviceTimer,
+    queues: std::collections::HashMap<QueueId, QueuePair>,
+    stats: DeviceStats,
+}
+
+/// A simulated NVMe SSD.
+///
+/// Clone-free: wrap in `Arc` and share between the kernel driver, UserLib
+/// instances and SPDK.
+pub struct NvmeDevice {
+    id: DevId,
+    iommu: Arc<Mutex<Iommu>>,
+    state: Mutex<DevState>,
+    next_qid: AtomicU32,
+}
+
+impl NvmeDevice {
+    /// Creates a device of `capacity_sectors` sectors with the given
+    /// media timing, attached to `iommu` for ATS.
+    pub fn new(
+        id: DevId,
+        capacity_sectors: u64,
+        timing: MediaTiming,
+        iommu: Arc<Mutex<Iommu>>,
+    ) -> Arc<Self> {
+        Arc::new(NvmeDevice {
+            id,
+            iommu,
+            state: Mutex::new(DevState {
+                store: SectorStore::new(capacity_sectors),
+                timer: DeviceTimer::new(timing),
+                queues: std::collections::HashMap::new(),
+                stats: DeviceStats::default(),
+            }),
+            next_qid: AtomicU32::new(1),
+        })
+    }
+
+    /// This device's ID (compared against FTE DevIDs by the IOMMU).
+    pub fn dev_id(&self) -> DevId {
+        self.id
+    }
+
+    /// The IOMMU this device sends ATS requests to.
+    pub fn iommu(&self) -> &Arc<Mutex<Iommu>> {
+        &self.iommu
+    }
+
+    /// Media timing parameters.
+    pub fn timing(&self) -> MediaTiming {
+        self.state.lock().timer.timing()
+    }
+
+    /// Capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.state.lock().store.capacity_sectors()
+    }
+
+    /// Creates a queue pair. `pasid = Some(..)` makes a user queue bound
+    /// to that process (§3.3); `None` makes a kernel/owner queue that may
+    /// issue LBA commands.
+    pub fn create_queue(&self, pasid: Option<Pasid>, depth: usize) -> QueueId {
+        let qid = QueueId(self.next_qid.fetch_add(1, Ordering::SeqCst));
+        self.state
+            .lock()
+            .queues
+            .insert(qid, QueuePair::new(pasid, depth.max(1)));
+        qid
+    }
+
+    /// Deletes a queue pair; outstanding completions are dropped.
+    pub fn delete_queue(&self, qid: QueueId) {
+        self.state.lock().queues.remove(&qid);
+    }
+
+    /// Submits a command at virtual time `now`; returns its command id.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] when `depth` commands are outstanding,
+    /// [`SubmitError::UnknownQueue`] for a deleted queue.
+    pub fn submit(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Result<u16, SubmitError> {
+        let mut state = self.state.lock();
+        let pasid = {
+            let q = state.queues.get_mut(&qid).ok_or(SubmitError::UnknownQueue)?;
+            q.pasid
+        };
+        let cid = state
+            .queues
+            .get_mut(&qid)
+            .unwrap()
+            .claim()
+            .ok_or(SubmitError::QueueFull)?;
+        let completion = self.process(&mut state, pasid, cmd, now);
+        state
+            .queues
+            .get_mut(&qid)
+            .unwrap()
+            .post(Completion { cid, ..completion });
+        Ok(cid)
+    }
+
+    /// Convenience for synchronous callers: submit, reap, and return the
+    /// final status with its completion time. The caller should
+    /// `wait_until` the returned time before acting on the data.
+    pub fn execute(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> (NvmeStatus, Nanos) {
+        let cid = match self.submit(qid, cmd, now) {
+            Ok(c) => c,
+            Err(SubmitError::QueueFull) => panic!("execute() on a full queue"),
+            Err(SubmitError::UnknownQueue) => panic!("execute() on unknown queue"),
+        };
+        let ready = self.ready_time(qid, cid).expect("command vanished");
+        let comp = self
+            .reap_at(qid, cid, ready)
+            .expect("completion not ready at its own ready time");
+        (comp.status, ready)
+    }
+
+    fn process(
+        &self,
+        state: &mut DevState,
+        pasid: Option<Pasid>,
+        cmd: Command<'_>,
+        now: Nanos,
+    ) -> Completion {
+        if cmd.opcode == Opcode::Flush {
+            state.stats.flushes += 1;
+            let ready = state.timer.schedule_flush(now);
+            return Completion {
+                cid: 0,
+                status: NvmeStatus::Success,
+                ready_at: ready,
+            };
+        }
+        if cmd.sectors == 0 {
+            return Completion {
+                cid: 0,
+                status: NvmeStatus::InvalidField,
+                ready_at: now,
+            };
+        }
+        let is_write = matches!(cmd.opcode, Opcode::Write | Opcode::WriteZeroes);
+
+        // Resolve the address to LBA extents.
+        let (extents, trans_cost): (Vec<(Lba, u32)>, Nanos) = match cmd.addr {
+            BlockAddr::Lba(lba) => {
+                if pasid.is_some() {
+                    // Security: user queues may not address raw LBAs.
+                    return Completion {
+                        cid: 0,
+                        status: NvmeStatus::InvalidField,
+                        ready_at: now,
+                    };
+                }
+                (vec![(lba, cmd.sectors)], Nanos::ZERO)
+            }
+            BlockAddr::Vba(vba) => {
+                let pasid = match pasid {
+                    Some(p) => p,
+                    None => {
+                        return Completion {
+                            cid: 0,
+                            status: NvmeStatus::InvalidField,
+                            ready_at: now,
+                        }
+                    }
+                };
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let len = cmd.sectors as u64 * SECTOR_SIZE;
+                match self.iommu.lock().translate(pasid, vba, len, kind, self.id) {
+                    Ok(t) => {
+                        // Reads serialise translation; writes overlap it
+                        // with the data transfer (§4.3).
+                        let cost = if is_write { Nanos::ZERO } else { t.cost };
+                        (t.extents, cost)
+                    }
+                    Err((fault, cost)) => {
+                        state.stats.translation_faults += 1;
+                        return Completion {
+                            cid: 0,
+                            status: NvmeStatus::TranslationFault(fault),
+                            ready_at: now + cost,
+                        };
+                    }
+                }
+            }
+        };
+
+        // Range check.
+        for (lba, sectors) in &extents {
+            if !state.store.in_range(*lba, *sectors as u64) {
+                return Completion {
+                    cid: 0,
+                    status: NvmeStatus::LbaOutOfRange,
+                    ready_at: now,
+                };
+            }
+        }
+
+        // Functional data movement.
+        let total_bytes = cmd.sectors as u64 * SECTOR_SIZE;
+        match cmd.opcode {
+            Opcode::Read => {
+                let dma = cmd.dma.expect("read without DMA buffer");
+                let mut off = cmd.dma_offset;
+                let mut chunk = Vec::new();
+                for (lba, sectors) in &extents {
+                    let n = (*sectors as u64 * SECTOR_SIZE) as usize;
+                    chunk.resize(n, 0);
+                    state.store.read(*lba, &mut chunk);
+                    dma.write(off, &chunk);
+                    off += n;
+                }
+                state.stats.reads += 1;
+                state.stats.read_bytes += total_bytes;
+            }
+            Opcode::Write => {
+                let dma = cmd.dma.expect("write without DMA buffer");
+                let mut off = cmd.dma_offset;
+                let mut chunk = Vec::new();
+                for (lba, sectors) in &extents {
+                    let n = (*sectors as u64 * SECTOR_SIZE) as usize;
+                    chunk.resize(n, 0);
+                    dma.read(off, &mut chunk);
+                    state.store.write(*lba, &chunk);
+                    off += n;
+                }
+                state.stats.writes += 1;
+                state.stats.written_bytes += total_bytes;
+            }
+            Opcode::WriteZeroes => {
+                for (lba, sectors) in &extents {
+                    state.store.write_zeroes(*lba, *sectors as u64);
+                }
+                state.stats.writes += 1;
+                state.stats.written_bytes += total_bytes;
+            }
+            Opcode::Flush => unreachable!(),
+        }
+
+        let ready = if matches!(cmd.opcode, Opcode::WriteZeroes) {
+            let cost = state.timer.timing().write_zeroes_cost;
+            state.timer.schedule_fixed(now + trans_cost, cost)
+        } else {
+            state.timer.schedule(now + trans_cost, is_write, total_bytes)
+        };
+        Completion {
+            cid: 0,
+            status: NvmeStatus::Success,
+            ready_at: ready,
+        }
+    }
+
+    /// Completion time of command `cid` on `qid`, if posted.
+    pub fn ready_time(&self, qid: QueueId, cid: u16) -> Option<Nanos> {
+        self.state.lock().queues.get(&qid)?.ready_time(cid)
+    }
+
+    /// Reaps the completion for `cid` if visible at `now`.
+    pub fn reap_at(&self, qid: QueueId, cid: u16, now: Nanos) -> Option<Completion> {
+        self.state.lock().queues.get_mut(&qid)?.reap(cid, now)
+    }
+
+    /// Reaps up to `max` completions visible at `now`, earliest first.
+    pub fn reap_ready(&self, qid: QueueId, now: Nanos, max: usize) -> Vec<Completion> {
+        self.state
+            .lock()
+            .queues
+            .get_mut(&qid)
+            .map(|q| q.reap_ready(now, max))
+            .unwrap_or_default()
+    }
+
+    /// Earliest pending completion time on `qid`.
+    pub fn next_ready_time(&self, qid: QueueId) -> Option<Nanos> {
+        self.state.lock().queues.get(&qid)?.next_ready_time()
+    }
+
+    /// Latest pending completion time on `qid` (flush barrier helper).
+    pub fn last_ready_time(&self, qid: QueueId) -> Option<Nanos> {
+        self.state.lock().queues.get(&qid)?.last_ready_time()
+    }
+
+    /// Resets the contention ledger (see [`DeviceTimer::reset`]). Call
+    /// between independent simulations sharing this device; pending
+    /// completions on open queues are dropped.
+    pub fn reset_timing(&self) {
+        let mut state = self.state.lock();
+        state.timer.reset();
+        for q in state.queues.values_mut() {
+            let dropped = q.completions.len();
+            q.completions.clear();
+            q.inflight -= dropped.min(q.inflight);
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.state.lock().stats
+    }
+
+    // ---- Maintenance access (setup code and the simulated kernel's
+    // block layer use these; they move bytes without timing). ----
+
+    /// Reads raw sectors, bypassing queues and timing.
+    pub fn read_raw(&self, lba: Lba, buf: &mut [u8]) {
+        self.state.lock().store.read(lba, buf);
+    }
+
+    /// Writes raw sectors, bypassing queues and timing.
+    pub fn write_raw(&self, lba: Lba, data: &[u8]) {
+        self.state.lock().store.write(lba, data);
+    }
+
+    /// Zeroes raw sectors, bypassing queues and timing.
+    pub fn zero_raw(&self, lba: Lba, sectors: u64) {
+        self.state.lock().store.write_zeroes(lba, sectors);
+    }
+
+    /// Materialised media blocks (memory accounting).
+    pub fn resident_blocks(&self) -> usize {
+        self.state.lock().store.resident_blocks()
+    }
+}
+
+impl std::fmt::Debug for NvmeDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("NvmeDevice")
+            .field("id", &self.id)
+            .field("queues", &state.queues.len())
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypassd_hw::mem::PhysMem;
+    use bypassd_hw::page_table::AddressSpace;
+    use bypassd_hw::pte::Pte;
+    use bypassd_hw::types::PAGE_SIZE;
+
+    const DEV: DevId = DevId(1);
+    const P: Pasid = Pasid(42);
+
+    fn setup() -> (PhysMem, Arc<NvmeDevice>) {
+        let mem = PhysMem::new();
+        let iommu = Arc::new(Mutex::new(Iommu::new(&mem)));
+        let dev = NvmeDevice::new(DEV, 1 << 22, MediaTiming::default(), iommu);
+        (mem, dev)
+    }
+
+    fn setup_with_mapping(n_blocks: u64) -> (PhysMem, Arc<NvmeDevice>, AddressSpace, Vba) {
+        let (mem, dev) = setup();
+        let mut asid = AddressSpace::new(&mem);
+        let vba = Vba(0x4000_0000);
+        for i in 0..n_blocks {
+            asid.map_page(
+                vba.as_virt().offset(i * PAGE_SIZE),
+                Pte::fte(Lba::from_block(1000 + i), DEV, true),
+            );
+        }
+        dev.iommu().lock().register(P, asid.root_frame());
+        (mem, dev, asid, vba)
+    }
+
+    #[test]
+    fn lba_write_read_roundtrip_on_kernel_queue() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        dma.write(0, &[0x5A; 4096]);
+        let (st, t1) = dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        let dma2 = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma2), t1);
+        assert!(st.is_ok());
+        let mut out = [0u8; 4096];
+        dma2.read(0, &mut out);
+        assert!(out.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn lba_command_rejected_on_user_queue() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        assert_eq!(st, NvmeStatus::InvalidField, "user queue must not take raw LBAs");
+    }
+
+    #[test]
+    fn vba_command_rejected_on_kernel_queue() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(Vba(0x1000)), 8, &dma), Nanos::ZERO);
+        assert_eq!(st, NvmeStatus::InvalidField);
+    }
+
+    #[test]
+    fn vba_read_translates_and_returns_data() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        dev.write_raw(Lba::from_block(1000), &[0xC3; 4096]);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, ready) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        let mut out = [0u8; 4096];
+        dma.read(0, &mut out);
+        assert!(out.iter().all(|&b| b == 0xC3));
+        // Read latency includes translation (~550ns) + device (~4020ns).
+        let ns = ready.as_nanos();
+        assert!((4300..5000).contains(&ns), "VBA read latency = {ns}ns");
+    }
+
+    #[test]
+    fn vba_write_has_no_translation_latency() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        dma.write(0, &[1; 4096]);
+        let (st, ready) = dev.execute(q, Command::write(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        let service = MediaTiming::default().service(true, 4096);
+        assert_eq!(ready, service, "write must overlap VBA translation");
+        let mut out = [0u8; 4096];
+        dev.read_raw(Lba::from_block(1000), &mut out);
+        assert!(out.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn unmapped_vba_faults_without_touching_media() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Vba(vba.offset(PAGE_SIZE)), 8, &dma),
+            Nanos::ZERO,
+        );
+        assert!(matches!(st, NvmeStatus::TranslationFault(_)));
+        assert_eq!(dev.stats().reads, 0);
+        assert_eq!(dev.stats().translation_faults, 1);
+    }
+
+    #[test]
+    fn readonly_mapping_blocks_vba_write() {
+        let (mem, dev) = setup();
+        let mut asid = AddressSpace::new(&mem);
+        let vba = Vba(0x4000_0000);
+        asid.map_page(vba.as_virt(), Pte::fte(Lba::from_block(7), DEV, false));
+        dev.iommu().lock().register(P, asid.root_frame());
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(q, Command::write(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(matches!(st, NvmeStatus::TranslationFault(_)));
+    }
+
+    #[test]
+    fn multi_extent_vba_read_concatenates_in_dma_order() {
+        // Two non-contiguous blocks must land in the DMA buffer in VBA
+        // order, not LBA order.
+        let (mem, dev) = setup();
+        let mut asid = AddressSpace::new(&mem);
+        let vba = Vba(0x4000_0000);
+        asid.map_page(vba.as_virt(), Pte::fte(Lba::from_block(500), DEV, true));
+        asid.map_page(
+            vba.as_virt().offset(PAGE_SIZE),
+            Pte::fte(Lba::from_block(100), DEV, true),
+        );
+        dev.iommu().lock().register(P, asid.root_frame());
+        dev.write_raw(Lba::from_block(500), &[0xAA; 4096]);
+        dev.write_raw(Lba::from_block(100), &[0xBB; 4096]);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 8192);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 16, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        let mut out = [0u8; 8192];
+        dma.read(0, &mut out);
+        assert!(out[..4096].iter().all(|&b| b == 0xAA));
+        assert!(out[4096..].iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn queue_depth_enforced_and_reap_frees() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 1);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let cid = dev
+            .submit(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO)
+            .unwrap();
+        let err = dev
+            .submit(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        let ready = dev.ready_time(q, cid).unwrap();
+        assert!(dev.reap_at(q, cid, ready).is_some());
+        assert!(dev
+            .submit(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), ready)
+            .is_ok());
+    }
+
+    #[test]
+    fn flush_completes_after_writes() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        dma.write(0, &[2; 4096]);
+        let (_, w) = dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        let (st, f) = dev.execute(q, Command::flush(), Nanos(1));
+        assert!(st.is_ok());
+        assert!(f > w);
+    }
+
+    #[test]
+    fn out_of_range_lba_rejected() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let cap = dev.capacity_sectors();
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(cap)), 8, &dma), Nanos::ZERO);
+        assert_eq!(st, NvmeStatus::LbaOutOfRange);
+    }
+
+    #[test]
+    fn write_zeroes_clears_blocks() {
+        let (_mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        dev.write_raw(Lba::from_block(3), &[9; 4096]);
+        let (st, _) = dev.execute(
+            q,
+            Command::write_zeroes(BlockAddr::Lba(Lba::from_block(3)), 8),
+            Nanos::ZERO,
+        );
+        assert!(st.is_ok());
+        let mut out = [9u8; 4096];
+        dev.read_raw(Lba::from_block(3), &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_sector_command_invalid() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 0, &dma), Nanos::ZERO);
+        assert_eq!(st, NvmeStatus::InvalidField);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mem, dev) = setup();
+        let q = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        dev.execute(q, Command::flush(), Nanos::ZERO);
+        let s = dev.stats();
+        assert_eq!((s.reads, s.writes, s.flushes), (1, 1, 1));
+        assert_eq!(s.read_bytes, 4096);
+        assert_eq!(s.written_bytes, 4096);
+    }
+
+    #[test]
+    fn revocation_mid_stream_fails_subsequent_ios() {
+        let (mem, dev, mut asid, vba) = setup_with_mapping(1);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, t) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        // Kernel revokes: detach FTE + IOTLB invalidate.
+        asid.unmap_page(vba.as_virt());
+        dev.iommu().lock().invalidate_pasid(P);
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t);
+        assert!(matches!(st, NvmeStatus::TranslationFault(_)));
+    }
+}

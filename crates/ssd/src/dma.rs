@@ -1,0 +1,153 @@
+//! Pinned DMA buffers.
+//!
+//! UserLib (like SPDK) allocates pinned pages at initialisation and copies
+//! between user buffers and these DMA buffers (§4.2 — BypassD deliberately
+//! does not do zero-copy I/O). The buffer is a run of physical frames in
+//! simulated memory, so the device and the host genuinely exchange bytes.
+
+use bypassd_hw::mem::PhysMem;
+use bypassd_hw::types::{PhysAddr, PAGE_SIZE};
+
+/// A pinned, physically-backed DMA buffer.
+///
+/// ```rust
+/// use bypassd_hw::PhysMem;
+/// use bypassd_ssd::DmaBuffer;
+/// let mem = PhysMem::new();
+/// let buf = DmaBuffer::alloc(&mem, 8192);
+/// buf.write(0, b"hello");
+/// let mut out = [0u8; 5];
+/// buf.read(0, &mut out);
+/// assert_eq!(&out, b"hello");
+/// ```
+#[derive(Debug)]
+pub struct DmaBuffer {
+    mem: PhysMem,
+    frames: Vec<u64>,
+    len: usize,
+}
+
+impl DmaBuffer {
+    /// Allocates a pinned buffer of at least `len` bytes (rounded up to
+    /// whole pages).
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn alloc(mem: &PhysMem, len: usize) -> Self {
+        assert!(len > 0, "empty DMA buffer");
+        let pages = (len as u64).div_ceil(PAGE_SIZE);
+        let frames = (0..pages).map(|_| mem.alloc_frame()).collect();
+        DmaBuffer {
+            mem: mem.clone(),
+            frames,
+            len: (pages * PAGE_SIZE) as usize,
+        }
+    }
+
+    /// Buffer capacity in bytes (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (buffers cannot be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The backing frame numbers (what an NVMe PRP list would carry).
+    pub fn frames(&self) -> &[u64] {
+        &self.frames
+    }
+
+    fn for_each_chunk(&self, offset: usize, len: usize, mut f: impl FnMut(PhysAddr, usize, usize)) {
+        assert!(offset + len <= self.len, "DMA access out of bounds");
+        let mut done = 0usize;
+        while done < len {
+            let pos = offset + done;
+            let page = pos / PAGE_SIZE as usize;
+            let off = pos % PAGE_SIZE as usize;
+            let n = (PAGE_SIZE as usize - off).min(len - done);
+            f(
+                PhysAddr::from_frame(self.frames[page], off as u64),
+                done,
+                n,
+            );
+            done += n;
+        }
+    }
+
+    /// Copies `data` into the buffer at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the buffer.
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        self.for_each_chunk(offset, data.len(), |pa, done, n| {
+            self.mem.write(pa, &data[done..done + n]);
+        });
+    }
+
+    /// Copies from the buffer at `offset` into `out`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the buffer.
+    pub fn read(&self, offset: usize, out: &mut [u8]) {
+        let mut staged = vec![0u8; out.len()];
+        self.for_each_chunk(offset, out.len(), |pa, done, n| {
+            self.mem.read(pa, &mut staged[done..done + n]);
+        });
+        out.copy_from_slice(&staged);
+    }
+}
+
+impl Drop for DmaBuffer {
+    fn drop(&mut self) {
+        for f in &self.frames {
+            self.mem.free_frame(*f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_pages() {
+        let mem = PhysMem::new();
+        let buf = DmaBuffer::alloc(&mem, 100);
+        assert_eq!(buf.len(), PAGE_SIZE as usize);
+        assert_eq!(buf.frames().len(), 1);
+        let buf2 = DmaBuffer::alloc(&mem, PAGE_SIZE as usize + 1);
+        assert_eq!(buf2.frames().len(), 2);
+    }
+
+    #[test]
+    fn cross_page_roundtrip() {
+        let mem = PhysMem::new();
+        let buf = DmaBuffer::alloc(&mem, 3 * PAGE_SIZE as usize);
+        let data: Vec<u8> = (0..2 * PAGE_SIZE as usize + 100).map(|i| (i % 255) as u8).collect();
+        buf.write(500, &data);
+        let mut out = vec![0u8; data.len()];
+        buf.read(500, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn drop_frees_frames() {
+        let mem = PhysMem::new();
+        let before = mem.allocated_frames();
+        {
+            let _buf = DmaBuffer::alloc(&mem, 10 * PAGE_SIZE as usize);
+            assert_eq!(mem.allocated_frames(), before + 10);
+        }
+        assert_eq!(mem.allocated_frames(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let mem = PhysMem::new();
+        let buf = DmaBuffer::alloc(&mem, 512);
+        buf.write(PAGE_SIZE as usize - 1, &[0, 0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! NVMe queue pairs: submission/completion bookkeeping.
+//!
+//! A queue pair is created through the driver and — the BypassD change —
+//! bound to the owning process's PASID (§3.3), which the device attaches
+//! to every ATS translation request issued for commands on that queue.
+//! Kernel-owned queues have no PASID and may only carry LBA commands.
+
+use bypassd_hw::iommu::TranslateError;
+use bypassd_hw::types::Pasid;
+use bypassd_sim::time::Nanos;
+
+/// Identifies a queue pair on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub u32);
+
+/// NVMe completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmeStatus {
+    /// Command completed successfully.
+    Success,
+    /// VBA translation failed — surfaced to UserLib, which re-`fmap()`s
+    /// and falls back to the kernel interface (§3.6).
+    TranslationFault(TranslateError),
+    /// LBA range exceeds the namespace.
+    LbaOutOfRange,
+    /// Command malformed (e.g. VBA command on a kernel queue).
+    InvalidField,
+}
+
+impl NvmeStatus {
+    /// True on success.
+    pub fn is_ok(self) -> bool {
+        self == NvmeStatus::Success
+    }
+}
+
+/// A completion queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Command identifier this completes.
+    pub cid: u16,
+    /// Outcome.
+    pub status: NvmeStatus,
+    /// Virtual time at which the completion is visible to the host.
+    pub ready_at: Nanos,
+}
+
+/// Device-side queue pair state.
+#[derive(Debug)]
+pub(crate) struct QueuePair {
+    /// PASID bound at creation (None for kernel queues).
+    pub pasid: Option<Pasid>,
+    /// Maximum outstanding commands.
+    pub depth: usize,
+    /// Completions not yet reaped by the host.
+    pub completions: Vec<Completion>,
+    /// Commands submitted but not yet reaped.
+    pub inflight: usize,
+    next_cid: u16,
+}
+
+impl QueuePair {
+    pub(crate) fn new(pasid: Option<Pasid>, depth: usize) -> Self {
+        QueuePair {
+            pasid,
+            depth,
+            completions: Vec::new(),
+            inflight: 0,
+            next_cid: 0,
+        }
+    }
+
+    /// Claims a submission slot, returning the command id, or `None` when
+    /// the queue is full.
+    pub(crate) fn claim(&mut self) -> Option<u16> {
+        if self.inflight >= self.depth {
+            return None;
+        }
+        self.inflight += 1;
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        Some(cid)
+    }
+
+    /// Posts a completion.
+    pub(crate) fn post(&mut self, completion: Completion) {
+        self.completions.push(completion);
+    }
+
+    /// Ready time of command `cid`, if it has been posted.
+    pub(crate) fn ready_time(&self, cid: u16) -> Option<Nanos> {
+        self.completions
+            .iter()
+            .find(|c| c.cid == cid)
+            .map(|c| c.ready_at)
+    }
+
+    /// Reaps the completion for `cid` if visible at `now`.
+    pub(crate) fn reap(&mut self, cid: u16, now: Nanos) -> Option<Completion> {
+        let idx = self
+            .completions
+            .iter()
+            .position(|c| c.cid == cid && c.ready_at <= now)?;
+        self.inflight -= 1;
+        Some(self.completions.swap_remove(idx))
+    }
+
+    /// Reaps up to `max` completions visible at `now`, earliest first.
+    pub(crate) fn reap_ready(&mut self, now: Nanos, max: usize) -> Vec<Completion> {
+        let mut ready: Vec<Completion> = self
+            .completions
+            .iter()
+            .copied()
+            .filter(|c| c.ready_at <= now)
+            .collect();
+        ready.sort_by_key(|c| (c.ready_at, c.cid));
+        ready.truncate(max);
+        for c in &ready {
+            let idx = self.completions.iter().position(|x| x.cid == c.cid).unwrap();
+            self.completions.swap_remove(idx);
+            self.inflight -= 1;
+        }
+        ready
+    }
+
+    /// Earliest pending completion time, if any.
+    pub(crate) fn next_ready_time(&self) -> Option<Nanos> {
+        self.completions.iter().map(|c| c.ready_at).min()
+    }
+
+    /// Latest pending completion time, if any (used by flush).
+    pub(crate) fn last_ready_time(&self) -> Option<Nanos> {
+        self.completions.iter().map(|c| c.ready_at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_respects_depth() {
+        let mut q = QueuePair::new(None, 2);
+        assert!(q.claim().is_some());
+        assert!(q.claim().is_some());
+        assert!(q.claim().is_none(), "depth-2 queue accepted a third command");
+    }
+
+    #[test]
+    fn reap_only_when_ready() {
+        let mut q = QueuePair::new(None, 4);
+        let cid = q.claim().unwrap();
+        q.post(Completion {
+            cid,
+            status: NvmeStatus::Success,
+            ready_at: Nanos(100),
+        });
+        assert!(q.reap(cid, Nanos(50)).is_none());
+        let c = q.reap(cid, Nanos(100)).unwrap();
+        assert!(c.status.is_ok());
+        assert_eq!(q.inflight, 0);
+    }
+
+    #[test]
+    fn reap_frees_slot() {
+        let mut q = QueuePair::new(None, 1);
+        let cid = q.claim().unwrap();
+        assert!(q.claim().is_none());
+        q.post(Completion {
+            cid,
+            status: NvmeStatus::Success,
+            ready_at: Nanos(10),
+        });
+        q.reap(cid, Nanos(10)).unwrap();
+        assert!(q.claim().is_some());
+    }
+
+    #[test]
+    fn reap_ready_orders_by_time() {
+        let mut q = QueuePair::new(None, 8);
+        let a = q.claim().unwrap();
+        let b = q.claim().unwrap();
+        let c = q.claim().unwrap();
+        q.post(Completion { cid: b, status: NvmeStatus::Success, ready_at: Nanos(5) });
+        q.post(Completion { cid: a, status: NvmeStatus::Success, ready_at: Nanos(20) });
+        q.post(Completion { cid: c, status: NvmeStatus::Success, ready_at: Nanos(10) });
+        let got = q.reap_ready(Nanos(15), 8);
+        assert_eq!(got.iter().map(|x| x.cid).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(q.inflight, 1);
+        assert_eq!(q.next_ready_time(), Some(Nanos(20)));
+    }
+
+    #[test]
+    fn cid_wraps() {
+        let mut q = QueuePair::new(None, usize::MAX);
+        q.next_cid = u16::MAX;
+        let a = q.claim().unwrap();
+        let b = q.claim().unwrap();
+        assert_eq!(a, u16::MAX);
+        assert_eq!(b, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Sparse sector store: the device's persistent media.
+//!
+//! Data is stored in 4 KB chunks keyed by device block; blocks that were
+//! never written read back as zeroes without allocating memory, which is
+//! what lets large simulated datasets stay affordable.
+
+use bypassd_hw::types::{Lba, PAGE_SIZE, SECTORS_PER_PAGE, SECTOR_SIZE};
+use std::collections::HashMap;
+
+/// The device media: a sparse map of 4 KB blocks.
+#[derive(Default)]
+pub struct SectorStore {
+    blocks: HashMap<u64, Box<[u8]>>,
+    capacity_sectors: u64,
+}
+
+impl SectorStore {
+    /// Creates a store with the given capacity in 512 B sectors.
+    pub fn new(capacity_sectors: u64) -> Self {
+        SectorStore {
+            blocks: HashMap::new(),
+            capacity_sectors,
+        }
+    }
+
+    /// Capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    /// True if the range `[lba, lba+sectors)` is within the device.
+    pub fn in_range(&self, lba: Lba, sectors: u64) -> bool {
+        sectors > 0 && lba.0.checked_add(sectors).is_some_and(|end| end <= self.capacity_sectors)
+    }
+
+    /// Reads `buf.len()` bytes starting at sector `lba`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or `buf` is not
+    /// sector-multiple sized.
+    pub fn read(&self, lba: Lba, buf: &mut [u8]) {
+        assert!((buf.len() as u64).is_multiple_of(SECTOR_SIZE), "unaligned read size");
+        assert!(
+            self.in_range(lba, buf.len() as u64 / SECTOR_SIZE),
+            "read out of device range"
+        );
+        let mut done = 0usize;
+        let mut pos = lba.byte_offset();
+        while done < buf.len() {
+            let block = pos / PAGE_SIZE;
+            let off = (pos % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - done);
+            match self.blocks.get(&block) {
+                Some(data) => buf[done..done + n].copy_from_slice(&data[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Writes `data` starting at sector `lba`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or `data` is not
+    /// sector-multiple sized.
+    pub fn write(&mut self, lba: Lba, data: &[u8]) {
+        assert!((data.len() as u64).is_multiple_of(SECTOR_SIZE), "unaligned write size");
+        assert!(
+            self.in_range(lba, data.len() as u64 / SECTOR_SIZE),
+            "write out of device range"
+        );
+        let mut done = 0usize;
+        let mut pos = lba.byte_offset();
+        while done < data.len() {
+            let block = pos / PAGE_SIZE;
+            let off = (pos % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(data.len() - done);
+            let chunk = self
+                .blocks
+                .entry(block)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            chunk[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Writes zeroes over `[lba, lba+sectors)`, dropping whole blocks from
+    /// the map when possible (keeps the store sparse).
+    pub fn write_zeroes(&mut self, lba: Lba, sectors: u64) {
+        assert!(self.in_range(lba, sectors), "zero out of device range");
+        let mut remaining = sectors;
+        let mut cur = lba;
+        while remaining > 0 {
+            let block = cur.block();
+            let off_sectors = cur.0 % SECTORS_PER_PAGE;
+            let n = (SECTORS_PER_PAGE - off_sectors).min(remaining);
+            if n == SECTORS_PER_PAGE {
+                self.blocks.remove(&block);
+            } else if let Some(chunk) = self.blocks.get_mut(&block) {
+                let start = (off_sectors * SECTOR_SIZE) as usize;
+                let len = (n * SECTOR_SIZE) as usize;
+                chunk[start..start + len].fill(0);
+            }
+            cur = cur.advance(n);
+            remaining -= n;
+        }
+    }
+
+    /// Number of materialised 4 KB blocks (memory accounting).
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl std::fmt::Debug for SectorStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectorStore")
+            .field("capacity_sectors", &self.capacity_sectors)
+            .field("resident_blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SectorStore {
+        SectorStore::new(1 << 20) // 512 MB
+    }
+
+    #[test]
+    fn unwritten_reads_zero_without_allocating() {
+        let s = store();
+        let mut buf = [0xAAu8; 1024];
+        s.read(Lba(100), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_aligned() {
+        let mut s = store();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        s.write(Lba::from_block(3), &data);
+        let mut buf = vec![0u8; 4096];
+        s.read(Lba::from_block(3), &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn sector_granular_write_within_block() {
+        let mut s = store();
+        s.write(Lba(10), &[7u8; 512]);
+        let mut buf = vec![0u8; 4096];
+        s.read(Lba::from_block(1), &mut buf); // sectors 8..16
+        assert!(buf[..1024].iter().all(|&b| b == 0));
+        assert!(buf[1024..1536].iter().all(|&b| b == 7));
+        assert!(buf[1536..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cross_block_write() {
+        let mut s = store();
+        let data = vec![9u8; 8192 + 512];
+        s.write(Lba(6), &data); // starts mid-block, spans 3 blocks
+        let mut buf = vec![0u8; 8192 + 512];
+        s.read(Lba(6), &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(s.resident_blocks(), 3);
+    }
+
+    #[test]
+    fn write_zeroes_frees_whole_blocks() {
+        let mut s = store();
+        s.write(Lba::from_block(5), &[1u8; 8192]); // blocks 5,6
+        assert_eq!(s.resident_blocks(), 2);
+        s.write_zeroes(Lba::from_block(5), 8);
+        assert_eq!(s.resident_blocks(), 1);
+        let mut buf = [1u8; 4096];
+        s.read(Lba::from_block(5), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_zeroes_partial_block() {
+        let mut s = store();
+        s.write(Lba::from_block(2), &[3u8; 4096]);
+        s.write_zeroes(Lba::from_block(2).advance(2), 2); // sectors 2,3
+        let mut buf = [0u8; 4096];
+        s.read(Lba::from_block(2), &mut buf);
+        assert!(buf[..1024].iter().all(|&b| b == 3));
+        assert!(buf[1024..2048].iter().all(|&b| b == 0));
+        assert!(buf[2048..].iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn in_range_checks() {
+        let s = SectorStore::new(100);
+        assert!(s.in_range(Lba(0), 100));
+        assert!(!s.in_range(Lba(0), 101));
+        assert!(!s.in_range(Lba(100), 1));
+        assert!(!s.in_range(Lba(0), 0));
+        assert!(!s.in_range(Lba(u64::MAX), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of device range")]
+    fn out_of_range_write_panics() {
+        let mut s = SectorStore::new(8);
+        s.write(Lba(8), &[0u8; 512]);
+    }
+}

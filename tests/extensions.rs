@@ -1,0 +1,291 @@
+//! Tests for the §5 enhancement features: non-blocking writes (§5.1)
+//! and container mount namespaces (§5.2).
+
+use std::sync::Arc;
+
+use bypassd::{System, UserProcess};
+use bypassd_os::Errno;
+use bypassd_sim::time::Nanos;
+use bypassd_sim::Simulation;
+use parking_lot::Mutex;
+
+fn system() -> System {
+    System::builder().capacity(2 << 30).build()
+}
+
+fn run<T: Send + 'static>(
+    sys: &System,
+    f: impl FnOnce(&mut bypassd_sim::ActorCtx, &System) -> T + Send + 'static,
+) -> T {
+    let sim = Simulation::new();
+    let out = Arc::new(Mutex::new(None));
+    let o2 = Arc::clone(&out);
+    let s2 = sys.clone();
+    sim.spawn("t", move |ctx| {
+        *o2.lock() = Some(f(ctx, &s2));
+    });
+    sim.run();
+    let mut g = out.lock();
+    g.take().unwrap()
+}
+
+// ---- non-blocking writes (§5.1) ----
+
+#[test]
+fn async_write_returns_before_device_completion() {
+    let sys = system();
+    sys.fs().populate("/nb", 1 << 20, 0).unwrap();
+    let (sync_t, async_t) = run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/nb", true).unwrap();
+        let data = vec![1u8; 4096];
+        let t0 = ctx.now();
+        t.pwrite(ctx, fd, &data, 0).unwrap();
+        let sync_t = ctx.now() - t0;
+        let t1 = ctx.now();
+        t.pwrite_async(ctx, fd, &data, 4096).unwrap();
+        let async_t = ctx.now() - t1;
+        assert_eq!(t.pending_write_count(fd), 1);
+        t.flush_writes(ctx, fd).unwrap();
+        assert_eq!(t.pending_write_count(fd), 0);
+        (sync_t, async_t)
+    });
+    // Sync pays the ~4.4µs device write; async returns after submit+copy.
+    assert!(
+        async_t < sync_t / 3,
+        "async write ({async_t}) should not wait for the device (sync {sync_t})"
+    );
+    assert!(async_t < Nanos(2_000), "async write took {async_t}");
+}
+
+#[test]
+fn read_after_async_write_sees_new_data() {
+    let sys = system();
+    sys.fs().populate("/raw", 64 * 1024, 0x11).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/raw", true).unwrap();
+        t.pwrite_async(ctx, fd, &vec![0xEEu8; 4096], 8192).unwrap();
+        // Immediately read back — before the device confirmed the write.
+        let mut buf = vec![0u8; 4096];
+        t.pread(ctx, fd, &mut buf, 8192).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == 0xEE),
+            "read-after-write must see unconfirmed data (§5.1)"
+        );
+        // Partial overlap too.
+        let mut buf2 = vec![0u8; 8192];
+        t.pread(ctx, fd, &mut buf2, 4096).unwrap();
+        assert!(buf2[..4096].iter().all(|&b| b == 0x11));
+        assert!(buf2[4096..].iter().all(|&b| b == 0xEE));
+    });
+}
+
+#[test]
+fn async_writes_durable_after_fsync() {
+    let sys = system();
+    sys.fs().populate("/dur", 256 * 1024, 0).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/dur", true).unwrap();
+        for i in 0..16u64 {
+            t.pwrite_async(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096).unwrap();
+        }
+        t.fsync(ctx, fd).unwrap();
+        assert_eq!(t.pending_write_count(fd), 0);
+        // Verify on the raw device (durability, not just the overlay).
+        let ino = sys.fs().lookup("/dur").unwrap();
+        let (segs, _) = sys.fs().resolve(ino, 0, 16 * 4096).unwrap();
+        let mut pos = 0u64;
+        let mut buf = vec![0u8; 4096];
+        for (lba, len) in segs {
+            let mut cur = lba.unwrap();
+            let mut left = len;
+            while left > 0 {
+                sys.device().read_raw(cur, &mut buf);
+                let want = (pos / 4096 + 1) as u8;
+                assert!(buf.iter().all(|&b| b == want), "block {} not durable", pos / 4096);
+                cur = bypassd_hw::types::Lba(cur.0 + 8);
+                pos += 4096;
+                left -= 4096;
+            }
+        }
+    });
+}
+
+#[test]
+fn overlapping_async_writes_serialise() {
+    let sys = system();
+    sys.fs().populate("/ser", 64 * 1024, 0).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/ser", true).unwrap();
+        // Two overlapping async writes: the second must wait for (flush)
+        // the first, so the final content is the second write's.
+        t.pwrite_async(ctx, fd, &vec![0xAAu8; 8192], 0).unwrap();
+        t.pwrite_async(ctx, fd, &vec![0xBBu8; 4096], 4096).unwrap();
+        t.flush_writes(ctx, fd).unwrap();
+        let mut buf = vec![0u8; 8192];
+        t.pread(ctx, fd, &mut buf, 0).unwrap();
+        assert!(buf[..4096].iter().all(|&b| b == 0xAA));
+        assert!(buf[4096..].iter().all(|&b| b == 0xBB));
+    });
+}
+
+#[test]
+fn async_write_throughput_beats_sync() {
+    let sys = system();
+    sys.fs().populate("/tp", 4 << 20, 0).unwrap();
+    let (sync_total, async_total) = run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/tp", true).unwrap();
+        let data = vec![3u8; 4096];
+        let t0 = ctx.now();
+        for i in 0..64u64 {
+            t.pwrite(ctx, fd, &data, i * 4096).unwrap();
+        }
+        let sync_total = ctx.now() - t0;
+        let t1 = ctx.now();
+        for i in 64..128u64 {
+            t.pwrite_async(ctx, fd, &data, i * 4096).unwrap();
+        }
+        t.flush_writes(ctx, fd).unwrap();
+        let async_total = ctx.now() - t1;
+        (sync_total, async_total)
+    });
+    assert!(
+        async_total < sync_total * 2 / 3,
+        "async batch ({async_total}) should overlap device time (sync {sync_total})"
+    );
+}
+
+#[test]
+fn async_write_falls_back_for_appends_and_unaligned() {
+    let sys = system();
+    sys.fs().populate("/fb", 8192, 0).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/fb", true).unwrap();
+        // Append: falls back to the kernel path but still succeeds.
+        assert_eq!(t.pwrite_async(ctx, fd, &vec![5u8; 4096], 8192).unwrap(), 4096);
+        assert_eq!(t.size(fd).unwrap(), 12288);
+        // Unaligned: routed through the serialised RMW path.
+        assert_eq!(t.pwrite_async(ctx, fd, &[9u8; 100], 50).unwrap(), 100);
+        let mut buf = vec![0u8; 512];
+        t.pread(ctx, fd, &mut buf, 0).unwrap();
+        assert!(buf[50..150].iter().all(|&b| b == 9));
+        assert_eq!(t.pending_write_count(fd), 0, "fallbacks must not pend");
+    });
+}
+
+// ---- containers (§5.2) ----
+
+#[test]
+fn containers_get_isolated_namespaces() {
+    let sys = system();
+    let fs = sys.fs();
+    fs.mkdir("/ctr-a", 0o777, 0, 0).unwrap();
+    fs.mkdir("/ctr-b", 0o777, 0, 0).unwrap();
+    fs.populate("/host-secret.dat", 4096, 0x51).unwrap();
+    run(&sys, |ctx, sys| {
+        let a = UserProcess::start_in(sys, 1000, 1000, "/ctr-a").unwrap();
+        let b = UserProcess::start_in(sys, 1000, 1000, "/ctr-b").unwrap();
+        let mut ta = a.thread();
+        let mut tb = b.thread();
+        // Same path, different namespaces → different files.
+        let fa = ta.open_with(ctx, "/data.db", true, true).unwrap();
+        let fb = tb.open_with(ctx, "/data.db", true, true).unwrap();
+        ta.pwrite(ctx, fa, &vec![0xAA; 4096], 0).unwrap();
+        tb.pwrite(ctx, fb, &vec![0xBB; 4096], 0).unwrap();
+        let mut buf = vec![0u8; 4096];
+        ta.pread(ctx, fa, &mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xAA), "container A sees B's data");
+        tb.pread(ctx, fb, &mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xBB), "container B sees A's data");
+        // The host sees them at their real paths.
+        assert!(sys.fs().lookup("/ctr-a/data.db").is_ok());
+        assert!(sys.fs().lookup("/ctr-b/data.db").is_ok());
+        // A container cannot name host files…
+        assert_eq!(
+            ta.open(ctx, "/host-secret.dat", false).unwrap_err(),
+            Errno::NoEnt
+        );
+        // …and cannot escape with dot-dot (rejected as invalid).
+        assert_eq!(
+            ta.open(ctx, "/../host-secret.dat", false).unwrap_err(),
+            Errno::Inval
+        );
+    });
+}
+
+#[test]
+fn bypassd_direct_path_works_inside_container() {
+    // §5.2: "BypassD works readily with containers" — direct I/O, not
+    // fallback, from a namespaced process.
+    let sys = system();
+    sys.fs().mkdir("/ctr", 0o777, 0, 0).unwrap();
+    sys.fs().populate("/ctr/file", 1 << 20, 0x42).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start_in(sys, 1000, 1000, "/ctr").unwrap();
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/file", false).unwrap();
+        let mut buf = vec![0u8; 4096];
+        t.pread(ctx, fd, &mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x42));
+        let (direct, fallback) = proc.op_counts();
+        assert_eq!((direct, fallback), (1, 0), "container I/O must be direct");
+    });
+}
+
+#[test]
+fn two_containers_share_the_device_fairly() {
+    let sys = system();
+    sys.fs().mkdir("/c1", 0o777, 0, 0).unwrap();
+    sys.fs().mkdir("/c2", 0o777, 0, 0).unwrap();
+    sys.fs().populate("/c1/f", 16 << 20, 1).unwrap();
+    sys.fs().populate("/c2/f", 16 << 20, 2).unwrap();
+    let counts: Arc<Mutex<Vec<(String, Nanos)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sim = Simulation::new();
+    for root in ["/c1", "/c2"] {
+        let sys2 = sys.clone();
+        let c2 = Arc::clone(&counts);
+        sim.spawn(root, move |ctx| {
+            let proc = UserProcess::start_in(&sys2, 1000, 1000, root).unwrap();
+            let mut t = proc.thread();
+            let fd = t.open(ctx, "/f", false).unwrap();
+            let mut buf = vec![0u8; 4096];
+            let t0 = ctx.now();
+            let mut rng = bypassd_sim::rng::Rng::new(root.len() as u64);
+            for _ in 0..200 {
+                let off = rng.gen_range(4000) * 4096;
+                t.pread(ctx, fd, &mut buf, off).unwrap();
+            }
+            c2.lock().push((root.to_string(), ctx.now() - t0));
+        });
+    }
+    sim.run();
+    let counts = counts.lock();
+    let a = counts[0].1.as_nanos() as f64;
+    let b = counts[1].1.as_nanos() as f64;
+    assert!(
+        (a / b - 1.0).abs() < 0.2,
+        "containers should share fairly: {a} vs {b}"
+    );
+}
+
+#[test]
+fn container_root_must_be_a_directory() {
+    let sys = system();
+    sys.fs().populate("/notadir", 4096, 0).unwrap();
+    assert!(UserProcess::start_in(&sys, 0, 0, "/missing").is_err());
+    assert_eq!(
+        UserProcess::start_in(&sys, 0, 0, "/notadir").unwrap_err(),
+        Errno::NotDir
+    );
+}

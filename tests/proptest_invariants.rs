@@ -1,0 +1,197 @@
+//! Property-based tests of the core data structures' invariants.
+
+use proptest::prelude::*;
+
+use bypassd_ext4::alloc::BlockAllocator;
+use bypassd_ext4::extent::ExtentTree;
+use bypassd_ext4::layout::{DiskInode, Extent, Superblock, BLOCK_SIZE, SB_MAGIC};
+use bypassd_hw::pte::Pte;
+use bypassd_hw::types::{DevId, Lba, SECTORS_PER_PAGE};
+use bypassd_sim::rng::{Rng, Zipfian};
+use bypassd_sim::stats::Histogram;
+use bypassd_sim::time::Nanos;
+use bypassd_ssd::store::SectorStore;
+
+proptest! {
+    /// FTE encode/decode roundtrips for every LBA/DevID/permission combo.
+    #[test]
+    fn fte_roundtrip(block in 0u64..(1 << 36), dev in 0u16..1024, writable: bool) {
+        let lba = Lba(block * SECTORS_PER_PAGE);
+        let e = Pte::fte(lba, DevId(dev), writable);
+        prop_assert!(e.present());
+        prop_assert!(e.is_fte());
+        prop_assert_eq!(e.lba(), lba);
+        prop_assert_eq!(e.dev_id(), DevId(dev));
+        prop_assert_eq!(e.writable(), writable);
+    }
+
+    /// The sector store behaves like a flat byte array.
+    #[test]
+    fn sector_store_matches_model(
+        ops in prop::collection::vec(
+            (0u64..64, 1usize..8, 0u8..255),
+            1..40
+        )
+    ) {
+        let mut store = SectorStore::new(1024);
+        let mut model = vec![0u8; 1024 * 512];
+        for (sector, nsec, val) in ops {
+            let n = nsec.min((1024 - sector as usize).max(1));
+            let data = vec![val; n * 512];
+            store.write(Lba(sector), &data);
+            let s = sector as usize * 512;
+            model[s..s + n * 512].copy_from_slice(&data);
+            // Random verification read.
+            let mut buf = vec![0u8; n * 512];
+            store.read(Lba(sector), &mut buf);
+            prop_assert_eq!(&buf, &model[s..s + n * 512]);
+        }
+    }
+
+    /// The allocator never double-allocates and conserves free counts.
+    #[test]
+    fn allocator_conserves_blocks(
+        ops in prop::collection::vec((1u64..128, any::<bool>()), 1..60)
+    ) {
+        let mut a = BlockAllocator::new(4096, 64);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let total_free = a.free_blocks();
+        for (want, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (s, l) = live.swap_remove(0);
+                a.free_run(s, l);
+            } else if let Some(run) = a.alloc(want) {
+                // No overlap with any live run.
+                for (s, l) in &live {
+                    prop_assert!(
+                        run.start + run.len <= *s || s + l <= run.start,
+                        "overlap: [{}, {}) vs [{}, {})", run.start, run.len, s, l
+                    );
+                }
+                live.push((run.start, run.len));
+            }
+            let live_total: u64 = live.iter().map(|(_, l)| l).sum();
+            prop_assert_eq!(a.free_blocks() + live_total, total_free);
+        }
+    }
+
+    /// Extent trees resolve exactly like a naive block map.
+    #[test]
+    fn extent_tree_matches_block_map(
+        runs in prop::collection::vec((0u64..64u64, 1u32..8), 1..12)
+    ) {
+        let mut tree = ExtentTree::new();
+        let mut map = std::collections::HashMap::new();
+        let mut next_pb = 1000u64;
+        for (fb, len) in runs {
+            // Skip overlapping inserts (the FS never produces them).
+            if (fb..fb + len as u64).any(|b| map.contains_key(&b)) {
+                continue;
+            }
+            tree.insert(Extent { file_block: fb, start_block: next_pb, len });
+            for i in 0..len as u64 {
+                map.insert(fb + i, next_pb + i);
+            }
+            next_pb += len as u64 + 3; // gap: avoid accidental merging
+        }
+        for fb in 0..80u64 {
+            let expect = map.get(&fb).map(|pb| Lba::from_block(*pb));
+            prop_assert_eq!(tree.lba_of(fb), expect, "file block {}", fb);
+        }
+    }
+
+    /// Truncate frees exactly the blocks past the cut.
+    #[test]
+    fn extent_truncate_frees_the_tail(cut in 0u64..100) {
+        let mut tree = ExtentTree::new();
+        tree.insert(Extent { file_block: 0, start_block: 500, len: 50 });
+        tree.insert(Extent { file_block: 60, start_block: 900, len: 40 });
+        let before: u64 = tree.iter().map(|e| e.len as u64).sum();
+        let freed: u64 = tree.truncate(cut).iter().map(|(_, l)| l).sum();
+        let after: u64 = tree.iter().map(|e| e.len as u64).sum();
+        prop_assert_eq!(before, after + freed);
+        prop_assert!(tree.end_block() <= cut || after == 0 || tree.end_block() <= cut);
+        for fb in cut..110 {
+            prop_assert_eq!(tree.lba_of(fb), None);
+        }
+    }
+
+    /// Histogram percentiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(
+        values in prop::collection::vec(1u64..10_000_000, 1..200)
+    ) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(Nanos(*v));
+        }
+        let quantiles = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let mut last = Nanos::ZERO;
+        for q in quantiles {
+            let p = h.percentile(q);
+            prop_assert!(p >= last, "percentile not monotone at {}", q);
+            prop_assert!(p >= h.min() && p <= h.max());
+            last = p;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Zipfian samples stay in range for arbitrary sizes and seeds.
+    #[test]
+    fn zipfian_in_range(n in 1u64..5_000_000, seed: u64) {
+        let z = Zipfian::new(n, 0.99);
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.next(&mut rng) < n);
+        }
+    }
+
+    /// On-disk inode serialisation roundtrips.
+    #[test]
+    fn inode_roundtrip(
+        mode in any::<u16>(),
+        uid in any::<u32>(),
+        size in any::<u64>(),
+        n_ext in 0usize..8
+    ) {
+        let mut ino = DiskInode::new(mode, uid, uid ^ 7);
+        ino.size = size;
+        for i in 0..n_ext {
+            ino.inline.push(Extent {
+                file_block: i as u64 * 100,
+                start_block: 5000 + i as u64,
+                len: 10,
+            });
+        }
+        let enc = ino.encode();
+        prop_assert_eq!(DiskInode::decode(&enc), ino);
+    }
+
+    /// Superblock roundtrips for arbitrary geometry.
+    #[test]
+    fn superblock_roundtrip(blocks in 1u64..1 << 40, max_ino in 0u64..1 << 30) {
+        let sb = Superblock {
+            magic: SB_MAGIC,
+            blocks,
+            journal_start: 1,
+            journal_blocks: 1024,
+            bitmap_start: 1025,
+            bitmap_blocks: blocks.div_ceil(8 * BLOCK_SIZE),
+            itable_start: 2000,
+            itable_blocks: 1024,
+            data_start: 3024,
+            max_ino,
+        };
+        prop_assert_eq!(Superblock::decode(&sb.encode()), Some(sb));
+    }
+
+    /// The deterministic RNG's range reduction is uniform-ish and in
+    /// bounds for any bound.
+    #[test]
+    fn rng_gen_range_in_bounds(seed: u64, bound in 1u64..u64::MAX) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}
