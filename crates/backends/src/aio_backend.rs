@@ -77,7 +77,13 @@ impl StorageBackend for LibaioBackend {
         self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
     }
 
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.ensure_ctx(ctx);
         let aio = self.aio.as_ref().unwrap();
         self.kernel.io_submit(
@@ -97,7 +103,13 @@ impl StorageBackend for LibaioBackend {
         Ok(ev.len)
     }
 
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.ensure_ctx(ctx);
         let aio = self.aio.as_ref().unwrap();
         self.kernel.io_submit(

@@ -55,11 +55,23 @@ impl StorageBackend for BypassdBackend {
         self.thread.open(ctx, path, writable)
     }
 
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.thread.pread(ctx, h, buf, offset)
     }
 
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.thread.pwrite(ctx, h, data, offset)
     }
 

@@ -39,7 +39,12 @@ use std::sync::Arc;
 
 /// Builds a factory for `kind` over `system`, as user `uid`/`gid`.
 /// Each factory models one *process*; call it once per simulated process.
-pub fn make_factory(kind: BackendKind, system: &System, uid: u32, gid: u32) -> Arc<dyn BackendFactory> {
+pub fn make_factory(
+    kind: BackendKind,
+    system: &System,
+    uid: u32,
+    gid: u32,
+) -> Arc<dyn BackendFactory> {
     match kind {
         BackendKind::Sync => Arc::new(SyncFactory::new(system, uid, gid)),
         BackendKind::Libaio => Arc::new(LibaioFactory::new(system, uid, gid, 1)),

@@ -138,10 +138,18 @@ impl SpdkBackend {
     ///
     /// # Errors
     /// `Inval` if out of range.
-    pub fn read_lba(&mut self, ctx: &mut ActorCtx, lba: Lba, sectors: u32, out: &mut [u8]) -> SysResult<()> {
-        let (st, ready) = self
-            .dev
-            .execute(self.qid, Command::read(BlockAddr::Lba(lba), sectors, &self.dma), ctx.now());
+    pub fn read_lba(
+        &mut self,
+        ctx: &mut ActorCtx,
+        lba: Lba,
+        sectors: u32,
+        out: &mut [u8],
+    ) -> SysResult<()> {
+        let (st, ready) = self.dev.execute(
+            self.qid,
+            Command::read(BlockAddr::Lba(lba), sectors, &self.dma),
+            ctx.now(),
+        );
         if !st.is_ok() {
             return Err(Errno::Inval);
         }
@@ -217,11 +225,23 @@ impl StorageBackend for SpdkBackend {
         }
         let h = self.next_handle;
         self.next_handle += 1;
-        self.files.insert(h, SpdkFile { extents, size: aligned });
+        self.files.insert(
+            h,
+            SpdkFile {
+                extents,
+                size: aligned,
+            },
+        );
         Ok(h)
     }
 
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         let len = buf.len() as u64;
         self.io(ctx, h, offset, len, false)?;
         ctx.delay(self.system.kernel().cost().user_copy(len));
@@ -229,7 +249,13 @@ impl StorageBackend for SpdkBackend {
         Ok(buf.len())
     }
 
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         ctx.delay(self.system.kernel().cost().user_copy(data.len() as u64));
         self.dma.write(0, data);
         self.io(ctx, h, offset, data.len() as u64, true)?;

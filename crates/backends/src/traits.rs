@@ -73,15 +73,25 @@ pub trait StorageBackend: Send {
     ///
     /// # Errors
     /// Backend-path errors.
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64)
-        -> SysResult<usize>;
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize>;
 
     /// Positional write.
     ///
     /// # Errors
     /// Backend-path errors.
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64)
-        -> SysResult<usize>;
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize>;
 
     /// Durability barrier.
     ///

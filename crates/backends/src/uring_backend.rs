@@ -69,16 +69,29 @@ impl StorageBackend for UringBackend {
         self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
     }
 
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.ensure_ring(ctx);
         let ring = self.ring.as_ref().unwrap();
         self.kernel.uring_read(ctx, self.pid, ring, h, buf, offset)
     }
 
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.ensure_ring(ctx);
         let ring = self.ring.as_ref().unwrap();
-        self.kernel.uring_write(ctx, self.pid, ring, h, data, offset)
+        self.kernel
+            .uring_write(ctx, self.pid, ring, h, data, offset)
     }
 
     fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {

@@ -57,11 +57,23 @@ impl StorageBackend for XrpBackend {
         self.kernel.sys_open(ctx, self.pid, path, flags, 0o644)
     }
 
-    fn pread(&mut self, ctx: &mut ActorCtx, h: Handle, buf: &mut [u8], offset: u64) -> SysResult<usize> {
+    fn pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.kernel.sys_pread(ctx, self.pid, h, buf, offset)
     }
 
-    fn pwrite(&mut self, ctx: &mut ActorCtx, h: Handle, data: &[u8], offset: u64) -> SysResult<usize> {
+    fn pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         self.kernel.sys_pwrite(ctx, self.pid, h, data, offset)
     }
 

@@ -117,7 +117,10 @@ fn xrp_chained_read_beats_sync_loses_to_bypassd() {
     assert!(spdk < byp, "spdk {spdk} !< bypassd {byp}");
     // BypassD pays ~550ns × 7 ≈ 4µs more than SPDK (paper §6.5).
     let gap = (byp - spdk).as_micros_f64();
-    assert!((2.0..6.0).contains(&gap), "bypassd-spdk chain gap = {gap}us");
+    assert!(
+        (2.0..6.0).contains(&gap),
+        "bypassd-spdk chain gap = {gap}us"
+    );
 }
 
 #[test]
@@ -178,7 +181,8 @@ fn default_submit_poll_is_synchronous_but_correct() {
         let mut b = factory.make_thread();
         let h = b.open(ctx, "/s", false).unwrap();
         for i in 0..4u64 {
-            b.submit(ctx, h, false, i * 4096, Ok(4096), 100 + i).unwrap();
+            b.submit(ctx, h, false, i * 4096, Ok(4096), 100 + i)
+                .unwrap();
         }
         let evs = b.poll(ctx, 4).unwrap();
         assert_eq!(evs.len(), 4);

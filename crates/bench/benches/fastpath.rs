@@ -1,0 +1,178 @@
+//! Wall-clock throughput microbench for the simulator's hot paths:
+//! IOMMU VBA translation (IOTLB/PWC churn + range invalidation), NVMe
+//! completion-queue polling, and the full UserLib 4 KB random-read path.
+//!
+//! Unlike the fig*/table* benches (which validate *modeled* time), this
+//! bench measures how fast the simulator itself executes — simulated
+//! operations per wall-clock second. It writes `BENCH_fastpath.json` at
+//! the repo root with the numbers measured on this run next to the
+//! pre-optimization baseline recorded from the seed tree, so the speedup
+//! of the fast-path overhaul is tracked in-repo.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use bypassd::{System, UserProcess};
+use bypassd_hw::iommu::AccessKind;
+use bypassd_hw::page_table::AddressSpace;
+use bypassd_hw::pte::Pte;
+use bypassd_hw::types::{DevId, Lba, Pasid, Vba, PAGE_SIZE};
+use bypassd_hw::{Iommu, PhysMem};
+use bypassd_sim::rng::Rng;
+use bypassd_sim::Simulation;
+
+/// Baseline measured on the pre-overhaul tree (HashMap + `Vec` order
+/// lists with `Vec::remove(0)` eviction and full-`retain` invalidation;
+/// per-poll completion sort; mutex-per-op UserLib), same machine, same
+/// workload constants. Units: operations per wall-clock second.
+const BASELINE: [(&str, f64); 3] = [
+    ("translate_ops_per_sec", 772_421.0),
+    ("queue_polls_per_sec", 3_162_656.0),
+    ("userlib_read_iops_per_sec", 221_715.0),
+];
+
+/// Translation-heavy loop: FTE caching on (ablation), working set twice
+/// the IOTLB capacity so every miss inserts-with-eviction, plus a
+/// periodic range invalidation — the three paths that were O(n) before
+/// the LRU rewrite.
+fn bench_translate() -> f64 {
+    const PAGES: u64 = 32_768; // 8x the 4096-entry IOTLB: heavy eviction churn
+    const OPS: u64 = 400_000;
+    let mem = PhysMem::new();
+    let mut asid = AddressSpace::new(&mem);
+    let vba = Vba(0x4000_0000);
+    for i in 0..PAGES {
+        asid.map_page(
+            vba.as_virt().offset(i * PAGE_SIZE),
+            Pte::fte(Lba::from_block(100_000 + i), DevId(1), true),
+        );
+    }
+    let mut iommu = Iommu::new(&mem);
+    iommu.set_cache_ftes(true);
+    iommu.register(Pasid(1), asid.root_frame());
+    let mut rng = Rng::new(42);
+    // Warm the caches to steady-state churn before timing.
+    for _ in 0..PAGES {
+        let page = rng.gen_range(PAGES);
+        let _ = iommu.translate(
+            Pasid(1),
+            vba.offset(page * PAGE_SIZE),
+            PAGE_SIZE,
+            AccessKind::Read,
+            DevId(1),
+        );
+    }
+    let start = Instant::now();
+    for op in 0..OPS {
+        let page = rng.gen_range(PAGES);
+        let t = iommu.translate(
+            Pasid(1),
+            vba.offset(page * PAGE_SIZE),
+            PAGE_SIZE,
+            AccessKind::Read,
+            DevId(1),
+        );
+        assert!(t.is_ok());
+        if op % 1024 == 0 {
+            // Kernel-side shootdown of one hot 2 MB region.
+            let base = rng.gen_range(PAGES / 512) * 512;
+            iommu.invalidate_range(Pasid(1), vba.offset(base * PAGE_SIZE), 512 * PAGE_SIZE);
+        }
+    }
+    OPS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Completion-queue polling with a standing backlog: submissions keep a
+/// kernel queue ~full while a poller reaps a few completions at a time —
+/// the per-poll `sort_by_key` the heap swap removes.
+fn bench_queue_poll() -> f64 {
+    use bypassd_ssd::device::{BlockAddr, Command};
+    use bypassd_ssd::dma::DmaBuffer;
+    use bypassd_ssd::timing::MediaTiming;
+    use bypassd_ssd::NvmeDevice;
+    const DEPTH: usize = 512;
+    const POLLS: u64 = 200_000;
+    let mem = PhysMem::new();
+    let iommu = Arc::new(Mutex::new(Iommu::new(&mem)));
+    let dev = NvmeDevice::new(DevId(1), 1 << 22, MediaTiming::default(), iommu);
+    let q = dev.create_queue(None, DEPTH);
+    let dma = DmaBuffer::alloc(&mem, 4096);
+    let mut now = bypassd_sim::Nanos(0);
+    let mut inflight = 0usize;
+    let mut rng = Rng::new(7);
+    let start = Instant::now();
+    for _ in 0..POLLS {
+        while inflight < DEPTH {
+            let lba = Lba::from_block(rng.gen_range(1 << 10));
+            dev.submit(q, Command::read(BlockAddr::Lba(lba), 8, &dma), now)
+                .unwrap();
+            inflight += 1;
+        }
+        now = bypassd_sim::Nanos(now.as_nanos() + 200);
+        inflight -= dev.reap_ready(q, now, 4).len();
+    }
+    POLLS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The full simulated data path: one UserThread doing 4 KB random reads
+/// over a direct-mapped file. Reports simulated read IOPS executed per
+/// wall-clock second (simulator speed, not modeled latency).
+fn bench_userlib_iops() -> f64 {
+    const OPS: u64 = 50_000;
+    const FILE: u64 = 64 << 20;
+    let sys = System::builder().capacity(256 << 20).build();
+    sys.fs().populate("/hot", FILE, 0x5a).unwrap();
+    let start = Instant::now();
+    let sim = Simulation::new();
+    let s2 = sys.clone();
+    sim.spawn("reader", move |ctx| {
+        let proc = UserProcess::start(&s2, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/hot", false).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut rng = Rng::new(99);
+        for _ in 0..OPS {
+            let off = rng.gen_range(FILE / 4096) * 4096;
+            let n = t.pread(ctx, fd, &mut buf, off).unwrap();
+            assert_eq!(n, 4096);
+        }
+        let (direct, fallback) = proc.op_counts();
+        assert_eq!(direct, OPS);
+        assert_eq!(fallback, 0);
+    });
+    sim.run();
+    OPS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let results = [
+        ("translate_ops_per_sec", bench_translate()),
+        ("queue_polls_per_sec", bench_queue_poll()),
+        ("userlib_read_iops_per_sec", bench_userlib_iops()),
+    ];
+    let mut json = String::from("{\n  \"workload\": \"fastpath microbench: translation churn (32768-page set, FTE caching, range shootdowns), CQ polling (depth 512, reap 4), UserLib 4KB random reads\",\n  \"units\": \"simulated ops per wall-clock second\",\n  \"baseline_pre_overhaul\": {\n");
+    for (i, (name, v)) in BASELINE.iter().enumerate() {
+        let sep = if i + 1 < BASELINE.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.0}{sep}\n"));
+    }
+    json.push_str("  },\n  \"current\": {\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.0}{sep}\n"));
+    }
+    json.push_str("  },\n  \"speedup\": {\n");
+    for (i, ((name, cur), (_, base))) in results.iter().zip(BASELINE.iter()).enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {:.2}{sep}\n", cur / base));
+    }
+    json.push_str("  }\n}\n");
+    // Benches run from the crate dir; place the report at the repo root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fastpath.json");
+    std::fs::write(&path, &json).expect("write BENCH_fastpath.json");
+    println!("{json}");
+    for ((name, cur), (_, base)) in results.iter().zip(BASELINE.iter()) {
+        println!("{name:<28} {cur:>12.0} /s  ({:.2}x baseline)", cur / base);
+    }
+}

@@ -79,8 +79,14 @@ fn main() {
 
     // BypassD leads at low process counts and scales up to the device
     // write limit (~4.4 GB/s).
-    assert!(byp_by_n[0] > sync_by_n[0] * 1.2, "1-process bypassd lead missing");
-    assert!(byp_by_n[5] > byp_by_n[0] * 3.0, "aggregate bw must scale with processes");
+    assert!(
+        byp_by_n[0] > sync_by_n[0] * 1.2,
+        "1-process bypassd lead missing"
+    );
+    assert!(
+        byp_by_n[5] > byp_by_n[0] * 3.0,
+        "aggregate bw must scale with processes"
+    );
     assert!(byp_by_n[5] < 5_000.0, "exceeded device write bandwidth");
     println!("OK: Figure 10 shape reproduced (scales with processes, fair, SPDK absent)");
 }

@@ -22,9 +22,8 @@ fn main() {
     let ops_per_thread = ops(150, 1000);
 
     let system = std_system();
-    let store = Arc::new(
-        BtreeStore::build(&system, BtreeConfig::new("/wt", n_keys, cache_bytes)).unwrap(),
-    );
+    let store =
+        Arc::new(BtreeStore::build(&system, BtreeConfig::new("/wt", n_keys, cache_bytes)).unwrap());
 
     let mut improvements = Vec::new();
     for w in YcsbWorkload::all() {
@@ -64,7 +63,10 @@ fn main() {
          bypassd/xrp avg {:.2} (paper ~1.13)",
         avg_sync, avg_xrp
     );
-    assert!(avg_sync > 1.08, "bypassd gain over sync too small: {avg_sync:.2}");
+    assert!(
+        avg_sync > 1.08,
+        "bypassd gain over sync too small: {avg_sync:.2}"
+    );
     assert!(avg_xrp >= 1.0, "bypassd must not lose to xrp: {avg_xrp:.2}");
     let d_gain = improvements
         .iter()

@@ -16,7 +16,12 @@ fn main() {
     // Paper sweeps 2/4/6 GB of a 46 GB store: ~4.3% / 8.7% / 13%.
     let cache_fracs = [(2, 43u64), (4, 87), (6, 130)];
     let ops_per_thread = ops(250, 1500);
-    let workloads = [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C, YcsbWorkload::F];
+    let workloads = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::F,
+    ];
 
     let mut xrp_trend: Vec<f64> = Vec::new();
     let mut byp_trend: Vec<f64> = Vec::new();
@@ -57,8 +62,14 @@ fn main() {
 
     println!(
         "YCSB C: xrp/sync across cache sizes = {:?}; bypassd/sync = {:?}",
-        xrp_trend.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>(),
-        byp_trend.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>()
+        xrp_trend
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>(),
+        byp_trend
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
     );
     // XRP's relative benefit must shrink as the cache grows…
     assert!(
@@ -67,9 +78,15 @@ fn main() {
     );
     // …while BypassD stays consistently above baseline at every size.
     for v in &byp_trend {
-        assert!(*v > 1.05, "bypassd must keep a consistent edge: {byp_trend:?}");
+        assert!(
+            *v > 1.05,
+            "bypassd must keep a consistent edge: {byp_trend:?}"
+        );
     }
     // And BypassD ≥ XRP at the largest cache.
-    assert!(byp_trend[2] > xrp_trend[2], "bypassd must lead xrp at 6GB-equivalent");
+    assert!(
+        byp_trend[2] > xrp_trend[2],
+        "bypassd must lead xrp at 6GB-equivalent"
+    );
     println!("OK: Figure 14 shape reproduced");
 }

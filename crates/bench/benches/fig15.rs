@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_bench::{ops, std_system, us};
-use bypassd_kv::{BpfKv, BpfKvConfig, YcsbGen, YcsbWorkload, YcsbOp};
+use bypassd_kv::{BpfKv, BpfKvConfig, YcsbGen, YcsbOp, YcsbWorkload};
 use bypassd_sim::report::Table;
 use bypassd_sim::stats::Histogram;
 use bypassd_sim::time::Nanos;
@@ -48,8 +48,7 @@ fn main() {
                 sim.spawn(&format!("l{tid}"), move |ctx| {
                     let mut b = factory.make_thread();
                     let h = b.open(ctx, store.file(), false).expect("open");
-                    let mut gen =
-                        YcsbGen::new(YcsbWorkload::C, n, n, 13 + tid as u64);
+                    let mut gen = YcsbGen::new(YcsbWorkload::C, n, n, 13 + tid as u64);
                     let mut hist = Histogram::new();
                     for _ in 0..lookups {
                         let key = match gen.next_op() {
@@ -67,7 +66,11 @@ fn main() {
             sim.run();
             let hist = sink.lock();
             avg.insert((kind, nt), hist.mean());
-            cells.push(format!("{}/{}", us(hist.mean()), us(hist.percentile(0.999))));
+            cells.push(format!(
+                "{}/{}",
+                us(hist.mean()),
+                us(hist.percentile(0.999))
+            ));
         }
         t.row_owned(cells);
     }
@@ -84,8 +87,8 @@ fn main() {
         "bypassd-spdk gap = {gap:.1}µs (paper: ~4µs for 7 translations)"
     );
     // Throughput improvement over baseline at 1 thread (paper: +72%).
-    let speedup = a(BackendKind::Sync).as_nanos() as f64
-        / a(BackendKind::Bypassd).as_nanos() as f64;
+    let speedup =
+        a(BackendKind::Sync).as_nanos() as f64 / a(BackendKind::Bypassd).as_nanos() as f64;
     println!(
         "1-thread lookup speedup over sync: {speedup:.2}x (paper throughput: +72%); \
          bypassd-spdk gap {gap:.1}µs (paper ~4µs)"

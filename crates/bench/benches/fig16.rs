@@ -27,8 +27,11 @@ fn run_variant(
     qd: usize,
 ) -> (f64, Nanos) {
     system.reset_virtual_time();
-    let sink: Arc<Mutex<(Histogram, Throughput, Nanos)>> =
-        Arc::new(Mutex::new((Histogram::new(), Throughput::new(), Nanos::ZERO)));
+    let sink: Arc<Mutex<(Histogram, Throughput, Nanos)>> = Arc::new(Mutex::new((
+        Histogram::new(),
+        Throughput::new(),
+        Nanos::ZERO,
+    )));
     let sim = Simulation::new();
     for tid in 0..threads {
         let factory = Arc::clone(&factory);
@@ -65,7 +68,14 @@ fn main() {
             &format!("Figure 16 — {w}: throughput (kops/s) / mean latency (µs)"),
             &["threads", "kvell_1", "kvell_64", "bypassd"],
         );
-        let mut last_row = (0.0f64, Nanos::ZERO, 0.0f64, Nanos::ZERO, 0.0f64, Nanos::ZERO);
+        let mut last_row = (
+            0.0f64,
+            Nanos::ZERO,
+            0.0f64,
+            Nanos::ZERO,
+            0.0f64,
+            Nanos::ZERO,
+        );
         for nt in threads {
             let k1 = run_variant(
                 &system,
@@ -109,7 +119,10 @@ fn main() {
 
         let (k1_tp, _k1_lat, k64_tp, k64_lat, byp_tp, byp_lat) = last_row;
         // BypassD beats KVell_1 on throughput but not KVell_64 (§6.5).
-        assert!(byp_tp > k1_tp, "{w}: bypassd {byp_tp:.0} !> kvell_1 {k1_tp:.0}");
+        assert!(
+            byp_tp > k1_tp,
+            "{w}: bypassd {byp_tp:.0} !> kvell_1 {k1_tp:.0}"
+        );
         assert!(
             k64_tp > byp_tp * 0.9,
             "{w}: kvell_64 should stay competitive: {k64_tp:.0} vs {byp_tp:.0}"

@@ -19,12 +19,19 @@ fn main() {
     let n_ops = ops(300, 2000);
 
     for (mode, title) in [
-        (RwMode::RandRead, "Figure 6a: random read latency(µs)/bandwidth(GB/s)"),
-        (RwMode::RandWrite, "Figure 6b: random write latency(µs)/bandwidth(GB/s)"),
+        (
+            RwMode::RandRead,
+            "Figure 6a: random read latency(µs)/bandwidth(GB/s)",
+        ),
+        (
+            RwMode::RandWrite,
+            "Figure 6b: random write latency(µs)/bandwidth(GB/s)",
+        ),
     ] {
-        let mut t = Table::new(title, &[
-            "bs", "sync", "libaio", "io_uring", "spdk", "bypassd",
-        ]);
+        let mut t = Table::new(
+            title,
+            &["bs", "sync", "libaio", "io_uring", "spdk", "bypassd"],
+        );
         let mut byp_vs_sync = Vec::new();
         for bs_kb in sizes {
             let mut cells = vec![format!("{bs_kb}KB")];
@@ -68,7 +75,10 @@ fn main() {
              (paper: ~0.6 at 4KB; gap narrows as device time dominates)\n",
             small_ratio, big_ratio
         );
-        assert!(small_ratio < 0.75, "no speedup at small blocks: {small_ratio}");
+        assert!(
+            small_ratio < 0.75,
+            "no speedup at small blocks: {small_ratio}"
+        );
         assert!(big_ratio > small_ratio, "gap should narrow at large blocks");
     }
     println!("OK: Figure 6 shape reproduced");

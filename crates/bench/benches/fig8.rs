@@ -4,13 +4,13 @@
 //! the sync baseline; 350 vs 550 ns (FTE caching in the IOTLB vs not)
 //! barely matters — the justification for not polluting the IOTLB.
 
+use bypassd::System;
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_bench::{f2, ops};
 use bypassd_fio::{run_job, JobSpec, RwMode};
 use bypassd_hw::iommu::IommuTiming;
 use bypassd_sim::report::Table;
 use bypassd_sim::time::Nanos;
-use bypassd::System;
 
 fn timing_with_total(total_ns: u64) -> IommuTiming {
     // Collapse the model to a flat per-request translation cost, exactly
@@ -60,7 +60,9 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 8: single-thread read bandwidth (GB/s) vs VBA translation latency",
-        &["bs", "no delay", "350ns", "550ns", "950ns", "1350ns", "sync"],
+        &[
+            "bs", "no delay", "350ns", "550ns", "950ns", "1350ns", "sync",
+        ],
     );
     for bs_kb in sizes {
         let bs = bs_kb << 10;
@@ -82,7 +84,10 @@ fn main() {
 
         // Monotone slight decrease with slower translation…
         for w in series.windows(2) {
-            assert!(w[1] <= w[0] + 0.02, "bandwidth rose with slower translation");
+            assert!(
+                w[1] <= w[0] + 0.02,
+                "bandwidth rose with slower translation"
+            );
         }
         // …350 vs 550 nearly identical (IOTLB caching of FTEs unneeded)…
         let rel = (series[1] - series[2]) / series[1];

@@ -64,15 +64,26 @@ fn main() {
     assert!(flat < 1.4, "bypassd latency grew {flat:.2}x by 8 threads");
     // Device saturation: ~1.2-1.8M IOPS at high thread counts.
     let sat = iops(BackendKind::Bypassd, 24);
-    assert!((1_100.0..1_900.0).contains(&sat), "saturation = {sat:.0} KIOPS");
+    assert!(
+        (1_100.0..1_900.0).contains(&sat),
+        "saturation = {sat:.0} KIOPS"
+    );
     // At saturation the gap between systems closes (device-bound).
     let gap = iops(BackendKind::Bypassd, 24) / iops(BackendKind::Sync, 24);
-    assert!(gap < 1.25, "systems should converge at saturation: {gap:.2}");
+    assert!(
+        gap < 1.25,
+        "systems should converge at saturation: {gap:.2}"
+    );
     // At low thread counts BypassD leads the kernel paths.
     assert!(iops(BackendKind::Bypassd, 1) > iops(BackendKind::Sync, 1) * 1.3);
     // io_uring collapses past 12 threads.
     let uring_drop = lat(BackendKind::IoUring, 16).as_nanos() as f64
         / lat(BackendKind::IoUring, 12).as_nanos() as f64;
-    assert!(uring_drop > 1.5, "io_uring should collapse past 12 threads: {uring_drop:.2}");
-    println!("OK: Figure 9 shape reproduced (flat bypassd, ~1.5M IOPS saturation, io_uring collapse)");
+    assert!(
+        uring_drop > 1.5,
+        "io_uring should collapse past 12 threads: {uring_drop:.2}"
+    );
+    println!(
+        "OK: Figure 9 shape reproduced (flat bypassd, ~1.5M IOPS saturation, io_uring collapse)"
+    );
 }

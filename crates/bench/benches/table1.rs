@@ -18,7 +18,9 @@ fn main() {
     let total: Nanos = run_one(move |ctx| {
         let pid = sys2.kernel().spawn_process(0, 0);
         let k = sys2.kernel();
-        let fd = k.sys_open(ctx, pid, "/t1", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/t1", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         k.sys_pread(ctx, pid, fd, &mut buf, 0).unwrap(); // warm extent cache
         let t0 = ctx.now();
@@ -33,7 +35,12 @@ fn main() {
     let row = |t: &mut Table, name: &str, paper: u64, measured: Nanos| {
         t.row(&[name, &paper.to_string(), &measured.as_nanos().to_string()]);
     };
-    row(&mut t, "kernel<->user mode switches", 260, cost.user_to_kernel + cost.kernel_to_user);
+    row(
+        &mut t,
+        "kernel<->user mode switches",
+        260,
+        cost.user_to_kernel + cost.kernel_to_user,
+    );
     row(&mut t, "VFS + ext4", 2810, cost.vfs(4096));
     row(&mut t, "block I/O layer", 540, cost.block_layer);
     row(&mut t, "NVMe driver", 220, cost.nvme_driver);

@@ -58,5 +58,9 @@ fn main() {
 
     assert!((1125..1150).contains(&hit), "IOTLB hit latency {hit}ns");
     assert!((1280..1360).contains(&miss), "IOTLB miss latency {miss}ns");
-    println!("OK: hit adds {}ns, miss adds {}ns (paper: 14 / 197)", hit - IOAT_BASE_NS, miss - IOAT_BASE_NS);
+    println!(
+        "OK: hit adds {}ns, miss adds {}ns (paper: 14 / 197)",
+        hit - IOAT_BASE_NS,
+        miss - IOAT_BASE_NS
+    );
 }

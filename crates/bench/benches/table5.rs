@@ -24,13 +24,7 @@ fn main() {
     let mut t = Table::new(
         "Table 5: fmap() overheads (µs) — paper | measured",
         &[
-            "size",
-            "open(p)",
-            "open(m)",
-            "warm(p)",
-            "warm(m)",
-            "cold(p)",
-            "cold(m)",
+            "size", "open(p)", "open(m)", "warm(p)", "warm(m)", "cold(p)", "cold(m)",
         ],
     );
 
@@ -44,7 +38,9 @@ fn main() {
             // Default open (no fmap).
             let pid0 = k.spawn_process(0, 0);
             let t0 = ctx.now();
-            let fd0 = k.sys_open(ctx, pid0, &p2, OpenFlags::rdonly_direct(), 0).unwrap();
+            let fd0 = k
+                .sys_open(ctx, pid0, &p2, OpenFlags::rdonly_direct(), 0)
+                .unwrap();
             let open_t = ctx.now() - t0;
             k.sys_close(ctx, pid0, fd0).unwrap();
 

@@ -23,7 +23,9 @@ use bypassd_sim::Simulation;
 
 /// True when `BYPASSD_BENCH=full`.
 pub fn full_mode() -> bool {
-    std::env::var("BYPASSD_BENCH").map(|v| v == "full").unwrap_or(false)
+    std::env::var("BYPASSD_BENCH")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Scales an op count by mode.
@@ -121,7 +123,12 @@ pub fn run_btree_ycsb(
         sim.spawn(&format!("kv{tid}"), move |ctx| {
             let mut backend = factory.make_thread();
             let h = backend.open(ctx, store.file(), true).expect("open store");
-            let mut gen = YcsbGen::new(workload, n_keys, n_keys + n_keys / 4, seed ^ (tid as u64 * 7919));
+            let mut gen = YcsbGen::new(
+                workload,
+                n_keys,
+                n_keys + n_keys / 4,
+                seed ^ (tid as u64 * 7919),
+            );
             let mut hist = Histogram::new();
             for _ in 0..ops_per_thread {
                 let op = gen.next_op();

@@ -77,6 +77,7 @@ pub struct SystemBuilder {
     media: MediaTiming,
     iommu_timing: IommuTiming,
     cache_ftes: bool,
+    device_atc: bool,
     pwc_capacity: usize,
     cost: CostModel,
     fs_opts: Ext4Options,
@@ -91,6 +92,7 @@ impl Default for SystemBuilder {
             media: MediaTiming::default(),
             iommu_timing: IommuTiming::default(),
             cache_ftes: false,
+            device_atc: false,
             pwc_capacity: 64,
             cost: CostModel::default(),
             fs_opts: Ext4Options::default(),
@@ -122,6 +124,15 @@ impl SystemBuilder {
     /// Enables caching FTEs in the IOTLB (ablation; paper default off).
     pub fn cache_ftes(mut self, enabled: bool) -> Self {
         self.cache_ftes = enabled;
+        self
+    }
+
+    /// Enables the device-side ATS translation cache (ablation; default
+    /// off, matching the paper's IOMMU-only model). When on, repeat I/O
+    /// to hot pages skips the modeled PCIe ATS round trip; kernel
+    /// shootdowns still invalidate device-cached entries.
+    pub fn device_atc(mut self, enabled: bool) -> Self {
+        self.device_atc = enabled;
         self
     }
 
@@ -161,6 +172,7 @@ impl SystemBuilder {
         let iommu = Arc::new(Mutex::new(iommu));
         let sectors = self.capacity_bytes / 512;
         let dev = NvmeDevice::new(self.dev_id, sectors, self.media, iommu);
+        dev.set_atc_enabled(self.device_atc);
         let fs = Arc::new(Ext4::format(&dev, &mem, self.fs_opts));
         let kernel = Kernel::new(&mem, Arc::clone(&fs), self.cost, self.page_cache_blocks);
         System {
@@ -188,6 +200,14 @@ mod tests {
     fn capacity_override() {
         let sys = System::builder().capacity(1 << 30).build();
         assert_eq!(sys.device().capacity_sectors(), (1 << 30) / 512);
+    }
+
+    #[test]
+    fn device_atc_knob_wires_through() {
+        let sys = System::builder().build();
+        assert!(!sys.device().atc().enabled(), "ATC must default off");
+        let sys = System::builder().device_atc(true).build();
+        assert!(sys.device().atc().enabled());
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! [`UserThread`] owns a private PASID-bound NVMe queue pair and pinned
 //! DMA buffer, so threads never synchronise on the data path (the paper's
 //! explanation for BypassD's flat latency up to device saturation, §6.3).
+//!
+//! Locking: the file-info table is a `RwLock` map from fd to a shared
+//! [`FileEntry`]; the data path takes the map lock only in read mode and
+//! only long enough to clone the entry's `Arc`. All mutable per-file
+//! state (offset/size/flags, the partial-write ranges, the pending
+//! non-blocking writes) lives in short per-fd mutexes inside the entry,
+//! so threads operating on different files never serialise on a
+//! process-wide lock and no `FileState` is cloned per operation.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use bypassd_hw::types::{Vba, SECTOR_SIZE};
 use bypassd_os::process::{Fd, Pid};
@@ -24,8 +32,8 @@ use bypassd_ssd::queue::{NvmeStatus, QueueId};
 use crate::system::System;
 
 /// Per-open state tracked by UserLib (flags, offset, size, starting VBA —
-/// §3.2).
-#[derive(Debug, Clone)]
+/// §3.2). Plain scalars: reading it is a copy, not a clone.
+#[derive(Debug, Clone, Copy)]
 struct FileState {
     vba: Option<Vba>,
     size: u64,
@@ -51,16 +59,34 @@ struct PendingWrite {
     ready: Nanos,
 }
 
+/// All per-fd state, behind its own locks so operations on different
+/// files never contend and the process-wide table lock stays read-mostly.
+#[derive(Debug)]
+struct FileEntry {
+    state: Mutex<FileState>,
+    /// In-flight partial (read-modify-write) byte ranges on this file.
+    partials: Mutex<Vec<(u64, u64)>>,
+    /// Unconfirmed non-blocking writes (§5.1 enhancement).
+    pending: Mutex<Vec<PendingWrite>>,
+}
+
+impl FileEntry {
+    fn new(state: FileState) -> Arc<Self> {
+        Arc::new(FileEntry {
+            state: Mutex::new(state),
+            partials: Mutex::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+}
+
 /// Process-wide UserLib state, shared between threads.
 pub struct UserProcess {
     system: System,
     pid: Pid,
-    files: Mutex<HashMap<Fd, FileState>>,
-    /// In-flight partial writes per inode-less key (fd-scoped is enough
-    /// within a process): byte ranges being read-modify-written.
-    partials: Mutex<HashMap<Fd, Vec<(u64, u64)>>>,
-    /// Unconfirmed non-blocking writes per fd (§5.1 enhancement).
-    pending_writes: Mutex<HashMap<Fd, Vec<PendingWrite>>>,
+    /// fd → entry. Read-locked (shared) on the data path; write-locked
+    /// only by open/close.
+    files: RwLock<HashMap<Fd, Arc<FileEntry>>>,
     direct_ops: AtomicU64,
     fallback_ops: AtomicU64,
 }
@@ -72,9 +98,7 @@ impl UserProcess {
         Arc::new(UserProcess {
             system: system.clone(),
             pid,
-            files: Mutex::new(HashMap::new()),
-            partials: Mutex::new(HashMap::new()),
-            pending_writes: Mutex::new(HashMap::new()),
+            files: RwLock::new(HashMap::new()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
         })
@@ -97,9 +121,7 @@ impl UserProcess {
         Ok(Arc::new(UserProcess {
             system: system.clone(),
             pid,
-            files: Mutex::new(HashMap::new()),
-            partials: Mutex::new(HashMap::new()),
-            pending_writes: Mutex::new(HashMap::new()),
+            files: RwLock::new(HashMap::new()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
         }))
@@ -140,10 +162,16 @@ impl UserProcess {
     /// preallocate `chunk` bytes at a time and overwrite them directly,
     /// flushing the size at fsync/close.
     pub fn enable_optimized_append(&self, fd: Fd, chunk: u64) {
-        if let Some(st) = self.files.lock().get_mut(&fd) {
+        if let Ok(entry) = self.entry(fd) {
+            let mut st = entry.state.lock();
             st.append_chunk = chunk.max(SECTOR_SIZE);
             st.prealloc_end = st.size;
         }
+    }
+
+    /// Shared handle to `fd`'s entry: one read lock + one `Arc` clone.
+    fn entry(&self, fd: Fd) -> SysResult<Arc<FileEntry>> {
+        self.files.read().get(&fd).cloned().ok_or(Errno::BadF)
     }
 }
 
@@ -151,7 +179,7 @@ impl std::fmt::Debug for UserProcess {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UserProcess")
             .field("pid", &self.pid)
-            .field("open_files", &self.files.lock().len())
+            .field("open_files", &self.files.read().len())
             .finish()
     }
 }
@@ -226,9 +254,9 @@ impl UserThread {
         if fallback {
             kernel.mark_kernel_fallback(self.proc.pid, fd)?;
         }
-        self.proc.files.lock().insert(
+        self.proc.files.write().insert(
             fd,
-            FileState {
+            FileEntry::new(FileState {
                 vba: (!fallback).then_some(vba),
                 size,
                 offset: 0,
@@ -237,7 +265,7 @@ impl UserThread {
                 prealloc_end: size,
                 append_chunk: 0,
                 size_dirty: false,
-            },
+            }),
         );
         Ok(fd)
     }
@@ -257,11 +285,14 @@ impl UserThread {
     /// `BadF`.
     pub fn close(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
         self.flush_writes(ctx, fd)?;
-        self.proc.pending_writes.lock().remove(&fd);
-        let st = self.proc.files.lock().remove(&fd).ok_or(Errno::BadF)?;
+        let entry = self.proc.files.write().remove(&fd).ok_or(Errno::BadF)?;
+        let size_dirty = {
+            let st = entry.state.lock();
+            st.size_dirty.then_some(st.size)
+        };
         let kernel = Arc::clone(self.kernel());
-        if st.size_dirty {
-            kernel.sys_set_size(ctx, self.proc.pid, fd, st.size)?;
+        if let Some(size) = size_dirty {
+            kernel.sys_set_size(ctx, self.proc.pid, fd, size)?;
         }
         kernel.sys_close(ctx, self.proc.pid, fd)
     }
@@ -271,12 +302,7 @@ impl UserThread {
     /// # Errors
     /// `BadF`.
     pub fn size(&self, fd: Fd) -> SysResult<u64> {
-        self.proc
-            .files
-            .lock()
-            .get(&fd)
-            .map(|s| s.size)
-            .ok_or(Errno::BadF)
+        Ok(self.proc.entry(fd)?.state.lock().size)
     }
 
     /// Repositions the file offset.
@@ -284,33 +310,27 @@ impl UserThread {
     /// # Errors
     /// `BadF`.
     pub fn lseek(&mut self, fd: Fd, pos: u64) -> SysResult<u64> {
-        let mut files = self.proc.files.lock();
-        let st = files.get_mut(&fd).ok_or(Errno::BadF)?;
-        st.offset = pos;
+        self.proc.entry(fd)?.state.lock().offset = pos;
         Ok(pos)
     }
 
     // ---- data path ----
 
-    fn state(&self, fd: Fd) -> SysResult<FileState> {
-        self.proc.files.lock().get(&fd).cloned().ok_or(Errno::BadF)
-    }
-
-    /// One direct device round trip over `[start, start+span)` of the
-    /// file (sector aligned), reading into / writing from the thread DMA
-    /// buffer at offset 0.
+    /// One direct device round trip over `span` bytes starting at `vba`
+    /// (the file's base VBA already offset to the target sector), reading
+    /// into / writing from the thread DMA buffer at offset 0.
     fn direct_io(
         &mut self,
         ctx: &mut ActorCtx,
         fd: Fd,
+        entry: &FileEntry,
         vba: Vba,
-        start: u64,
         span: u64,
         write: bool,
     ) -> SysResult<DirectIo> {
-        debug_assert!(start.is_multiple_of(SECTOR_SIZE) && span.is_multiple_of(SECTOR_SIZE) && span > 0);
+        debug_assert!(span.is_multiple_of(SECTOR_SIZE) && span > 0);
         ctx.delay(self.cost().userlib_overhead);
-        let addr = BlockAddr::Vba(vba.offset(start));
+        let addr = BlockAddr::Vba(vba);
         let sectors = (span / SECTOR_SIZE) as u32;
         let cmd = if write {
             Command::write(addr, sectors, &self.dma)
@@ -324,18 +344,23 @@ impl UserThread {
             NvmeStatus::TranslationFault(_) => {
                 // Revocation or growth race: re-fmap (§3.6).
                 let kernel = Arc::clone(self.kernel());
-                let writable = self.state(fd)?.writable;
+                let writable = entry.state.lock().writable;
                 let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
-                let mut files = self.proc.files.lock();
-                let st = files.get_mut(&fd).ok_or(Errno::BadF)?;
-                if vba.is_null() {
-                    st.fallback = true;
-                    st.vba = None;
-                    drop(files);
+                let revoked = {
+                    let mut st = entry.state.lock();
+                    if vba.is_null() {
+                        st.fallback = true;
+                        st.vba = None;
+                        true
+                    } else {
+                        st.vba = Some(vba);
+                        false
+                    }
+                };
+                if revoked {
                     kernel.mark_kernel_fallback(self.proc.pid, fd)?;
                     Ok(DirectIo::Revoked)
                 } else {
-                    st.vba = Some(vba);
                     Ok(DirectIo::Fault)
                 }
             }
@@ -355,7 +380,8 @@ impl UserThread {
         buf: &mut [u8],
         offset: u64,
     ) -> SysResult<usize> {
-        let mut st = self.state(fd)?;
+        let entry = self.proc.entry(fd)?;
+        let mut st = *entry.state.lock();
         if st.fallback {
             self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
             let kernel = Arc::clone(self.kernel());
@@ -367,9 +393,10 @@ impl UserThread {
             // size, however, is kernel metadata: refresh it.
             let kernel = Arc::clone(self.kernel());
             let size = kernel.sys_fstat(ctx, self.proc.pid, fd)?.size;
-            if let Some(f) = self.proc.files.lock().get_mut(&fd) {
-                f.size = f.size.max(size);
-                st = f.clone();
+            {
+                let mut s = entry.state.lock();
+                s.size = s.size.max(size);
+                st = *s;
             }
             if offset >= st.size {
                 return Ok(0);
@@ -388,15 +415,14 @@ impl UserThread {
             let mut ok = true;
             while pos < end {
                 let span = (end - pos).min(self.dma.len() as u64);
-                match self.direct_io(ctx, fd, vba, pos, span, false)? {
+                match self.direct_io(ctx, fd, &entry, vba.offset(pos), span, false)? {
                     DirectIo::Done => {
                         ctx.delay(self.cost().user_copy(span.min(len)));
                         let lo = offset.max(pos);
                         let hi = (offset + len).min(pos + span);
                         let mut tmp = vec![0u8; (hi - lo) as usize];
                         self.dma.read((lo - pos) as usize, &mut tmp);
-                        buf[(lo - offset) as usize..(hi - offset) as usize]
-                            .copy_from_slice(&tmp);
+                        buf[(lo - offset) as usize..(hi - offset) as usize].copy_from_slice(&tmp);
                         pos += span;
                     }
                     DirectIo::Revoked => {
@@ -414,8 +440,8 @@ impl UserThread {
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 // Read-after-write consistency for non-blocking writes:
                 // overlay any unconfirmed data (§5.1).
-                self.prune_pending(fd, ctx.now());
-                self.overlay_pending(fd, &mut buf[..len as usize], offset);
+                Self::prune_pending(&entry, ctx.now());
+                Self::overlay_pending(&entry, &mut buf[..len as usize], offset);
                 return Ok(len as usize);
             }
             attempts += 1;
@@ -443,7 +469,8 @@ impl UserThread {
         data: &[u8],
         offset: u64,
     ) -> SysResult<usize> {
-        let st = self.state(fd)?;
+        let entry = self.proc.entry(fd)?;
+        let st = *entry.state.lock();
         if !st.writable {
             return Err(Errno::Perm);
         }
@@ -455,18 +482,24 @@ impl UserThread {
         let len = data.len() as u64;
         let end = offset + len;
         if end > st.size {
-            return self.append_path(ctx, fd, data, offset, st);
+            return self.append_path(ctx, fd, &entry, data, offset, st);
         }
         if !offset.is_multiple_of(SECTOR_SIZE) || !len.is_multiple_of(SECTOR_SIZE) {
-            return self.partial_write(ctx, fd, data, offset);
+            return self.partial_write(ctx, fd, &entry, data, offset);
         }
-        self.overwrite(ctx, fd, data, offset)
+        self.overwrite(ctx, fd, &entry, data, offset)
     }
 
     /// Aligned overwrite of existing blocks.
-    fn overwrite(&mut self, ctx: &mut ActorCtx, fd: Fd, data: &[u8], offset: u64) -> SysResult<usize> {
-        let st = self.state(fd)?;
-        let Some(vba) = st.vba else {
+    fn overwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        entry: &FileEntry,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let Some(vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
         };
         let mut attempts = 0;
@@ -478,7 +511,7 @@ impl UserThread {
                 ctx.delay(self.cost().user_copy(span));
                 self.dma
                     .write(0, &data[pos as usize..(pos + span) as usize]);
-                match self.direct_io(ctx, fd, vba, offset + pos, span, true)? {
+                match self.direct_io(ctx, fd, entry, vba.offset(offset + pos), span, true)? {
                     DirectIo::Done => pos += span,
                     DirectIo::Revoked => {
                         self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
@@ -510,6 +543,7 @@ impl UserThread {
         &mut self,
         ctx: &mut ActorCtx,
         fd: Fd,
+        entry: &FileEntry,
         data: &[u8],
         offset: u64,
         st: FileState,
@@ -517,26 +551,26 @@ impl UserThread {
         let kernel = Arc::clone(self.kernel());
         let len = data.len() as u64;
         let end = offset + len;
-        let aligned_tail = offset == st.size && offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE);
+        let aligned_tail = offset == st.size
+            && offset.is_multiple_of(SECTOR_SIZE)
+            && len.is_multiple_of(SECTOR_SIZE);
         if st.append_chunk > 0 && aligned_tail {
             // Optimized append: preallocate (KEEP_SIZE) then overwrite
             // directly; size flushed at fsync/close (§5.1).
             if end > st.prealloc_end {
                 let grow = (end - st.prealloc_end).max(st.append_chunk);
                 kernel.sys_fallocate_keep(ctx, self.proc.pid, fd, st.prealloc_end, grow)?;
-                if let Some(f) = self.proc.files.lock().get_mut(&fd) {
-                    f.prealloc_end = st.prealloc_end + grow;
-                }
+                entry.state.lock().prealloc_end = st.prealloc_end + grow;
             }
             let vba = st.vba.ok_or(Errno::Inval)?;
             ctx.delay(self.cost().user_copy(len));
             self.dma.write(0, data);
-            match self.direct_io(ctx, fd, vba, offset, len, true)? {
+            match self.direct_io(ctx, fd, entry, vba.offset(offset), len, true)? {
                 DirectIo::Done => {
-                    let mut files = self.proc.files.lock();
-                    if let Some(f) = files.get_mut(&fd) {
-                        f.size = f.size.max(end);
-                        f.size_dirty = true;
+                    {
+                        let mut s = entry.state.lock();
+                        s.size = s.size.max(end);
+                        s.size_dirty = true;
                     }
                     self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                     return Ok(data.len());
@@ -555,15 +589,15 @@ impl UserThread {
             // in-place write (aligned or serialised RMW).
             kernel.sys_fallocate(ctx, self.proc.pid, fd, st.size, end - st.size)?;
             {
-                let mut files = self.proc.files.lock();
-                if let Some(f) = files.get_mut(&fd) {
-                    f.size = f.size.max(end);
-                    f.prealloc_end = f.prealloc_end.max(f.size);
-                }
+                let mut s = entry.state.lock();
+                s.size = s.size.max(end);
+                s.prealloc_end = s.prealloc_end.max(s.size);
             }
             self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
             return self.pwrite(ctx, fd, data, offset);
-        } else if aligned_tail || offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) {
+        } else if aligned_tail
+            || offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE)
+        {
             kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset)?
         } else {
             // Unaligned write straddling EOF: split into the in-place
@@ -574,10 +608,10 @@ impl UserThread {
             let tail = kernel.sys_append(ctx, self.proc.pid, fd, &data[head..])?;
             head + tail
         };
-        let mut files = self.proc.files.lock();
-        if let Some(f) = files.get_mut(&fd) {
-            f.size = f.size.max(end);
-            f.prealloc_end = f.prealloc_end.max(f.size);
+        {
+            let mut s = entry.state.lock();
+            s.size = s.size.max(end);
+            s.prealloc_end = s.prealloc_end.max(s.size);
         }
         self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
         Ok(n)
@@ -588,6 +622,7 @@ impl UserThread {
         &mut self,
         ctx: &mut ActorCtx,
         fd: Fd,
+        entry: &FileEntry,
         data: &[u8],
         offset: u64,
     ) -> SysResult<usize> {
@@ -596,23 +631,18 @@ impl UserThread {
         let end = (offset + len).div_ceil(SECTOR_SIZE) * SECTOR_SIZE;
         // Wait until no in-flight partial write overlaps our sectors.
         loop {
-            let mut partials = self.proc.partials.lock();
-            let conflict = partials
-                .get(&fd)
-                .is_some_and(|v| v.iter().any(|(s, e)| *s < end && start < *e));
+            let mut partials = entry.partials.lock();
+            let conflict = partials.iter().any(|(s, e)| *s < end && start < *e);
             if !conflict {
-                partials.entry(fd).or_default().push((start, end));
+                partials.push((start, end));
                 break;
             }
             drop(partials);
             ctx.delay(Nanos(200));
         }
-        let result = self.partial_write_inner(ctx, fd, data, offset, start, end);
+        let result = self.partial_write_inner(ctx, fd, entry, data, offset);
         // Always deregister.
-        let mut partials = self.proc.partials.lock();
-        if let Some(v) = partials.get_mut(&fd) {
-            v.retain(|r| *r != (start, end));
-        }
+        entry.partials.lock().retain(|r| *r != (start, end));
         result
     }
 
@@ -620,18 +650,17 @@ impl UserThread {
         &mut self,
         ctx: &mut ActorCtx,
         fd: Fd,
+        entry: &FileEntry,
         data: &[u8],
         offset: u64,
-        start: u64,
-        end: u64,
     ) -> SysResult<usize> {
-        let st = self.state(fd)?;
-        let Some(vba) = st.vba else {
+        let Some(vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
         };
-        let span = end - start;
+        let start = offset - offset % SECTOR_SIZE;
+        let span = (offset + data.len() as u64).div_ceil(SECTOR_SIZE) * SECTOR_SIZE - start;
         // Read old sectors.
-        match self.direct_io(ctx, fd, vba, start, span, false)? {
+        match self.direct_io(ctx, fd, entry, vba.offset(start), span, false)? {
             DirectIo::Done => {}
             _ => {
                 self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
@@ -643,7 +672,7 @@ impl UserThread {
         ctx.delay(self.cost().user_copy(data.len() as u64));
         self.dma.write((offset - start) as usize, data);
         // Write back.
-        match self.direct_io(ctx, fd, vba, start, span, true)? {
+        match self.direct_io(ctx, fd, entry, vba.offset(start), span, true)? {
             DirectIo::Done => {
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 Ok(data.len())
@@ -676,12 +705,14 @@ impl UserThread {
         data: &[u8],
         offset: u64,
     ) -> SysResult<usize> {
-        let st = self.state(fd)?;
+        let entry = self.proc.entry(fd)?;
+        let st = *entry.state.lock();
         if !st.writable {
             return Err(Errno::Perm);
         }
         let len = data.len() as u64;
-        let aligned = offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) && len > 0;
+        let aligned =
+            offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) && len > 0;
         let in_place = offset + len <= st.size;
         if st.fallback || !aligned || !in_place || st.vba.is_none() || len > 256 * 1024 {
             return self.pwrite(ctx, fd, data, offset);
@@ -690,12 +721,11 @@ impl UserThread {
         // Serialise against overlapping pending writes (same-file
         // write-write ordering, the CrossFS-style range rule).
         loop {
-            let pending = self.proc.pending_writes.lock();
-            let conflict = pending.get(&fd).is_some_and(|v| {
-                v.iter()
-                    .any(|p| p.offset < offset + len && offset < p.offset + p.data.len() as u64)
-            });
-            drop(pending);
+            let conflict = entry
+                .pending
+                .lock()
+                .iter()
+                .any(|p| p.offset < offset + len && offset < p.offset + p.data.len() as u64);
             if !conflict {
                 break;
             }
@@ -708,8 +738,11 @@ impl UserThread {
         dma.write(0, data);
         let first_try = {
             let dev = self.proc.system.device();
-            let cmd =
-                Command::write(BlockAddr::Vba(vba.offset(offset)), (len / SECTOR_SIZE) as u32, &dma);
+            let cmd = Command::write(
+                BlockAddr::Vba(vba.offset(offset)),
+                (len / SECTOR_SIZE) as u32,
+                &dma,
+            );
             dev.submit(self.qid, cmd, ctx.now())
         };
         let cid = match first_try {
@@ -733,7 +766,9 @@ impl UserThread {
             }
         };
         let dev = self.proc.system.device();
-        let ready = dev.ready_time(self.qid, cid).expect("submitted write vanished");
+        let ready = dev
+            .ready_time(self.qid, cid)
+            .expect("submitted write vanished");
         let comp = dev
             .reap_at(self.qid, cid, ready)
             .expect("completion not posted");
@@ -741,16 +776,11 @@ impl UserThread {
             // Translation fault (revocation mid-flight): fall back.
             return self.pwrite(ctx, fd, data, offset);
         }
-        self.proc
-            .pending_writes
-            .lock()
-            .entry(fd)
-            .or_default()
-            .push(PendingWrite {
-                offset,
-                data: data.to_vec(),
-                ready,
-            });
+        entry.pending.lock().push(PendingWrite {
+            offset,
+            data: data.to_vec(),
+            ready,
+        });
         self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
         Ok(data.len())
     }
@@ -760,19 +790,19 @@ impl UserThread {
     /// # Errors
     /// `BadF`.
     pub fn flush_writes(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
+        let entry = self.proc.entry(fd)?;
         let latest = {
-            let pending = self.proc.pending_writes.lock();
-            pending
-                .get(&fd)
-                .map(|v| v.iter().map(|p| p.ready).fold(Nanos::ZERO, Nanos::max))
+            let pending = entry.pending.lock();
+            (!pending.is_empty()).then(|| {
+                pending
+                    .iter()
+                    .map(|p| p.ready)
+                    .fold(Nanos::ZERO, Nanos::max)
+            })
         };
         if let Some(t) = latest {
             ctx.wait_until(t);
-            let now = ctx.now();
-            let mut pending = self.proc.pending_writes.lock();
-            if let Some(v) = pending.get_mut(&fd) {
-                v.retain(|p| p.ready > now);
-            }
+            Self::prune_pending(&entry, ctx.now());
         }
         Ok(())
     }
@@ -780,29 +810,23 @@ impl UserThread {
     /// Outstanding non-blocking writes on `fd`.
     pub fn pending_write_count(&self, fd: Fd) -> usize {
         self.proc
-            .pending_writes
-            .lock()
-            .get(&fd)
-            .map(|v| v.len())
+            .entry(fd)
+            .map(|e| e.pending.lock().len())
             .unwrap_or(0)
     }
 
     /// Drops completed entries from the pending-write overlay (called by
     /// reads so the overlay stays small).
-    fn prune_pending(&self, fd: Fd, now: Nanos) {
-        let mut pending = self.proc.pending_writes.lock();
-        if let Some(v) = pending.get_mut(&fd) {
-            v.retain(|p| p.ready > now);
-        }
+    fn prune_pending(entry: &FileEntry, now: Nanos) {
+        entry.pending.lock().retain(|p| p.ready > now);
     }
 
     /// Overlays unconfirmed writes onto a freshly-read buffer
     /// (read-after-write consistency for the non-blocking interface).
-    fn overlay_pending(&self, fd: Fd, buf: &mut [u8], offset: u64) {
-        let pending = self.proc.pending_writes.lock();
-        let Some(v) = pending.get(&fd) else { return };
+    fn overlay_pending(entry: &FileEntry, buf: &mut [u8], offset: u64) {
+        let pending = entry.pending.lock();
         let end = offset + buf.len() as u64;
-        for p in v {
+        for p in pending.iter() {
             let p_end = p.offset + p.data.len() as u64;
             if p.offset < end && offset < p_end {
                 let lo = offset.max(p.offset);
@@ -818,11 +842,10 @@ impl UserThread {
     /// # Errors
     /// As [`UserThread::pread`].
     pub fn read(&mut self, ctx: &mut ActorCtx, fd: Fd, buf: &mut [u8]) -> SysResult<usize> {
-        let off = self.state(fd)?.offset;
+        let entry = self.proc.entry(fd)?;
+        let off = entry.state.lock().offset;
         let n = self.pread(ctx, fd, buf, off)?;
-        if let Some(st) = self.proc.files.lock().get_mut(&fd) {
-            st.offset += n as u64;
-        }
+        entry.state.lock().offset += n as u64;
         Ok(n)
     }
 
@@ -831,11 +854,10 @@ impl UserThread {
     /// # Errors
     /// As [`UserThread::pwrite`].
     pub fn write(&mut self, ctx: &mut ActorCtx, fd: Fd, data: &[u8]) -> SysResult<usize> {
-        let off = self.state(fd)?.offset;
+        let entry = self.proc.entry(fd)?;
+        let off = entry.state.lock().offset;
         let n = self.pwrite(ctx, fd, data, off)?;
-        if let Some(st) = self.proc.files.lock().get_mut(&fd) {
-            st.offset += n as u64;
-        }
+        entry.state.lock().offset += n as u64;
         Ok(n)
     }
 
@@ -848,17 +870,15 @@ impl UserThread {
     pub fn fsync(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
         // Drain the non-blocking write pipeline before the device flush.
         self.flush_writes(ctx, fd)?;
+        let entry = self.proc.entry(fd)?;
         let kernel = Arc::clone(self.kernel());
-        let dirty = {
-            let files = self.proc.files.lock();
-            files.get(&fd).ok_or(Errno::BadF)?.size_dirty
+        let dirty_size = {
+            let st = entry.state.lock();
+            st.size_dirty.then_some(st.size)
         };
-        if dirty {
-            let size = self.state(fd)?.size;
+        if let Some(size) = dirty_size {
             kernel.sys_set_size(ctx, self.proc.pid, fd, size)?;
-            if let Some(st) = self.proc.files.lock().get_mut(&fd) {
-                st.size_dirty = false;
-            }
+            entry.state.lock().size_dirty = false;
         }
         kernel.sys_fsync(ctx, self.proc.pid, fd)
     }
@@ -867,11 +887,17 @@ impl UserThread {
     ///
     /// # Errors
     /// As the kernel call.
-    pub fn fallocate(&mut self, ctx: &mut ActorCtx, fd: Fd, offset: u64, len: u64) -> SysResult<()> {
+    pub fn fallocate(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> SysResult<()> {
         let kernel = Arc::clone(self.kernel());
         kernel.sys_fallocate(ctx, self.proc.pid, fd, offset, len)?;
-        let mut files = self.proc.files.lock();
-        if let Some(st) = files.get_mut(&fd) {
+        if let Ok(entry) = self.proc.entry(fd) {
+            let mut st = entry.state.lock();
             st.size = st.size.max(offset + len);
             st.prealloc_end = st.prealloc_end.max(st.size);
         }
@@ -881,10 +907,8 @@ impl UserThread {
     /// True if this fd has fallen back to the kernel interface.
     pub fn is_fallback(&self, fd: Fd) -> bool {
         self.proc
-            .files
-            .lock()
-            .get(&fd)
-            .map(|s| s.fallback)
+            .entry(fd)
+            .map(|e| e.state.lock().fallback)
             .unwrap_or(false)
     }
 }

@@ -117,7 +117,11 @@ fn append_goes_through_kernel_and_grows() {
         let mut t = proc.thread();
         let fd = t.open_with(ctx, "/log", true, true).unwrap();
         for i in 0..3u8 {
-            assert_eq!(t.pwrite(ctx, fd, &vec![i + 1; 512], i as u64 * 512).unwrap(), 512);
+            assert_eq!(
+                t.pwrite(ctx, fd, &vec![i + 1; 512], i as u64 * 512)
+                    .unwrap(),
+                512
+            );
         }
         assert_eq!(t.size(fd).unwrap(), 1536);
         let (_, fallback) = proc.op_counts();
@@ -157,7 +161,10 @@ fn optimized_append_is_mostly_direct_and_faster() {
         let optimized = ctx.now() - t1;
         t.fsync(ctx, fd2).unwrap();
         // Size flushed at fsync.
-        assert_eq!(sys.fs().size_of(sys.fs().lookup("/opt").unwrap()).unwrap(), 32 * 4096);
+        assert_eq!(
+            sys.fs().size_of(sys.fs().lookup("/opt").unwrap()).unwrap(),
+            32 * 4096
+        );
         // Data correct.
         let mut buf = vec![0u8; 4096];
         t.pread(ctx, fd2, &mut buf, 31 * 4096).unwrap();
@@ -225,8 +232,14 @@ fn concurrent_partial_writes_serialise() {
         let mut t = p.thread();
         let mut buf = vec![0u8; 512];
         t.pread(ctx, 3, &mut buf, 0).unwrap();
-        assert!(buf[..100].iter().all(|&b| b == 0xAA), "thread a's write lost");
-        assert!(buf[200..300].iter().all(|&b| b == 0xBB), "thread b's write lost");
+        assert!(
+            buf[..100].iter().all(|&b| b == 0xAA),
+            "thread a's write lost"
+        );
+        assert!(
+            buf[200..300].iter().all(|&b| b == 0xBB),
+            "thread b's write lost"
+        );
     });
     sim.run();
 }
@@ -326,7 +339,10 @@ fn two_processes_share_a_file_directly() {
         let fd = t.open(ctx, "/shared", false).unwrap();
         let mut buf = vec![0u8; 4096];
         t.pread(ctx, fd, &mut buf, 0).unwrap();
-        assert!(buf.iter().all(|&b| b == 0xEE), "reader must see writer's data");
+        assert!(
+            buf.iter().all(|&b| b == 0xEE),
+            "reader must see writer's data"
+        );
         let (direct, fallback) = proc.op_counts();
         assert_eq!((direct, fallback), (1, 0), "reader must stay direct");
     });
@@ -363,4 +379,89 @@ fn large_read_chunks_through_dma_buffer() {
         assert_eq!(n, 3 << 20);
         assert!(buf.iter().all(|&b| b == 0x3C));
     });
+}
+
+#[test]
+fn multithreaded_distinct_fds_smoke() {
+    // Lock-light data-path satellite: several threads of one process
+    // hammer distinct fds concurrently. Each thread mixes synchronous
+    // writes, non-blocking writes, and reads that must observe the
+    // pending-write overlay; at the end every byte must be intact, no op
+    // may have fallen back, and no overlay may have been lost.
+    const THREADS: usize = 4;
+    let sys = system();
+    for i in 0..THREADS {
+        sys.fs()
+            .populate(&format!("/mt{i}"), 256 * 1024, 0)
+            .unwrap();
+    }
+    // Phase 1: one setup actor opens all files so fds are known.
+    let sim = Simulation::new();
+    let holder: Arc<Mutex<Option<(Arc<UserProcess>, Vec<i32>)>>> = Arc::new(Mutex::new(None));
+    {
+        let sys2 = sys.clone();
+        let h = Arc::clone(&holder);
+        sim.spawn("setup", move |ctx| {
+            let proc = UserProcess::start(&sys2, 0, 0);
+            let mut t = proc.thread();
+            let fds = (0..THREADS)
+                .map(|i| t.open(ctx, &format!("/mt{i}"), true).unwrap())
+                .collect();
+            *h.lock() = Some((proc, fds));
+        });
+    }
+    sim.run();
+    let (proc, fds) = holder.lock().take().unwrap();
+    // Phase 2: one actor thread per fd, all running concurrently in the
+    // simulation (each is a real OS thread, so the RwLock'd file table
+    // and per-fd mutexes see genuine cross-thread access).
+    let sim = Simulation::new();
+    for (i, &fd) in fds.iter().enumerate() {
+        let p = Arc::clone(&proc);
+        sim.spawn(&format!("worker-{i}"), move |ctx| {
+            let mut t = p.thread();
+            let tag = 0x10 + i as u8;
+            // Synchronous aligned overwrite at the front.
+            t.pwrite(ctx, fd, &[tag; 8192], 0).unwrap();
+            // Non-blocking write further in; read it back *before*
+            // flushing — the overlay must serve the unconfirmed data.
+            t.pwrite_async(ctx, fd, &[tag ^ 0xFF; 4096], 65536).unwrap();
+            let mut buf = vec![0u8; 4096];
+            t.pread(ctx, fd, &mut buf, 65536).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == tag ^ 0xFF),
+                "worker {i}: pending-write overlay lost"
+            );
+            // Sub-sector RMW on this thread's own file.
+            t.pwrite(ctx, fd, &[tag; 100], 12_345).unwrap();
+            t.fsync(ctx, fd).unwrap();
+        });
+    }
+    sim.run();
+    // Phase 3: verify every file from a fresh thread.
+    let sim = Simulation::new();
+    let p = Arc::clone(&proc);
+    sim.spawn("check", move |ctx| {
+        let mut t = p.thread();
+        for (i, &fd) in fds.iter().enumerate() {
+            let tag = 0x10 + i as u8;
+            let mut buf = vec![0u8; 8192];
+            t.pread(ctx, fd, &mut buf, 0).unwrap();
+            assert!(buf.iter().all(|&b| b == tag), "worker {i}: sync write lost");
+            let mut buf = vec![0u8; 4096];
+            t.pread(ctx, fd, &mut buf, 65536).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == tag ^ 0xFF),
+                "worker {i}: async write lost after fsync"
+            );
+            let mut buf = vec![0u8; 100];
+            t.pread(ctx, fd, &mut buf, 12_345).unwrap();
+            assert!(buf.iter().all(|&b| b == tag), "worker {i}: RMW write lost");
+            assert_eq!(t.pending_write_count(fd), 0);
+        }
+        let (direct, fallback) = p.op_counts();
+        assert!(direct >= (THREADS * 6) as u64, "direct={direct}");
+        assert_eq!(fallback, 0, "no op may fall back on the direct path");
+    });
+    sim.run();
 }

@@ -172,7 +172,9 @@ impl BlockAllocator {
         let n_words = blocks.div_ceil(64) as usize;
         let mut words = Vec::with_capacity(n_words);
         for i in 0..n_words {
-            words.push(u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap()));
+            words.push(u64::from_le_bytes(
+                buf[i * 8..(i + 1) * 8].try_into().unwrap(),
+            ));
         }
         let mut free = 0;
         for b in 0..blocks {

@@ -63,7 +63,10 @@ pub fn split_path(path: &str) -> Option<Vec<&str>> {
         return None;
     }
     let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-    if comps.iter().any(|c| *c == "." || *c == ".." || c.len() > 255) {
+    if comps
+        .iter()
+        .any(|c| *c == "." || *c == ".." || c.len() > 255)
+    {
         return None;
     }
     Some(comps)
@@ -95,9 +98,18 @@ mod tests {
     #[test]
     fn dir_roundtrip() {
         let entries = vec![
-            DirEntry { ino: Ino(2), name: "alpha".into() },
-            DirEntry { ino: Ino(3), name: "b".into() },
-            DirEntry { ino: Ino(4), name: "a-much-longer-name.txt".into() },
+            DirEntry {
+                ino: Ino(2),
+                name: "alpha".into(),
+            },
+            DirEntry {
+                ino: Ino(3),
+                name: "b".into(),
+            },
+            DirEntry {
+                ino: Ino(4),
+                name: "a-much-longer-name.txt".into(),
+            },
         ];
         let enc = encode_dir(&entries);
         assert_eq!(decode_dir(&enc), entries);
@@ -106,9 +118,18 @@ mod tests {
     #[test]
     fn tombstones_skipped() {
         let entries = vec![
-            DirEntry { ino: Ino(2), name: "keep".into() },
-            DirEntry { ino: Ino(0), name: "dead".into() },
-            DirEntry { ino: Ino(3), name: "also".into() },
+            DirEntry {
+                ino: Ino(2),
+                name: "keep".into(),
+            },
+            DirEntry {
+                ino: Ino(0),
+                name: "dead".into(),
+            },
+            DirEntry {
+                ino: Ino(3),
+                name: "also".into(),
+            },
         ];
         let enc = encode_dir(&entries);
         let dec = decode_dir(&enc);
@@ -119,7 +140,10 @@ mod tests {
 
     #[test]
     fn zero_padding_terminates() {
-        let mut enc = encode_dir(&[DirEntry { ino: Ino(2), name: "x".into() }]);
+        let mut enc = encode_dir(&[DirEntry {
+            ino: Ino(2),
+            name: "x".into(),
+        }]);
         enc.extend_from_slice(&[0u8; 100]);
         assert_eq!(decode_dir(&enc).len(), 1);
     }

@@ -55,11 +55,7 @@ impl ExtentTree {
 
     /// One past the last mapped file block.
     pub fn end_block(&self) -> u64 {
-        self.map
-            .values()
-            .next_back()
-            .map(|e| e.end())
-            .unwrap_or(0)
+        self.map.values().next_back().map(|e| e.end()).unwrap_or(0)
     }
 
     /// Inserts an extent, merging with a physically-contiguous
@@ -177,7 +173,11 @@ mod tests {
     use super::*;
 
     fn e(fb: u64, sb: u64, len: u32) -> Extent {
-        Extent { file_block: fb, start_block: sb, len }
+        Extent {
+            file_block: fb,
+            start_block: sb,
+            len,
+        }
     }
 
     #[test]

@@ -215,7 +215,11 @@ impl Ext4 {
         Ok(FmapOutcome {
             vba,
             cost,
-            kind: if was_cold { FmapCost::Cold } else { FmapCost::Warm },
+            kind: if was_cold {
+                FmapCost::Cold
+            } else {
+                FmapCost::Warm
+            },
         })
     }
 

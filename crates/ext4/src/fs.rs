@@ -29,9 +29,8 @@ use crate::extent::ExtentTree;
 use crate::fmap::{FileTables, Mapping};
 use crate::journal::{Journal, Tx};
 use crate::layout::{
-    decode_extent_block, encode_extent_block, mode, DiskInode, Extent, Ino, Superblock,
-    BLOCK_SIZE, EXTENTS_PER_BLOCK, INLINE_EXTENTS, INODES_PER_BLOCK, INODE_SIZE, ROOT_INO,
-    SB_MAGIC,
+    decode_extent_block, encode_extent_block, mode, DiskInode, Extent, Ino, Superblock, BLOCK_SIZE,
+    EXTENTS_PER_BLOCK, INLINE_EXTENTS, INODES_PER_BLOCK, INODE_SIZE, ROOT_INO, SB_MAGIC,
 };
 
 /// Errors returned by file system operations.
@@ -376,8 +375,12 @@ impl Ext4 {
     /// Rewrites the inode's extent representation: first
     /// [`INLINE_EXTENTS`] inline, the rest in a chain of overflow blocks.
     fn flush_extents_to_disk(&self, inner: &mut FsInner, ino: Ino, tx: &mut Tx) {
-        let Some(ci) = inner.icache.get(&ino.0) else { return };
-        let Some(tree) = ci.extents.clone() else { return };
+        let Some(ci) = inner.icache.get(&ino.0) else {
+            return;
+        };
+        let Some(tree) = ci.extents.clone() else {
+            return;
+        };
         let all: Vec<Extent> = tree.iter().copied().collect();
         let ci = inner.icache.get_mut(&ino.0).unwrap();
         ci.disk.extent_count = all.len() as u32;
@@ -507,7 +510,14 @@ impl Ext4 {
         let blocks_needed = (data.len() as u64).div_ceil(BLOCK_SIZE).max(1);
         // Grow the mapping as needed.
         loop {
-            let have = inner.icache.get(&ino.0).unwrap().extents.as_ref().unwrap().end_block();
+            let have = inner
+                .icache
+                .get(&ino.0)
+                .unwrap()
+                .extents
+                .as_ref()
+                .unwrap()
+                .end_block();
             if have >= blocks_needed {
                 break;
             }
@@ -568,11 +578,7 @@ impl Ext4 {
         Ok(cur)
     }
 
-    fn resolve_parent<'p>(
-        &self,
-        inner: &mut FsInner,
-        path: &'p str,
-    ) -> Ext4Result<(Ino, &'p str)> {
+    fn resolve_parent<'p>(&self, inner: &mut FsInner, path: &'p str) -> Ext4Result<(Ino, &'p str)> {
         let comps = split_path(path).ok_or(Ext4Error::InvalidPath)?;
         let (name, parents) = comps.split_last().ok_or(Ext4Error::InvalidPath)?;
         let mut cur = ROOT_INO;
@@ -692,7 +698,13 @@ impl Ext4 {
         // allocator only hands them out after this commit).
         self.ensure_extents(inner, ino)?;
         let freed: Vec<(u64, u64)> = {
-            let tree = inner.icache.get_mut(&ino.0).unwrap().extents.as_mut().unwrap();
+            let tree = inner
+                .icache
+                .get_mut(&ino.0)
+                .unwrap()
+                .extents
+                .as_mut()
+                .unwrap();
             tree.truncate(0)
         };
         for (s, l) in freed {
@@ -737,7 +749,10 @@ impl Ext4 {
         self.load_inode(inner, ino)?;
         let blocks = {
             let _ = self.ensure_extents(inner, ino)?;
-            inner.icache.get(&ino.0).unwrap()
+            inner
+                .icache
+                .get(&ino.0)
+                .unwrap()
                 .extents
                 .as_ref()
                 .map(|t| t.iter().map(|e| e.len as u64).sum())
@@ -911,7 +926,8 @@ impl Ext4 {
         // charge the device write cost.
         let timing = self.dev.timing();
         for (_, start, len) in &new_runs {
-            self.dev.zero_raw(Lba::from_block(*start), len * (BLOCK_SIZE / 512));
+            self.dev
+                .zero_raw(Lba::from_block(*start), len * (BLOCK_SIZE / 512));
             // Zeroing uses the device's Write Zeroes command — a cheap
             // deallocate-style operation, not a data write (§5.3).
             cost += timing.write_zeroes_cost;

@@ -43,7 +43,11 @@ impl Tx {
     /// Panics if `data` is not exactly one block, or the transaction
     /// exceeds [`MAX_TX_BLOCKS`] distinct blocks.
     pub fn stage(&mut self, home_block: u64, data: Vec<u8>) {
-        assert_eq!(data.len(), BLOCK_SIZE as usize, "journal stages whole blocks");
+        assert_eq!(
+            data.len(),
+            BLOCK_SIZE as usize,
+            "journal stages whole blocks"
+        );
         if let Some(slot) = self.records.iter_mut().find(|(b, _)| *b == home_block) {
             slot.1 = data;
             return;
@@ -94,7 +98,10 @@ impl Journal {
     /// # Panics
     /// Panics if the region is too small for one maximal transaction.
     pub fn new(dev: Arc<NvmeDevice>, start: u64, len: u64) -> Self {
-        assert!(len as usize >= MAX_TX_BLOCKS + 2, "journal region too small");
+        assert!(
+            len as usize >= MAX_TX_BLOCKS + 2,
+            "journal region too small"
+        );
         Journal {
             dev,
             start,
@@ -173,10 +180,8 @@ impl Journal {
                 .collect();
             // Check commit record before applying anything.
             let mut cbuf = vec![0u8; BLOCK_SIZE as usize];
-            self.dev.read_raw(
-                Lba::from_block(self.start + offset + 1 + count),
-                &mut cbuf,
-            );
+            self.dev
+                .read_raw(Lba::from_block(self.start + offset + 1 + count), &mut cbuf);
             let cmagic = u64::from_le_bytes(cbuf[0..8].try_into().unwrap());
             let ctid = u64::from_le_bytes(cbuf[8..16].try_into().unwrap());
             if cmagic != JC_MAGIC || ctid != tid {
@@ -208,9 +213,9 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bypassd_hw::iommu::Iommu;
     use bypassd_hw::mem::PhysMem;
     use bypassd_hw::types::DevId;
-    use bypassd_hw::iommu::Iommu;
     use bypassd_ssd::timing::MediaTiming;
     use parking_lot::Mutex;
 

@@ -222,7 +222,10 @@ impl DiskInode {
     /// # Panics
     /// Panics if more than [`INLINE_EXTENTS`] inline extents are present.
     pub fn encode(&self) -> Vec<u8> {
-        assert!(self.inline.len() <= INLINE_EXTENTS, "too many inline extents");
+        assert!(
+            self.inline.len() <= INLINE_EXTENTS,
+            "too many inline extents"
+        );
         let mut out = Vec::with_capacity(INODE_SIZE as usize);
         out.extend_from_slice(&self.mode.to_le_bytes());
         out.extend_from_slice(&self.uid.to_le_bytes());
@@ -343,8 +346,16 @@ mod tests {
         ino.mtime = 99;
         ino.extent_count = 2;
         ino.inline = vec![
-            Extent { file_block: 0, start_block: 500, len: 16 },
-            Extent { file_block: 16, start_block: 900, len: 14 },
+            Extent {
+                file_block: 0,
+                start_block: 500,
+                len: 16,
+            },
+            Extent {
+                file_block: 16,
+                start_block: 900,
+                len: 14,
+            },
         ];
         ino.overflow_block = 777;
         let enc = ino.encode();
@@ -383,7 +394,11 @@ mod tests {
 
     #[test]
     fn extent_lba_of() {
-        let e = Extent { file_block: 10, start_block: 100, len: 5 };
+        let e = Extent {
+            file_block: 10,
+            start_block: 100,
+            len: 5,
+        };
         assert_eq!(e.lba_of(10), Lba::from_block(100));
         assert_eq!(e.lba_of(14), Lba::from_block(104));
         assert_eq!(e.end(), 15);
@@ -392,7 +407,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside extent")]
     fn extent_lba_of_out_of_range() {
-        let e = Extent { file_block: 10, start_block: 100, len: 5 };
+        let e = Extent {
+            file_block: 10,
+            start_block: 100,
+            len: 5,
+        };
         e.lba_of(15);
     }
 

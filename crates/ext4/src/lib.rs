@@ -30,6 +30,6 @@ pub mod fs;
 pub mod journal;
 pub mod layout;
 
-pub use fs::{Ext4, Ext4Error, Ext4Options, FileHandleKind, Stat};
 pub use fmap::{FmapCost, FmapOutcome};
+pub use fs::{Ext4, Ext4Error, Ext4Options, FileHandleKind, Stat};
 pub use layout::Ino;

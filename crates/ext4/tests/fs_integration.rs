@@ -94,10 +94,7 @@ fn unlink_removes_and_frees() {
 fn permission_enforced_on_create() {
     let f = fixture();
     f.fs.mkdir("/locked", 0o700, 1, 1).unwrap();
-    assert_eq!(
-        f.fs.create("/locked/f", 0o644, 2, 2),
-        Err(Ext4Error::Perm)
-    );
+    assert_eq!(f.fs.create("/locked/f", 0o644, 2, 2), Err(Ext4Error::Perm));
     assert!(f.fs.create("/locked/f", 0o644, 1, 1).is_ok());
 }
 
@@ -244,7 +241,11 @@ fn many_extents_spill_to_overflow_blocks_and_survive_mount() {
     let a2 = fs2.lookup("/a").unwrap();
     let (segs, _) = fs2.resolve(a2, 0, 40 * BLOCK_SIZE).unwrap();
     assert_eq!(segs.iter().map(|s| s.1).sum::<u64>(), 40 * BLOCK_SIZE);
-    assert!(segs.len() > 8, "expected fragmented layout, got {}", segs.len());
+    assert!(
+        segs.len() > 8,
+        "expected fragmented layout, got {}",
+        segs.len()
+    );
 }
 
 // ---- fmap / file tables ----
@@ -275,26 +276,24 @@ fn fmap_translation_resolves_correct_lba() {
     let o = f.fs.fmap(ino, &t, true).unwrap();
     let (segs, _) = f.fs.resolve(ino, 0, 8 * BLOCK_SIZE).unwrap();
     let expect = segs[0].0.unwrap();
-    let tr = f
-        .fs
-        .iommu()
-        .lock()
-        .translate(t.pasid, o.vba, PAGE_SIZE, AccessKind::Read, DEV)
-        .unwrap();
+    let tr =
+        f.fs.iommu()
+            .lock()
+            .translate(t.pasid, o.vba, PAGE_SIZE, AccessKind::Read, DEV)
+            .unwrap();
     assert_eq!(tr.extents[0].0, expect);
     // Offset into the third block.
-    let tr2 = f
-        .fs
-        .iommu()
-        .lock()
-        .translate(
-            t.pasid,
-            o.vba.offset(2 * PAGE_SIZE),
-            PAGE_SIZE,
-            AccessKind::Read,
-            DEV,
-        )
-        .unwrap();
+    let tr2 =
+        f.fs.iommu()
+            .lock()
+            .translate(
+                t.pasid,
+                o.vba.offset(2 * PAGE_SIZE),
+                PAGE_SIZE,
+                AccessKind::Read,
+                DEV,
+            )
+            .unwrap();
     assert_eq!(tr2.extents[0].0, Lba(expect.0 + 16));
 }
 
@@ -370,7 +369,13 @@ fn append_growth_visible_through_existing_mapping() {
         .fs
         .iommu()
         .lock()
-        .translate(t.pasid, o.vba.offset(PAGE_SIZE), PAGE_SIZE, AccessKind::Read, DEV)
+        .translate(
+            t.pasid,
+            o.vba.offset(PAGE_SIZE),
+            PAGE_SIZE,
+            AccessKind::Read,
+            DEV
+        )
         .is_err());
     // Kernel appends a block: FTE appears in the shared fragment.
     f.fs.allocate(ino, BLOCK_SIZE, BLOCK_SIZE).unwrap();
@@ -378,7 +383,13 @@ fn append_growth_visible_through_existing_mapping() {
         .fs
         .iommu()
         .lock()
-        .translate(t.pasid, o.vba.offset(PAGE_SIZE), PAGE_SIZE, AccessKind::Read, DEV)
+        .translate(
+            t.pasid,
+            o.vba.offset(PAGE_SIZE),
+            PAGE_SIZE,
+            AccessKind::Read,
+            DEV
+        )
         .is_ok());
 }
 
@@ -395,7 +406,13 @@ fn growth_across_fragment_boundary_attaches_new_fragment() {
         .fs
         .iommu()
         .lock()
-        .translate(t.pasid, o.vba.offset(FRAGMENT_SPAN), PAGE_SIZE, AccessKind::Read, DEV)
+        .translate(
+            t.pasid,
+            o.vba.offset(FRAGMENT_SPAN),
+            PAGE_SIZE,
+            AccessKind::Read,
+            DEV
+        )
         .is_ok());
 }
 
@@ -413,7 +430,13 @@ fn truncate_detaches_ftes() {
         .is_ok());
     assert!(
         iommu
-            .translate(t.pasid, o.vba.offset(PAGE_SIZE), PAGE_SIZE, AccessKind::Read, DEV)
+            .translate(
+                t.pasid,
+                o.vba.offset(PAGE_SIZE),
+                PAGE_SIZE,
+                AccessKind::Read,
+                DEV
+            )
             .is_err(),
         "truncated block still translatable"
     );

@@ -43,7 +43,10 @@ impl RwMode {
     }
 
     fn is_random(self) -> bool {
-        matches!(self, RwMode::RandRead | RwMode::RandWrite | RwMode::RandRw(_))
+        matches!(
+            self,
+            RwMode::RandRead | RwMode::RandWrite | RwMode::RandRw(_)
+        )
     }
 }
 
@@ -144,7 +147,9 @@ pub fn run_jobs(system: &System, jobs: Vec<(Arc<dyn BackendFactory>, JobSpec)>) 
     // Setup: populate every file.
     for (_, spec) in &jobs {
         let paths: Vec<String> = if spec.per_thread_files {
-            (0..spec.threads).map(|t| format!("{}-{t}", spec.file)).collect()
+            (0..spec.threads)
+                .map(|t| format!("{}-{t}", spec.file))
+                .collect()
         } else {
             vec![spec.file.clone()]
         };
@@ -199,7 +204,9 @@ pub fn run_jobs(system: &System, jobs: Vec<(Arc<dyn BackendFactory>, JobSpec)>) 
                     let offset = idx * spec.block_size;
                     let t0 = ctx.now();
                     if spec.mode.is_read(&mut rng) {
-                        backend.pread(ctx, h, &mut buf, offset).expect("pread failed");
+                        backend
+                            .pread(ctx, h, &mut buf, offset)
+                            .expect("pread failed");
                     } else {
                         buf.fill(op as u8);
                         backend.pwrite(ctx, h, &buf, offset).expect("pwrite failed");

@@ -14,11 +14,20 @@
 //!   flattens, because one 64 B cacheline holds 8 entries (Fig. 5);
 //! * minimum end-to-end VBA translation ≈ **550 ns**, the delay the
 //!   authors inject in their own emulation.
+//!
+//! The IOTLB and page-walk cache are true LRU structures backed by
+//! [`PasidLru`]: hits refresh recency, evictions and invalidations are
+//! O(1) amortized per entry dropped. Devices with an ATS translation
+//! cache register an [`AtsSink`]; the IOMMU broadcasts every PASID/range
+//! invalidation to them, so device-side caches are shot down on the same
+//! events that clear the IOTLB (FTE detach, revocation, unregister).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bypassd_sim::time::Nanos;
 
+use crate::lru::PasidLru;
 use crate::mem::PhysMem;
 use crate::page_table::walk_raw;
 use crate::pte::Pte;
@@ -31,6 +40,18 @@ pub enum AccessKind {
     Read,
     /// Write access (additionally requires effective write permission).
     Write,
+}
+
+/// A device-side consumer of ATS invalidations (PCIe ATS "invalidation
+/// request" messages, §3.5). Registered sinks are notified whenever the
+/// IOMMU drops cached translations, so device translation caches (ATCs)
+/// never outlive the page-table state they mirror — revocation still
+/// reaches the device and the §3.6 fault-and-fallback path still fires.
+pub trait AtsSink: Send + Sync {
+    /// Drop every device-cached translation for `pasid`.
+    fn ats_invalidate_pasid(&self, pasid: Pasid);
+    /// Drop device-cached translations covering `[vba, vba+len)`.
+    fn ats_invalidate_range(&self, pasid: Pasid, vba: Vba, len: u64);
 }
 
 /// Why a translation was refused. The device surfaces these to userspace
@@ -72,6 +93,19 @@ pub struct Translation {
     pub extents: Vec<(Lba, u32)>,
     /// Modelled translation latency for this ATS request.
     pub cost: Nanos,
+}
+
+/// One page's worth of translation, as exported to a device-side ATC:
+/// the virtual page number, the LBA of the page's first sector, and
+/// whether the mapping is effectively writable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTranslation {
+    /// Virtual page number (`vba / PAGE_SIZE`).
+    pub vpn: u64,
+    /// LBA of the page's first sector.
+    pub lba: Lba,
+    /// Effective write permission of the mapping.
+    pub writable: bool,
 }
 
 /// Timing constants of the translation path (see module docs).
@@ -139,17 +173,15 @@ pub struct Iommu {
     mem: PhysMem,
     context: HashMap<Pasid, u64>,
     timing: IommuTiming,
-    /// (pasid, virtual page number) → leaf entry. Per the paper, FTEs are
-    /// *not* cached here unless [`Iommu::set_cache_ftes`] enables it
-    /// (ablation), to avoid IOTLB pollution (§4.3).
-    iotlb: HashMap<(Pasid, u64), Pte>,
-    iotlb_capacity: usize,
-    iotlb_order: Vec<(Pasid, u64)>,
-    /// Page-walk cache over (pasid, 2 MB-aligned prefix).
-    pwc: HashMap<(Pasid, u64), ()>,
-    pwc_capacity: usize,
-    pwc_order: Vec<(Pasid, u64)>,
+    /// (pasid, virtual page number) → leaf entry, true LRU. Per the paper,
+    /// FTEs are *not* cached here unless [`Iommu::set_cache_ftes`] enables
+    /// it (ablation), to avoid IOTLB pollution (§4.3).
+    iotlb: PasidLru<Pte>,
+    /// Page-walk cache over (pasid, 2 MB-aligned prefix), true LRU.
+    pwc: PasidLru<()>,
     cache_ftes: bool,
+    /// Device-side ATCs to notify on invalidation.
+    sinks: Vec<Arc<dyn AtsSink>>,
     stats: IommuStats,
 }
 
@@ -160,13 +192,10 @@ impl Iommu {
             mem: mem.clone(),
             context: HashMap::new(),
             timing: IommuTiming::default(),
-            iotlb: HashMap::new(),
-            iotlb_capacity: 4096,
-            iotlb_order: Vec::new(),
-            pwc: HashMap::new(),
-            pwc_capacity: 64,
-            pwc_order: Vec::new(),
+            iotlb: PasidLru::new(4096),
+            pwc: PasidLru::new(64),
             cache_ftes: false,
+            sinks: Vec::new(),
             stats: IommuStats::default(),
         }
     }
@@ -184,16 +213,9 @@ impl Iommu {
     /// Sets the page-walk cache capacity in 2 MB-prefix entries. The
     /// paper notes BypassD "would benefit from larger translation caches
     /// but not necessarily a larger IOTLB" (§4.3) — this is that knob.
+    /// Shrinking evicts least-recently-used prefixes, O(1) each.
     pub fn set_pwc_capacity(&mut self, entries: usize) {
-        self.pwc_capacity = entries.max(1);
-        while self.pwc.len() > self.pwc_capacity {
-            if let Some(old) = self.pwc_order.first().copied() {
-                self.pwc.remove(&old);
-                self.pwc_order.remove(0);
-            } else {
-                break;
-            }
-        }
+        self.pwc.set_capacity(entries);
     }
 
     /// Enables/disables caching FTEs in the IOTLB (ablation; the paper's
@@ -202,8 +224,13 @@ impl Iommu {
         self.cache_ftes = enabled;
         if !enabled {
             self.iotlb.clear();
-            self.iotlb_order.clear();
         }
+    }
+
+    /// Registers a device-side ATS translation cache. The sink receives
+    /// every subsequent PASID/range invalidation this IOMMU performs.
+    pub fn register_ats_sink(&mut self, sink: Arc<dyn AtsSink>) {
+        self.sinks.push(sink);
     }
 
     /// Registers a process page table root under a PASID (done by the
@@ -212,47 +239,38 @@ impl Iommu {
         self.context.insert(pasid, root_frame);
     }
 
-    /// Removes a PASID and all cached state for it.
+    /// Removes a PASID and all cached state for it (here and in every
+    /// registered device-side ATC).
     pub fn unregister(&mut self, pasid: Pasid) {
         self.context.remove(&pasid);
         self.invalidate_pasid(pasid);
     }
 
     /// Drops all cached translations for `pasid` (called by the kernel
-    /// after detaching FTEs, so revocation is visible immediately).
+    /// after detaching FTEs, so revocation is visible immediately), and
+    /// broadcasts the shootdown to registered device-side ATCs. Cost is
+    /// proportional to the entries actually dropped.
     pub fn invalidate_pasid(&mut self, pasid: Pasid) {
-        self.iotlb.retain(|(p, _), _| *p != pasid);
-        self.iotlb_order.retain(|(p, _)| *p != pasid);
-        self.pwc.retain(|(p, _), _| *p != pasid);
-        self.pwc_order.retain(|(p, _)| *p != pasid);
+        self.iotlb.invalidate_pasid(pasid);
+        self.pwc.invalidate_pasid(pasid);
+        for sink in &self.sinks {
+            sink.ats_invalidate_pasid(pasid);
+        }
     }
 
-    /// Drops cached translations covering `[vba, vba+len)` for `pasid`.
+    /// Drops cached translations covering `[vba, vba+len)` for `pasid`
+    /// (IOTLB pages and PWC prefixes touched by the range), and broadcasts
+    /// the shootdown to registered device-side ATCs. Cost is proportional
+    /// to the entries actually dropped, not the cache size.
     pub fn invalidate_range(&mut self, pasid: Pasid, vba: Vba, len: u64) {
         let first = vba.0 / PAGE_SIZE;
         let last = (vba.0 + len.max(1) - 1) / PAGE_SIZE;
-        self.iotlb
-            .retain(|(p, vpn), _| !(*p == pasid && (first..=last).contains(vpn)));
-        self.iotlb_order
-            .retain(|(p, vpn)| !(*p == pasid && (first..=last).contains(vpn)));
+        self.iotlb.invalidate_range(pasid, first, last);
         let pfx_first = vba.0 >> 21;
         let pfx_last = (vba.0 + len.max(1) - 1) >> 21;
-        self.pwc
-            .retain(|(p, pfx), _| !(*p == pasid && (pfx_first..=pfx_last).contains(pfx)));
-        self.pwc_order
-            .retain(|(p, pfx)| !(*p == pasid && (pfx_first..=pfx_last).contains(pfx)));
-    }
-
-    fn iotlb_insert(&mut self, key: (Pasid, u64), pte: Pte) {
-        if self.iotlb.len() >= self.iotlb_capacity {
-            // FIFO eviction keeps the model simple and deterministic.
-            if let Some(old) = self.iotlb_order.first().copied() {
-                self.iotlb.remove(&old);
-                self.iotlb_order.remove(0);
-            }
-        }
-        if self.iotlb.insert(key, pte).is_none() {
-            self.iotlb_order.push(key);
+        self.pwc.invalidate_range(pasid, pfx_first, pfx_last);
+        for sink in &self.sinks {
+            sink.ats_invalidate_range(pasid, vba, len);
         }
     }
 
@@ -260,7 +278,7 @@ impl Iommu {
     /// entry and whether it was an IOTLB hit.
     fn lookup_leaf(&mut self, pasid: Pasid, root: u64, va: VirtAddr) -> (Option<Pte>, bool) {
         let vpn = va.0 / PAGE_SIZE;
-        if let Some(&pte) = self.iotlb.get(&(pasid, vpn)) {
+        if let Some(&pte) = self.iotlb.get(pasid, vpn) {
             self.stats.iotlb_hits += 1;
             return (Some(pte), true);
         }
@@ -278,7 +296,7 @@ impl Iommu {
         if let Some(p) = pte {
             let cacheable = self.cache_ftes || !p.is_fte();
             if cacheable {
-                self.iotlb_insert((pasid, vpn), p);
+                self.iotlb.insert(pasid, vpn, p);
             }
         }
         (pte, false)
@@ -325,6 +343,28 @@ impl Iommu {
         access: AccessKind,
         requester: DevId,
     ) -> Result<Translation, (TranslateError, Nanos)> {
+        self.translate_collect(pasid, vba, len, access, requester, None)
+    }
+
+    /// As [`Iommu::translate`], additionally appending one
+    /// [`PageTranslation`] per page to `collect` when provided. Devices
+    /// with an ATS cache pass `Some` to populate their ATC from the same
+    /// walk; the plain path passes `None` and pays nothing extra.
+    ///
+    /// # Errors
+    /// See [`TranslateError`].
+    ///
+    /// # Panics
+    /// Panics if `vba`/`len` are not sector aligned or `len` is zero.
+    pub fn translate_collect(
+        &mut self,
+        pasid: Pasid,
+        vba: Vba,
+        len: u64,
+        access: AccessKind,
+        requester: DevId,
+        mut collect: Option<&mut Vec<PageTranslation>>,
+    ) -> Result<Translation, (TranslateError, Nanos)> {
         assert!(len > 0, "zero-length translation");
         assert!(
             vba.0.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE),
@@ -341,9 +381,10 @@ impl Iommu {
             }
         };
 
-        // Page-walk cache keyed by 2MB prefix of the first page.
-        let pwc_key = (pasid, vba.0 >> 21);
-        let pwc_hit = self.pwc.contains_key(&pwc_key);
+        // Page-walk cache keyed by 2MB prefix of the first page; a hit
+        // refreshes the prefix's recency (true LRU).
+        let pwc_pfx = vba.0 >> 21;
+        let pwc_hit = self.pwc.get(pasid, pwc_pfx).is_some();
         if pwc_hit {
             self.stats.pwc_hits += 1;
         } else {
@@ -382,6 +423,13 @@ impl Iommu {
                 return Err((TranslateError::PermissionDenied, fault_cost));
             }
             self.stats.pages_translated += 1;
+            if let Some(pages) = collect.as_deref_mut() {
+                pages.push(PageTranslation {
+                    vpn: page,
+                    lba: pte.lba(),
+                    writable: pte.writable(),
+                });
+            }
 
             // Sector range of this page covered by the request.
             let page_start = page * PAGE_SIZE;
@@ -401,15 +449,7 @@ impl Iommu {
             extents.push((lba, sectors));
         }
 
-        if self.pwc.insert(pwc_key, ()).is_none() {
-            self.pwc_order.push(pwc_key);
-            if self.pwc.len() > self.pwc_capacity {
-                // FIFO eviction: deterministic and close enough to the
-                // real structure's behaviour for the timing model.
-                let old = self.pwc_order.remove(0);
-                self.pwc.remove(&old);
-            }
-        }
+        self.pwc.insert(pasid, pwc_pfx, ());
         debug_assert_eq!(
             extents.iter().map(|e| e.1 as u64).sum::<u64>() * SECTOR_SIZE,
             len
@@ -458,7 +498,7 @@ impl Iommu {
         write: bool,
     ) -> Result<(PhysAddr, Nanos), TranslateError> {
         let vpn = va.0 / PAGE_SIZE;
-        let was_hit = self.iotlb.contains_key(&(pasid, vpn));
+        let was_hit = self.iotlb.contains(pasid, vpn);
         let pa = self.translate_iova(pasid, va, write)?;
         let cost = if was_hit {
             self.timing.iotlb_hit
@@ -486,6 +526,12 @@ impl Iommu {
             self.stats.pwc_misses,
         )
     }
+
+    /// Current (IOTLB entries, PWC entries) occupancy, for tests and
+    /// debugging.
+    pub fn cache_occupancy(&self) -> (usize, usize) {
+        (self.iotlb.len(), self.pwc.len())
+    }
 }
 
 impl std::fmt::Debug for Iommu {
@@ -494,6 +540,7 @@ impl std::fmt::Debug for Iommu {
             .field("pasids", &self.context.len())
             .field("iotlb_entries", &self.iotlb.len())
             .field("cache_ftes", &self.cache_ftes)
+            .field("ats_sinks", &self.sinks.len())
             .finish()
     }
 }
@@ -502,6 +549,7 @@ impl std::fmt::Debug for Iommu {
 mod tests {
     use super::*;
     use crate::page_table::AddressSpace;
+    use std::sync::Mutex;
 
     const DEV: DevId = DevId(1);
     const P: Pasid = Pasid(10);
@@ -596,10 +644,7 @@ mod tests {
         let mem = PhysMem::new();
         let mut asid = AddressSpace::new(&mem);
         let vba = Vba(0x4000_0000);
-        asid.map_page(
-            vba.as_virt(),
-            Pte::fte(Lba::from_block(5), DEV, false),
-        );
+        asid.map_page(vba.as_virt(), Pte::fte(Lba::from_block(5), DEV, false));
         let mut iommu = Iommu::new(&mem);
         iommu.register(P, asid.root_frame());
         assert!(iommu
@@ -776,5 +821,114 @@ mod tests {
             .unwrap();
         let (hits, _, _, _) = iommu.cache_stats();
         assert!(hits >= 1);
+    }
+
+    #[test]
+    fn pwc_eviction_is_true_lru_touch_on_hit() {
+        // Regression for the old FIFO order-list: a re-referenced entry
+        // must be protected from eviction, and capacity must hold exactly.
+        // The PWC has a public capacity knob, and it shares the same
+        // PasidLru backing as the IOTLB.
+        let mem = PhysMem::new();
+        let mut iommu = Iommu::new(&mem);
+        iommu.set_pwc_capacity(3);
+        // Four distinct 2MB prefixes: A, B, C, D.
+        let vb = |i: u64| Vba(0x4000_0000 + (i << 21));
+        let mut fte_space = AddressSpace::new(&mem);
+        for i in 0..4 {
+            fte_space.map_page(
+                vb(i).as_virt(),
+                Pte::fte(Lba::from_block(500 + i), DEV, true),
+            );
+        }
+        let p2 = Pasid(11);
+        iommu.register(p2, fte_space.root_frame());
+        for i in 0..3 {
+            iommu
+                .translate(p2, vb(i), PAGE_SIZE, AccessKind::Read, DEV)
+                .unwrap();
+        }
+        // Re-reference prefix A, making B the LRU; then insert D.
+        iommu
+            .translate(p2, vb(0), PAGE_SIZE, AccessKind::Read, DEV)
+            .unwrap();
+        iommu
+            .translate(p2, vb(3), PAGE_SIZE, AccessKind::Read, DEV)
+            .unwrap();
+        let (_, _, hits_before, _) = iommu.cache_stats();
+        // A must still hit (would have been evicted under FIFO); B must miss.
+        iommu
+            .translate(p2, vb(0), PAGE_SIZE, AccessKind::Read, DEV)
+            .unwrap();
+        let (_, _, hits_a, _) = iommu.cache_stats();
+        assert_eq!(hits_a, hits_before + 1, "touched prefix must survive");
+        iommu
+            .translate(p2, vb(1), PAGE_SIZE, AccessKind::Read, DEV)
+            .unwrap();
+        let (_, _, hits_b, misses_b) = iommu.cache_stats();
+        assert_eq!(hits_b, hits_a, "LRU prefix must have been evicted");
+        assert!(misses_b > 0);
+        let (_, pwc_len) = iommu.cache_occupancy();
+        assert!(pwc_len <= 3, "capacity must hold: {pwc_len}");
+    }
+
+    #[test]
+    fn pwc_capacity_shrink_evicts_down_to_new_capacity() {
+        // Regression for the old set_pwc_capacity loop built on
+        // `Vec::remove(0)`: shrinking must evict down to the new size.
+        let (_m, _a, mut iommu, _vba) = setup_file(1, true);
+        let mut asid2 = AddressSpace::new(&_m);
+        for i in 0..8u64 {
+            asid2.map_page(
+                Vba(0x4000_0000 + (i << 21)).as_virt(),
+                Pte::fte(Lba::from_block(900 + i), DEV, true),
+            );
+        }
+        let p2 = Pasid(12);
+        iommu.register(p2, asid2.root_frame());
+        for i in 0..8u64 {
+            iommu
+                .translate(
+                    p2,
+                    Vba(0x4000_0000 + (i << 21)),
+                    PAGE_SIZE,
+                    AccessKind::Read,
+                    DEV,
+                )
+                .unwrap();
+        }
+        let (_, before) = iommu.cache_occupancy();
+        assert_eq!(before, 8);
+        iommu.set_pwc_capacity(2);
+        let (_, after) = iommu.cache_occupancy();
+        assert_eq!(after, 2, "shrink must evict down to the new capacity");
+    }
+
+    #[derive(Default)]
+    struct RecordingSink {
+        pasids: Mutex<Vec<Pasid>>,
+        ranges: Mutex<Vec<(Pasid, Vba, u64)>>,
+    }
+
+    impl AtsSink for RecordingSink {
+        fn ats_invalidate_pasid(&self, pasid: Pasid) {
+            self.pasids.lock().unwrap().push(pasid);
+        }
+        fn ats_invalidate_range(&self, pasid: Pasid, vba: Vba, len: u64) {
+            self.ranges.lock().unwrap().push((pasid, vba, len));
+        }
+    }
+
+    #[test]
+    fn ats_sinks_receive_every_shootdown() {
+        let (_m, _a, mut iommu, vba) = setup_file(1, true);
+        let sink = Arc::new(RecordingSink::default());
+        iommu.register_ats_sink(sink.clone());
+        iommu.invalidate_range(P, vba, PAGE_SIZE);
+        iommu.invalidate_pasid(P);
+        iommu.unregister(P);
+        assert_eq!(&*sink.ranges.lock().unwrap(), &[(P, vba, PAGE_SIZE)]);
+        // invalidate_pasid once directly, once via unregister.
+        assert_eq!(&*sink.pasids.lock().unwrap(), &[P, P]);
     }
 }

@@ -20,13 +20,19 @@
 //!   LBAs, and models translation latency calibrated to Table 4 / Fig. 5.
 
 pub mod iommu;
+pub mod lru;
 pub mod mem;
 pub mod page_table;
 pub mod pte;
 pub mod types;
 
-pub use iommu::{AccessKind, Iommu, IommuTiming, TranslateError, Translation};
+pub use iommu::{
+    AccessKind, AtsSink, Iommu, IommuTiming, PageTranslation, TranslateError, Translation,
+};
+pub use lru::PasidLru;
 pub use mem::PhysMem;
 pub use page_table::{AddressSpace, AttachLevel};
 pub use pte::Pte;
-pub use types::{DevId, Lba, Pasid, PhysAddr, Vba, VirtAddr, PAGE_SIZE, SECTORS_PER_PAGE, SECTOR_SIZE};
+pub use types::{
+    DevId, Lba, Pasid, PhysAddr, Vba, VirtAddr, PAGE_SIZE, SECTORS_PER_PAGE, SECTOR_SIZE,
+};

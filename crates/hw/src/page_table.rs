@@ -62,10 +62,7 @@ pub fn walk_raw(mem: &PhysMem, root: u64, va: VirtAddr) -> Option<Walk> {
     let mut table = root;
     let mut writable = true;
     for level in (2..=4).rev() {
-        let entry = Pte(mem.read_u64(PhysAddr::from_frame(
-            table,
-            8 * va.index(level) as u64,
-        )));
+        let entry = Pte(mem.read_u64(PhysAddr::from_frame(table, 8 * va.index(level) as u64)));
         if !entry.present() {
             return None;
         }

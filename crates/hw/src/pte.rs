@@ -63,7 +63,10 @@ impl Pte {
     /// Panics if the LBA or device ID exceed their field widths or the LBA
     /// is not 4 KB aligned.
     pub fn fte(lba: Lba, dev: DevId, writable: bool) -> Pte {
-        assert!(lba.0.is_multiple_of(crate::types::SECTORS_PER_PAGE), "FTE LBA must be 4KB-aligned");
+        assert!(
+            lba.0.is_multiple_of(crate::types::SECTORS_PER_PAGE),
+            "FTE LBA must be 4KB-aligned"
+        );
         let payload = lba.0 / crate::types::SECTORS_PER_PAGE;
         assert!(payload < (1 << 36), "LBA exceeds FTE payload width");
         assert!((dev.0 as u64) < (1 << 10), "DevID exceeds FTE field width");

@@ -93,8 +93,7 @@ fn decode_child(buf: &[u8], key: u64) -> u64 {
         let off = 4 + i * NODE_ENTRY;
         let first = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
         if first <= key {
-            child =
-                u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as u64;
+            child = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as u64;
         } else {
             break;
         }
@@ -165,14 +164,13 @@ impl BtreeStore {
         for lvl in 1..levels.len() {
             let (child_start, child_count) = levels[lvl - 1];
             let (_, count) = levels[lvl];
-            let child_keys_span = (cfg.leaf_entries as u64)
-                * (cfg.fanout as u64).pow((lvl - 1) as u32);
+            let child_keys_span =
+                (cfg.leaf_entries as u64) * (cfg.fanout as u64).pow((lvl - 1) as u32);
             for node in 0..count {
                 page.fill(0);
                 page[0] = 1; // internal
                 let first_child = node * cfg.fanout as u64;
-                let n_children =
-                    (cfg.fanout as u64).min(child_count - first_child) as usize;
+                let n_children = (cfg.fanout as u64).min(child_count - first_child) as usize;
                 page[1..3].copy_from_slice(&(n_children as u16).to_le_bytes());
                 for i in 0..n_children {
                     let child = first_child + i as u64;

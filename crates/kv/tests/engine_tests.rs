@@ -7,16 +7,16 @@ use parking_lot::Mutex;
 
 use bypassd::System;
 use bypassd_backends::{make_factory, BackendFactory, BackendKind};
-use bypassd_kv::{BpfKv, BpfKvConfig, BtreeConfig, BtreeStore, Kvell, KvellConfig, YcsbGen, YcsbOp, YcsbWorkload};
+use bypassd_kv::{
+    BpfKv, BpfKvConfig, BtreeConfig, BtreeStore, Kvell, KvellConfig, YcsbGen, YcsbOp, YcsbWorkload,
+};
 use bypassd_sim::Simulation;
 
 fn sys() -> System {
     System::builder().capacity(2 << 30).build()
 }
 
-fn run<T: Send + 'static>(
-    f: impl FnOnce(&mut bypassd_sim::ActorCtx) -> T + Send + 'static,
-) -> T {
+fn run<T: Send + 'static>(f: impl FnOnce(&mut bypassd_sim::ActorCtx) -> T + Send + 'static) -> T {
     let sim = Simulation::new();
     let out = Arc::new(Mutex::new(None));
     let o2 = Arc::clone(&out);
@@ -37,7 +37,10 @@ fn btree_read_returns_built_values() {
         let mut b = f.make_thread();
         let h = b.open(ctx, store.file(), true).unwrap();
         for key in [0u64, 1, 20, 21, 999, 9_999] {
-            let v = store.read(ctx, &mut *b, h, key).unwrap().expect("missing key");
+            let v = store
+                .read(ctx, &mut *b, h, key)
+                .unwrap()
+                .expect("missing key");
             assert_eq!(v[0], 1, "live flag");
             assert_eq!(u64::from_le_bytes(v[1..9].try_into().unwrap()), key);
         }
@@ -90,13 +93,17 @@ fn btree_cache_turns_repeat_reads_cheap() {
     // Warm reads cost only engine CPU (~6.4µs at the WiredTiger-like
     // calibration); cold pays the descent's device I/Os on top.
     assert!(warm < cold / 3, "cached read {warm} vs cold {cold}");
-    assert!(warm.as_nanos() < 8_000, "warm read should be CPU-only: {warm}");
+    assert!(
+        warm.as_nanos() < 8_000,
+        "warm read should be CPU-only: {warm}"
+    );
 }
 
 #[test]
 fn btree_scan_is_one_descent_plus_contiguous_read() {
     let s = sys();
-    let store = Arc::new(BtreeStore::build(&s, BtreeConfig::new("/bt5", 50_000, 64 << 10)).unwrap());
+    let store =
+        Arc::new(BtreeStore::build(&s, BtreeConfig::new("/bt5", 50_000, 64 << 10)).unwrap());
     let f = make_factory(BackendKind::Sync, &s, 0, 0);
     run(move |ctx| {
         let mut b = f.make_thread();
@@ -113,7 +120,8 @@ fn btree_scan_is_one_descent_plus_contiguous_read() {
 fn btree_xrp_beats_sync_only_when_cache_small() {
     let s = sys();
     // Tiny cache: descents miss → chained reads → XRP wins.
-    let small = Arc::new(BtreeStore::build(&s, BtreeConfig::new("/bt6", 200_000, 16 << 10)).unwrap());
+    let small =
+        Arc::new(BtreeStore::build(&s, BtreeConfig::new("/bt6", 200_000, 16 << 10)).unwrap());
     let time_for = |kind: BackendKind, store: Arc<BtreeStore>, sys: &System| {
         sys.reset_virtual_time();
         let f = make_factory(kind, sys, 0, 0);
@@ -293,7 +301,9 @@ fn ycsb_insert_activation_via_store() {
     run(move |ctx| {
         let mut b = f.make_thread();
         let h = b.open(ctx, store.file(), true).unwrap();
-        store.execute(ctx, &mut *b, h, YcsbOp::Insert(1_100)).unwrap();
+        store
+            .execute(ctx, &mut *b, h, YcsbOp::Insert(1_100))
+            .unwrap();
         assert!(store.read(ctx, &mut *b, h, 1_100).unwrap().is_some());
     });
 }

@@ -205,7 +205,10 @@ impl Kernel {
         ctx.delay(self.cost().user_to_kernel);
         let mut events = Vec::new();
         loop {
-            for c in self.device().reap_ready(aio.queue, ctx.now(), max - events.len()) {
+            for c in self
+                .device()
+                .reap_ready(aio.queue, ctx.now(), max - events.len())
+            {
                 if let Some(p) = aio.pending.lock().remove(&c.cid) {
                     let data = match &p.dma {
                         Some(dma) => {

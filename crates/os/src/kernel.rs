@@ -265,7 +265,8 @@ impl Kernel {
     }
 
     fn fd_info(&self, pid: Pid, fd: Fd) -> SysResult<OpenFile> {
-        self.with_proc(pid, |p| p.fd(fd).cloned()).ok_or(Errno::BadF)
+        self.with_proc(pid, |p| p.fd(fd).cloned())
+            .ok_or(Errno::BadF)
     }
 
     // ---- open/close ----
@@ -365,7 +366,13 @@ impl Kernel {
     ///
     /// # Errors
     /// `BadF`, `Perm` when asking for a writable map of a read-only fd.
-    pub fn sys_fmap(&self, ctx: &mut ActorCtx, pid: Pid, fd: Fd, want_write: bool) -> SysResult<Vba> {
+    pub fn sys_fmap(
+        &self,
+        ctx: &mut ActorCtx,
+        pid: Pid,
+        fd: Fd,
+        want_write: bool,
+    ) -> SysResult<Vba> {
         ctx.delay(self.cost.user_to_kernel + self.cost.metadata_op / 2);
         let of = self.fd_info(pid, fd)?;
         if want_write && !of.write {
@@ -465,7 +472,10 @@ impl Kernel {
             offset += *len as usize;
         }
         let _ = offset;
-        let latest = pending.iter().map(|(t, _, _)| *t).fold(ctx.now(), Nanos::max);
+        let latest = pending
+            .iter()
+            .map(|(t, _, _)| *t)
+            .fold(ctx.now(), Nanos::max);
         ctx.wait_until(latest);
         for (_, chunk, dma) in pending {
             dma.read(0, chunk);
@@ -725,7 +735,13 @@ impl Kernel {
     ///
     /// # Errors
     /// As [`Kernel::sys_pread`].
-    pub fn sys_read(&self, ctx: &mut ActorCtx, pid: Pid, fd: Fd, buf: &mut [u8]) -> SysResult<usize> {
+    pub fn sys_read(
+        &self,
+        ctx: &mut ActorCtx,
+        pid: Pid,
+        fd: Fd,
+        buf: &mut [u8],
+    ) -> SysResult<usize> {
         let off = self.fd_info(pid, fd)?.offset;
         let n = self.sys_pread(ctx, pid, fd, buf, off)?;
         self.with_proc(pid, |p| {
@@ -757,7 +773,13 @@ impl Kernel {
     ///
     /// # Errors
     /// `BadF`, `Perm`, `NoSpc`, `Inval`.
-    pub fn sys_append(&self, ctx: &mut ActorCtx, pid: Pid, fd: Fd, data: &[u8]) -> SysResult<usize> {
+    pub fn sys_append(
+        &self,
+        ctx: &mut ActorCtx,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+    ) -> SysResult<usize> {
         ctx.delay(self.cost.user_to_kernel);
         let of = self.fd_info(pid, fd)?;
         if !of.write {
@@ -933,7 +955,6 @@ impl Kernel {
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.lock().stats()
     }
-
 }
 
 impl std::fmt::Debug for Kernel {

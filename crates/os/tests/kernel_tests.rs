@@ -25,7 +25,10 @@ fn kernel() -> Arc<Kernel> {
 
 /// Runs `f` as a single simulated actor and returns the elapsed virtual
 /// time.
-fn run_actor(k: &Arc<Kernel>, f: impl FnOnce(&mut bypassd_sim::ActorCtx, &Kernel) + Send + 'static) -> Nanos {
+fn run_actor(
+    k: &Arc<Kernel>,
+    f: impl FnOnce(&mut bypassd_sim::ActorCtx, &Kernel) + Send + 'static,
+) -> Nanos {
     let sim = Simulation::new();
     let k2 = Arc::clone(k);
     sim.spawn("test", move |ctx| f(ctx, &k2));
@@ -41,7 +44,9 @@ fn table1_sync_4k_read_latency() {
     let e = Arc::clone(&elapsed);
     run_actor(&k, move |ctx, k| {
         let pid = k.spawn_process(1000, 1000);
-        let fd = k.sys_open(ctx, pid, "/data", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/data", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         // Warm the extent cache with one read, then measure.
         k.sys_pread(ctx, pid, fd, &mut buf, 0).unwrap();
@@ -60,7 +65,9 @@ fn pread_returns_populated_data() {
     k.fs().populate("/data", 64 * 1024, 0xAB).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/data", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/data", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 8192];
         let n = k.sys_pread(ctx, pid, fd, &mut buf, 4096).unwrap();
         assert_eq!(n, 8192);
@@ -74,7 +81,9 @@ fn pwrite_then_pread_roundtrip() {
     k.fs().populate("/f", 1 << 20, 0).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/f", OpenFlags::rdwr_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/f", OpenFlags::rdwr_direct(), 0)
+            .unwrap();
         let data = vec![0x5Au8; 4096];
         k.sys_pwrite(ctx, pid, fd, &data, 8192).unwrap();
         let mut buf = vec![0u8; 4096];
@@ -110,7 +119,9 @@ fn read_past_eof_returns_zero() {
     k.fs().populate("/small", 4096, 1).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/small", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/small", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         assert_eq!(k.sys_pread(ctx, pid, fd, &mut buf, 4096).unwrap(), 0);
         // Short read at the boundary.
@@ -124,7 +135,9 @@ fn write_on_readonly_fd_fails() {
     k.fs().populate("/ro", 4096, 0).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/ro", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/ro", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let e = k.sys_pwrite(ctx, pid, fd, &[0u8; 512], 0).unwrap_err();
         assert_eq!(e, Errno::Perm);
     });
@@ -136,7 +149,13 @@ fn permission_denied_for_other_user() {
     run_actor(&k, |ctx, k| {
         let owner = k.spawn_process(100, 100);
         let fd = k
-            .sys_open(ctx, owner, "/private", OpenFlags::rdwr_direct().creat(), 0o600)
+            .sys_open(
+                ctx,
+                owner,
+                "/private",
+                OpenFlags::rdwr_direct().creat(),
+                0o600,
+            )
             .unwrap();
         k.sys_close(ctx, owner, fd).unwrap();
         let intruder = k.spawn_process(200, 200);
@@ -156,7 +175,9 @@ fn unaligned_direct_io_bounces_correctly() {
     k.fs().populate("/f", 8192, 0x44).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/f", OpenFlags::rdwr_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/f", OpenFlags::rdwr_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 100];
         assert_eq!(k.sys_pread(ctx, pid, fd, &mut buf, 37).unwrap(), 100);
         assert!(buf.iter().all(|&b| b == 0x44));
@@ -177,7 +198,9 @@ fn buffered_reads_hit_cache_and_are_faster() {
     let t2 = Arc::clone(&times);
     run_actor(&k, move |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/buf", OpenFlags::rdwr_buffered(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/buf", OpenFlags::rdwr_buffered(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 4096];
         let t0 = ctx.now();
         k.sys_pread(ctx, pid, fd, &mut buf, 0).unwrap();
@@ -189,7 +212,10 @@ fn buffered_reads_hit_cache_and_are_faster() {
         assert!(buf.iter().all(|&b| b == 7));
     });
     let (miss, hit) = *times.lock();
-    assert!(hit < miss / 2, "cache hit {hit} not faster than miss {miss}");
+    assert!(
+        hit < miss / 2,
+        "cache hit {hit} not faster than miss {miss}"
+    );
     let (h, m) = k.cache_stats();
     assert!(h >= 1 && m >= 1);
 }
@@ -200,14 +226,22 @@ fn buffered_write_visible_after_fsync_via_direct_reader() {
     k.fs().populate("/wb", 8192, 0).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/wb", OpenFlags::rdwr_buffered(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/wb", OpenFlags::rdwr_buffered(), 0)
+            .unwrap();
         k.sys_pwrite(ctx, pid, fd, &[9u8; 1000], 100).unwrap();
         // Not yet durable: raw device read shows zeros.
         k.sys_fsync(ctx, pid, fd).unwrap();
-        let (segs, _) = k.fs().resolve(k.fs().lookup("/wb").unwrap(), 0, 4096).unwrap();
+        let (segs, _) = k
+            .fs()
+            .resolve(k.fs().lookup("/wb").unwrap(), 0, 4096)
+            .unwrap();
         let mut raw = vec![0u8; 4096];
         k.device().read_raw(segs[0].0.unwrap(), &mut raw);
-        assert!(raw[100..1100].iter().all(|&b| b == 9), "fsync did not write back");
+        assert!(
+            raw[100..1100].iter().all(|&b| b == 9),
+            "fsync did not write back"
+        );
     });
 }
 
@@ -224,10 +258,15 @@ fn fmap_syscall_returns_vba_and_denies_after_kernel_open() {
         assert!(!vba.is_null());
         // Another process opens via the kernel interface → revocation.
         let p2 = k.spawn_process(0, 0);
-        let _fd2 = k.sys_open(ctx, p2, "/m", OpenFlags::rdwr_buffered(), 0).unwrap();
+        let _fd2 = k
+            .sys_open(ctx, p2, "/m", OpenFlags::rdwr_buffered(), 0)
+            .unwrap();
         // p1 re-fmaps (as UserLib would after an I/O failure): denied.
         let vba2 = k.sys_fmap(ctx, p1, fd1, true).unwrap();
-        assert!(vba2.is_null(), "fmap must deny while kernel interface is open");
+        assert!(
+            vba2.is_null(),
+            "fmap must deny while kernel interface is open"
+        );
     });
 }
 
@@ -253,7 +292,9 @@ fn aio_qd4_overlaps_device_time() {
     let e = Arc::clone(&elapsed);
     run_actor(&k, move |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/aio", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/aio", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let aio = k.io_setup(ctx, 8);
         let t0 = ctx.now();
         let ops = (0..4)
@@ -285,7 +326,9 @@ fn aio_rejects_append() {
     k.fs().populate("/aio2", 4096, 0).unwrap();
     run_actor(&k, |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/aio2", OpenFlags::rdwr_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/aio2", OpenFlags::rdwr_direct(), 0)
+            .unwrap();
         let aio = k.io_setup(ctx, 4);
         let err = k
             .io_submit(
@@ -312,7 +355,9 @@ fn uring_read_latency_between_sync_and_userspace() {
     let t2 = Arc::clone(&times);
     run_actor(&k, move |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/ur", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/ur", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let ring = k.uring_setup(ctx, 64);
         let mut buf = vec![0u8; 4096];
         k.uring_read(ctx, pid, &ring, fd, &mut buf, 0).unwrap(); // warm
@@ -335,7 +380,9 @@ fn uring_collapses_past_core_budget() {
     let t2 = Arc::clone(&times);
     run_actor(&k, move |ctx, k| {
         let pid = k.spawn_process(0, 0);
-        let fd = k.sys_open(ctx, pid, "/ur2", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/ur2", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut rings = Vec::new();
         let mut buf = vec![0u8; 4096];
         for jobs in [1usize, 12, 16] {
@@ -348,7 +395,10 @@ fn uring_collapses_past_core_budget() {
         }
     });
     let v = times.lock().clone();
-    assert!(v[1] <= v[0] + Nanos(100), "12 jobs should not contend: {v:?}");
+    assert!(
+        v[1] <= v[0] + Nanos(100),
+        "12 jobs should not contend: {v:?}"
+    );
     assert!(v[2] > v[1] * 2, "16 jobs must collapse: {v:?}");
 }
 
@@ -360,7 +410,9 @@ fn close_updates_timestamps_deferred() {
         let pid = k.spawn_process(0, 0);
         let ino = k.fs().lookup("/ts").unwrap();
         let before = k.fs().stat(ino).unwrap().atime;
-        let fd = k.sys_open(ctx, pid, "/ts", OpenFlags::rdonly_direct(), 0).unwrap();
+        let fd = k
+            .sys_open(ctx, pid, "/ts", OpenFlags::rdonly_direct(), 0)
+            .unwrap();
         let mut buf = vec![0u8; 512];
         k.sys_pread(ctx, pid, fd, &mut buf, 0).unwrap();
         // §4.4: not updated at read time…

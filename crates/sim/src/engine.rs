@@ -11,8 +11,8 @@
 //! by ordinary mutexes — they are never contended because only one actor
 //! executes at any moment.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

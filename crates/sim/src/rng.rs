@@ -41,10 +41,7 @@ impl Rng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -344,7 +341,10 @@ mod tests {
                 recent += 1;
             }
         }
-        assert!(recent > 3_000, "latest distribution not recency-biased: {recent}");
+        assert!(
+            recent > 3_000,
+            "latest distribution not recency-biased: {recent}"
+        );
     }
 
     #[test]

@@ -316,10 +316,26 @@ mod tests {
     #[test]
     fn index_monotone_and_invertible_bound() {
         let mut last = 0usize;
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1_000, 4_096, 1 << 20, 1 << 40] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            4_096,
+            1 << 20,
+            1 << 40,
+        ] {
             let i = Histogram::index(v);
             assert!(i >= last, "index not monotone at {v}");
-            assert!(Histogram::bucket_upper(i) >= v, "upper bound below value {v}");
+            assert!(
+                Histogram::bucket_upper(i) >= v,
+                "upper bound below value {v}"
+            );
             last = i;
         }
     }

@@ -25,6 +25,7 @@ use bypassd_hw::iommu::{AccessKind, Iommu};
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
 use bypassd_sim::time::Nanos;
 
+use crate::atc::{AtcStats, AtsCache, DEFAULT_ATC_CAPACITY};
 use crate::dma::DmaBuffer;
 use crate::queue::{Completion, NvmeStatus, QueueId, QueuePair};
 use crate::store::SectorStore;
@@ -165,6 +166,11 @@ struct DevState {
 pub struct NvmeDevice {
     id: DevId,
     iommu: Arc<Mutex<Iommu>>,
+    /// Device-side ATS translation cache (ablation, off by default).
+    /// Separate from `state` so IOMMU shootdowns never touch the device
+    /// lock (lock order: IOMMU → ATC; the device probes the ATC before
+    /// taking the IOMMU lock).
+    atc: Arc<AtsCache>,
     state: Mutex<DevState>,
     next_qid: AtomicU32,
 }
@@ -178,9 +184,14 @@ impl NvmeDevice {
         timing: MediaTiming,
         iommu: Arc<Mutex<Iommu>>,
     ) -> Arc<Self> {
+        let atc = Arc::new(AtsCache::new(DEFAULT_ATC_CAPACITY));
+        // Register for ATS shootdowns so kernel invalidations (detach,
+        // revocation, unregister) also drop device-cached translations.
+        iommu.lock().register_ats_sink(atc.clone());
         Arc::new(NvmeDevice {
             id,
             iommu,
+            atc,
             state: Mutex::new(DevState {
                 store: SectorStore::new(capacity_sectors),
                 timer: DeviceTimer::new(timing),
@@ -199,6 +210,22 @@ impl NvmeDevice {
     /// The IOMMU this device sends ATS requests to.
     pub fn iommu(&self) -> &Arc<Mutex<Iommu>> {
         &self.iommu
+    }
+
+    /// The device-side ATS translation cache.
+    pub fn atc(&self) -> &Arc<AtsCache> {
+        &self.atc
+    }
+
+    /// Enables/disables the device-side ATC (ablation knob; the default —
+    /// matching the paper's model — is off).
+    pub fn set_atc_enabled(&self, enabled: bool) {
+        self.atc.set_enabled(enabled);
+    }
+
+    /// ATC hit/miss/shootdown counters.
+    pub fn atc_stats(&self) -> AtcStats {
+        self.atc.stats()
     }
 
     /// Media timing parameters.
@@ -236,7 +263,10 @@ impl NvmeDevice {
     pub fn submit(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Result<u16, SubmitError> {
         let mut state = self.state.lock();
         let pasid = {
-            let q = state.queues.get_mut(&qid).ok_or(SubmitError::UnknownQueue)?;
+            let q = state
+                .queues
+                .get_mut(&qid)
+                .ok_or(SubmitError::UnknownQueue)?;
             q.pasid
         };
         let cid = state
@@ -325,20 +355,43 @@ impl NvmeDevice {
                     AccessKind::Read
                 };
                 let len = cmd.sectors as u64 * SECTOR_SIZE;
-                match self.iommu.lock().translate(pasid, vba, len, kind, self.id) {
-                    Ok(t) => {
-                        // Reads serialise translation; writes overlap it
-                        // with the data transfer (§4.3).
-                        let cost = if is_write { Nanos::ZERO } else { t.cost };
-                        (t.extents, cost)
-                    }
-                    Err((fault, cost)) => {
-                        state.stats.translation_faults += 1;
-                        return Completion {
-                            cid: 0,
-                            status: NvmeStatus::TranslationFault(fault),
-                            ready_at: now + cost,
-                        };
+                // Device-side ATC first (no PCIe round trip on a hit);
+                // off by default, in which case this is always None.
+                if let Some((extents, cost)) = self.atc.translate(pasid, vba, len, kind) {
+                    let cost = if is_write { Nanos::ZERO } else { cost };
+                    (extents, cost)
+                } else {
+                    let mut pages = if self.atc.enabled() {
+                        Some(Vec::new())
+                    } else {
+                        None
+                    };
+                    let walked = self.iommu.lock().translate_collect(
+                        pasid,
+                        vba,
+                        len,
+                        kind,
+                        self.id,
+                        pages.as_mut(),
+                    );
+                    match walked {
+                        Ok(t) => {
+                            if let Some(pages) = &pages {
+                                self.atc.fill(pasid, pages);
+                            }
+                            // Reads serialise translation; writes overlap it
+                            // with the data transfer (§4.3).
+                            let cost = if is_write { Nanos::ZERO } else { t.cost };
+                            (t.extents, cost)
+                        }
+                        Err((fault, cost)) => {
+                            state.stats.translation_faults += 1;
+                            return Completion {
+                                cid: 0,
+                                status: NvmeStatus::TranslationFault(fault),
+                                ready_at: now + cost,
+                            };
+                        }
                     }
                 }
             }
@@ -400,7 +453,9 @@ impl NvmeDevice {
             let cost = state.timer.timing().write_zeroes_cost;
             state.timer.schedule_fixed(now + trans_cost, cost)
         } else {
-            state.timer.schedule(now + trans_cost, is_write, total_bytes)
+            state
+                .timer
+                .schedule(now + trans_cost, is_write, total_bytes)
         };
         Completion {
             cid: 0,
@@ -431,7 +486,7 @@ impl NvmeDevice {
 
     /// Earliest pending completion time on `qid`.
     pub fn next_ready_time(&self, qid: QueueId) -> Option<Nanos> {
-        self.state.lock().queues.get(&qid)?.next_ready_time()
+        self.state.lock().queues.get_mut(&qid)?.next_ready_time()
     }
 
     /// Latest pending completion time on `qid` (flush barrier helper).
@@ -446,8 +501,7 @@ impl NvmeDevice {
         let mut state = self.state.lock();
         state.timer.reset();
         for q in state.queues.values_mut() {
-            let dropped = q.completions.len();
-            q.completions.clear();
+            let dropped = q.drop_pending();
             q.inflight -= dropped.min(q.inflight);
         }
     }
@@ -530,7 +584,11 @@ mod tests {
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
         dma.write(0, &[0x5A; 4096]);
-        let (st, t1) = dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        let (st, t1) = dev.execute(
+            q,
+            Command::write(BlockAddr::Lba(Lba(0)), 8, &dma),
+            Nanos::ZERO,
+        );
         assert!(st.is_ok());
         let dma2 = DmaBuffer::alloc(&mem, 4096);
         let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma2), t1);
@@ -545,8 +603,16 @@ mod tests {
         let (mem, dev) = setup();
         let q = dev.create_queue(Some(P), 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
-        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
-        assert_eq!(st, NvmeStatus::InvalidField, "user queue must not take raw LBAs");
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+            Nanos::ZERO,
+        );
+        assert_eq!(
+            st,
+            NvmeStatus::InvalidField,
+            "user queue must not take raw LBAs"
+        );
     }
 
     #[test]
@@ -554,7 +620,11 @@ mod tests {
         let (mem, dev) = setup();
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
-        let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(Vba(0x1000)), 8, &dma), Nanos::ZERO);
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Vba(Vba(0x1000)), 8, &dma),
+            Nanos::ZERO,
+        );
         assert_eq!(st, NvmeStatus::InvalidField);
     }
 
@@ -648,10 +718,18 @@ mod tests {
         let q = dev.create_queue(None, 1);
         let dma = DmaBuffer::alloc(&mem, 4096);
         let cid = dev
-            .submit(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO)
+            .submit(
+                q,
+                Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+                Nanos::ZERO,
+            )
             .unwrap();
         let err = dev
-            .submit(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO)
+            .submit(
+                q,
+                Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+                Nanos::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, SubmitError::QueueFull);
         let ready = dev.ready_time(q, cid).unwrap();
@@ -667,7 +745,11 @@ mod tests {
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
         dma.write(0, &[2; 4096]);
-        let (_, w) = dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        let (_, w) = dev.execute(
+            q,
+            Command::write(BlockAddr::Lba(Lba(0)), 8, &dma),
+            Nanos::ZERO,
+        );
         let (st, f) = dev.execute(q, Command::flush(), Nanos(1));
         assert!(st.is_ok());
         assert!(f > w);
@@ -679,7 +761,11 @@ mod tests {
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
         let cap = dev.capacity_sectors();
-        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(cap)), 8, &dma), Nanos::ZERO);
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Lba(Lba(cap)), 8, &dma),
+            Nanos::ZERO,
+        );
         assert_eq!(st, NvmeStatus::LbaOutOfRange);
     }
 
@@ -704,7 +790,11 @@ mod tests {
         let (mem, dev) = setup();
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
-        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 0, &dma), Nanos::ZERO);
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Lba(Lba(0)), 0, &dma),
+            Nanos::ZERO,
+        );
         assert_eq!(st, NvmeStatus::InvalidField);
     }
 
@@ -713,13 +803,101 @@ mod tests {
         let (mem, dev) = setup();
         let q = dev.create_queue(None, 32);
         let dma = DmaBuffer::alloc(&mem, 4096);
-        dev.execute(q, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
-        dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), Nanos::ZERO);
+        dev.execute(
+            q,
+            Command::write(BlockAddr::Lba(Lba(0)), 8, &dma),
+            Nanos::ZERO,
+        );
+        dev.execute(
+            q,
+            Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+            Nanos::ZERO,
+        );
         dev.execute(q, Command::flush(), Nanos::ZERO);
         let s = dev.stats();
         assert_eq!((s.reads, s.writes, s.flushes), (1, 1, 1));
         assert_eq!(s.read_bytes, 4096);
         assert_eq!(s.written_bytes, 4096);
+    }
+
+    #[test]
+    fn atc_hit_skips_pcie_round_trip() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        dev.set_atc_enabled(true);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, t1) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        // Second read of the same page: translated on-device.
+        let (st, t2) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t1);
+        assert!(st.is_ok());
+        let cold = t1.as_nanos();
+        let warm = t2.as_nanos() - t1.as_nanos();
+        // Cold read paid pcie_rtt + walk (~528ns); warm read pays only
+        // the on-device lookup (14ns) before the same media time.
+        assert!(
+            cold - warm > 500,
+            "ATC hit should shave the ATS round trip: cold={cold} warm={warm}"
+        );
+        let s = dev.atc_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn atc_disabled_by_default_keeps_ats_costs() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (_, t1) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        let (_, t2) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t1);
+        // Both reads pay the full ATS translation (pcie + walk); the warm
+        // one only saves the PWC miss.
+        let cold = t1.as_nanos();
+        let warm = t2.as_nanos() - t1.as_nanos();
+        assert_eq!(cold - warm, 120, "only the PWC component may differ");
+        assert_eq!(dev.atc_stats(), crate::atc::AtcStats::default());
+    }
+
+    #[test]
+    fn revocation_shoots_down_atc_so_fallback_still_fires() {
+        // §3.6 regression with the ATC enabled: a revoked FTE must not be
+        // served from the device cache.
+        let (mem, dev, mut asid, vba) = setup_with_mapping(1);
+        dev.set_atc_enabled(true);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (st, t) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        assert!(!dev.atc().is_empty(), "walk should have filled the ATC");
+        // Kernel revokes: detach FTE + IOMMU invalidate, which broadcasts
+        // to the ATC.
+        asid.unmap_page(vba.as_virt());
+        dev.iommu().lock().invalidate_pasid(P);
+        assert!(dev.atc().is_empty(), "shootdown must reach the device");
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t);
+        assert!(matches!(st, NvmeStatus::TranslationFault(_)));
+        assert_eq!(dev.atc_stats().shootdowns, 1);
+    }
+
+    #[test]
+    fn range_shootdown_drops_only_covered_atc_pages() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(2);
+        dev.set_atc_enabled(true);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 8192);
+        let (st, t) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 16, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        assert_eq!(dev.atc().len(), 2);
+        dev.iommu().lock().invalidate_range(P, vba, PAGE_SIZE);
+        assert_eq!(dev.atc().len(), 1, "only the covered page drops");
+        // Second page still hits on-device; first page re-walks fine.
+        let (st, _) = dev.execute(
+            q,
+            Command::read(BlockAddr::Vba(vba.offset(PAGE_SIZE)), 8, &dma),
+            t,
+        );
+        assert!(st.is_ok());
+        assert_eq!(dev.atc_stats().hits, 1);
     }
 
     #[test]

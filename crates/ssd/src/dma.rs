@@ -67,11 +67,7 @@ impl DmaBuffer {
             let page = pos / PAGE_SIZE as usize;
             let off = pos % PAGE_SIZE as usize;
             let n = (PAGE_SIZE as usize - off).min(len - done);
-            f(
-                PhysAddr::from_frame(self.frames[page], off as u64),
-                done,
-                n,
-            );
+            f(PhysAddr::from_frame(self.frames[page], off as u64), done, n);
             done += n;
         }
     }
@@ -125,7 +121,9 @@ mod tests {
     fn cross_page_roundtrip() {
         let mem = PhysMem::new();
         let buf = DmaBuffer::alloc(&mem, 3 * PAGE_SIZE as usize);
-        let data: Vec<u8> = (0..2 * PAGE_SIZE as usize + 100).map(|i| (i % 255) as u8).collect();
+        let data: Vec<u8> = (0..2 * PAGE_SIZE as usize + 100)
+            .map(|i| (i % 255) as u8)
+            .collect();
         buf.write(500, &data);
         let mut out = vec![0u8; data.len()];
         buf.read(500, &mut out);

@@ -17,12 +17,14 @@
 //!   IOMMU, with reads serialising translation before media access and
 //!   writes overlapping it (§4.3).
 
+pub mod atc;
 pub mod device;
 pub mod dma;
 pub mod queue;
 pub mod store;
 pub mod timing;
 
+pub use atc::{AtcStats, AtsCache};
 pub use device::{BlockAddr, Command, NvmeDevice, Opcode};
 pub use dma::DmaBuffer;
 pub use queue::{Completion, NvmeStatus, QueueId};

@@ -4,6 +4,18 @@
 //! bound to the owning process's PASID (§3.3), which the device attaches
 //! to every ATS translation request issued for commands on that queue.
 //! Kernel-owned queues have no PASID and may only carry LBA commands.
+//!
+//! Pending completions are kept in a binary min-heap keyed
+//! `(ready_at, cid)` next to a `cid → completion` map. Polling pops
+//! ready entries straight off the heap — O(log n) each — instead of the
+//! seed's filter-and-`sort_by_key` over every pending completion on
+//! every poll. Targeted reaps (`reap(cid)`) remove from the map only and
+//! leave a stale heap entry behind; the heap lazily discards entries
+//! whose cid is gone from the map (or was reused with a different ready
+//! time) when they surface.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use bypassd_hw::iommu::TranslateError;
 use bypassd_hw::types::Pasid;
@@ -52,8 +64,11 @@ pub(crate) struct QueuePair {
     pub pasid: Option<Pasid>,
     /// Maximum outstanding commands.
     pub depth: usize,
-    /// Completions not yet reaped by the host.
-    pub completions: Vec<Completion>,
+    /// Completions not yet reaped by the host, by command id.
+    pending: HashMap<u16, Completion>,
+    /// Min-heap of `(ready_at, cid)`; may hold stale entries for reaped
+    /// or reused cids (discarded lazily against `pending`).
+    heap: BinaryHeap<Reverse<(Nanos, u16)>>,
     /// Commands submitted but not yet reaped.
     pub inflight: usize,
     next_cid: u16,
@@ -64,7 +79,8 @@ impl QueuePair {
         QueuePair {
             pasid,
             depth,
-            completions: Vec::new(),
+            pending: HashMap::new(),
+            heap: BinaryHeap::new(),
             inflight: 0,
             next_cid: 0,
         }
@@ -84,53 +100,82 @@ impl QueuePair {
 
     /// Posts a completion.
     pub(crate) fn post(&mut self, completion: Completion) {
-        self.completions.push(completion);
+        self.heap
+            .push(Reverse((completion.ready_at, completion.cid)));
+        self.pending.insert(completion.cid, completion);
     }
 
     /// Ready time of command `cid`, if it has been posted.
     pub(crate) fn ready_time(&self, cid: u16) -> Option<Nanos> {
-        self.completions
-            .iter()
-            .find(|c| c.cid == cid)
-            .map(|c| c.ready_at)
+        self.pending.get(&cid).map(|c| c.ready_at)
     }
 
-    /// Reaps the completion for `cid` if visible at `now`.
+    /// Reaps the completion for `cid` if visible at `now`. The heap entry
+    /// stays behind and is discarded lazily.
     pub(crate) fn reap(&mut self, cid: u16, now: Nanos) -> Option<Completion> {
-        let idx = self
-            .completions
-            .iter()
-            .position(|c| c.cid == cid && c.ready_at <= now)?;
-        self.inflight -= 1;
-        Some(self.completions.swap_remove(idx))
-    }
-
-    /// Reaps up to `max` completions visible at `now`, earliest first.
-    pub(crate) fn reap_ready(&mut self, now: Nanos, max: usize) -> Vec<Completion> {
-        let mut ready: Vec<Completion> = self
-            .completions
-            .iter()
-            .copied()
-            .filter(|c| c.ready_at <= now)
-            .collect();
-        ready.sort_by_key(|c| (c.ready_at, c.cid));
-        ready.truncate(max);
-        for c in &ready {
-            let idx = self.completions.iter().position(|x| x.cid == c.cid).unwrap();
-            self.completions.swap_remove(idx);
-            self.inflight -= 1;
+        if self.pending.get(&cid)?.ready_at > now {
+            return None;
         }
-        ready
+        self.inflight -= 1;
+        self.pending.remove(&cid)
     }
 
-    /// Earliest pending completion time, if any.
-    pub(crate) fn next_ready_time(&self) -> Option<Nanos> {
-        self.completions.iter().map(|c| c.ready_at).min()
+    /// True when the heap's top entry no longer matches a pending
+    /// completion (reaped by cid, dropped, or the cid was reused with a
+    /// different ready time).
+    fn top_is_stale(&self, ready_at: Nanos, cid: u16) -> bool {
+        self.pending.get(&cid).map(|c| c.ready_at) != Some(ready_at)
     }
 
-    /// Latest pending completion time, if any (used by flush).
+    /// Reaps up to `max` completions visible at `now`, earliest first
+    /// (ties broken by cid).
+    pub(crate) fn reap_ready(&mut self, now: Nanos, max: usize) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(&Reverse((t, cid))) = self.heap.peek() else {
+                break;
+            };
+            if self.top_is_stale(t, cid) {
+                self.heap.pop();
+                continue;
+            }
+            if t > now {
+                break;
+            }
+            self.heap.pop();
+            let c = self.pending.remove(&cid).expect("checked live above");
+            self.inflight -= 1;
+            out.push(c);
+        }
+        out
+    }
+
+    /// Earliest pending completion time, if any. Takes `&mut self` to
+    /// discard stale heap entries encountered at the top.
+    pub(crate) fn next_ready_time(&mut self) -> Option<Nanos> {
+        while let Some(&Reverse((t, cid))) = self.heap.peek() {
+            if self.top_is_stale(t, cid) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// Latest pending completion time, if any (used by flush; not on the
+    /// per-I/O poll path, so a scan of the live map is fine).
     pub(crate) fn last_ready_time(&self) -> Option<Nanos> {
-        self.completions.iter().map(|c| c.ready_at).max()
+        self.pending.values().map(|c| c.ready_at).max()
+    }
+
+    /// Drops every pending completion (and the heap), returning how many
+    /// were dropped. Used when resetting device timing between runs.
+    pub(crate) fn drop_pending(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        self.heap.clear();
+        n
     }
 }
 
@@ -138,23 +183,30 @@ impl QueuePair {
 mod tests {
     use super::*;
 
+    fn ok(cid: u16, at: u64) -> Completion {
+        Completion {
+            cid,
+            status: NvmeStatus::Success,
+            ready_at: Nanos(at),
+        }
+    }
+
     #[test]
     fn claim_respects_depth() {
         let mut q = QueuePair::new(None, 2);
         assert!(q.claim().is_some());
         assert!(q.claim().is_some());
-        assert!(q.claim().is_none(), "depth-2 queue accepted a third command");
+        assert!(
+            q.claim().is_none(),
+            "depth-2 queue accepted a third command"
+        );
     }
 
     #[test]
     fn reap_only_when_ready() {
         let mut q = QueuePair::new(None, 4);
         let cid = q.claim().unwrap();
-        q.post(Completion {
-            cid,
-            status: NvmeStatus::Success,
-            ready_at: Nanos(100),
-        });
+        q.post(ok(cid, 100));
         assert!(q.reap(cid, Nanos(50)).is_none());
         let c = q.reap(cid, Nanos(100)).unwrap();
         assert!(c.status.is_ok());
@@ -166,11 +218,7 @@ mod tests {
         let mut q = QueuePair::new(None, 1);
         let cid = q.claim().unwrap();
         assert!(q.claim().is_none());
-        q.post(Completion {
-            cid,
-            status: NvmeStatus::Success,
-            ready_at: Nanos(10),
-        });
+        q.post(ok(cid, 10));
         q.reap(cid, Nanos(10)).unwrap();
         assert!(q.claim().is_some());
     }
@@ -181,13 +229,97 @@ mod tests {
         let a = q.claim().unwrap();
         let b = q.claim().unwrap();
         let c = q.claim().unwrap();
-        q.post(Completion { cid: b, status: NvmeStatus::Success, ready_at: Nanos(5) });
-        q.post(Completion { cid: a, status: NvmeStatus::Success, ready_at: Nanos(20) });
-        q.post(Completion { cid: c, status: NvmeStatus::Success, ready_at: Nanos(10) });
+        q.post(ok(b, 5));
+        q.post(ok(a, 20));
+        q.post(ok(c, 10));
         let got = q.reap_ready(Nanos(15), 8);
         assert_eq!(got.iter().map(|x| x.cid).collect::<Vec<_>>(), vec![b, c]);
         assert_eq!(q.inflight, 1);
         assert_eq!(q.next_ready_time(), Some(Nanos(20)));
+    }
+
+    #[test]
+    fn reap_ready_orders_out_of_order_submissions() {
+        // Satellite regression: completions posted in arbitrary ready_at
+        // order must reap strictly (ready_at, cid)-ordered, across
+        // multiple partial polls, with equal-time ties broken by cid.
+        let mut q = QueuePair::new(None, 16);
+        let cids: Vec<u16> = (0..10).map(|_| q.claim().unwrap()).collect();
+        let times = [70u64, 10, 40, 40, 90, 20, 40, 60, 30, 50];
+        // Post in a scrambled order relative to both cid and time.
+        for &i in &[4usize, 0, 7, 2, 9, 5, 1, 8, 3, 6] {
+            q.post(ok(cids[i], times[i]));
+        }
+        let mut got = Vec::new();
+        // Partial reaps with an advancing clock, 3 at a time.
+        for now in [35u64, 55, 100] {
+            got.extend(q.reap_ready(Nanos(now), 3));
+        }
+        got.extend(q.reap_ready(Nanos(100), 16));
+        let keys: Vec<(u64, u16)> = got.iter().map(|c| (c.ready_at.as_nanos(), c.cid)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "reap order must be (ready_at, cid)");
+        assert_eq!(got.len(), 10);
+        // The three equal-time completions surface in cid order.
+        let at40: Vec<u16> = got
+            .iter()
+            .filter(|c| c.ready_at == Nanos(40))
+            .map(|c| c.cid)
+            .collect();
+        assert_eq!(at40, vec![cids[2], cids[3], cids[6]]);
+        assert_eq!(q.inflight, 0);
+    }
+
+    #[test]
+    fn targeted_reap_leaves_no_ghost_in_reap_ready() {
+        // reap(cid) leaves a stale heap entry; it must not resurface.
+        let mut q = QueuePair::new(None, 8);
+        let a = q.claim().unwrap();
+        let b = q.claim().unwrap();
+        q.post(ok(a, 10));
+        q.post(ok(b, 20));
+        assert!(q.reap(a, Nanos(10)).is_some());
+        let got = q.reap_ready(Nanos(100), 8);
+        assert_eq!(got.iter().map(|x| x.cid).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(q.next_ready_time(), None);
+        assert_eq!(q.inflight, 0);
+    }
+
+    #[test]
+    fn cid_reuse_after_wrap_does_not_confuse_heap() {
+        let mut q = QueuePair::new(None, usize::MAX);
+        q.next_cid = u16::MAX;
+        let a = q.claim().unwrap(); // 65535
+        let b = q.claim().unwrap(); // 0
+        assert_eq!(a, u16::MAX);
+        assert_eq!(b, 0);
+        q.post(ok(a, 10));
+        q.reap(a, Nanos(10)).unwrap();
+        // Wrap all the way around so cid 65535 is claimed again.
+        q.next_cid = u16::MAX;
+        let a2 = q.claim().unwrap();
+        assert_eq!(a2, a);
+        q.post(ok(a2, 50));
+        // The stale (10, 65535) heap entry must not surface the new
+        // completion before its time.
+        assert!(q.reap_ready(Nanos(30), 8).is_empty());
+        assert_eq!(q.next_ready_time(), Some(Nanos(50)));
+        let got = q.reap_ready(Nanos(50), 8);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ready_at, Nanos(50));
+    }
+
+    #[test]
+    fn drop_pending_clears_everything() {
+        let mut q = QueuePair::new(None, 8);
+        let a = q.claim().unwrap();
+        let b = q.claim().unwrap();
+        q.post(ok(a, 10));
+        q.post(ok(b, 20));
+        assert_eq!(q.drop_pending(), 2);
+        assert_eq!(q.next_ready_time(), None);
+        assert!(q.reap_ready(Nanos(100), 8).is_empty());
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl SectorStore {
 
     /// True if the range `[lba, lba+sectors)` is within the device.
     pub fn in_range(&self, lba: Lba, sectors: u64) -> bool {
-        sectors > 0 && lba.0.checked_add(sectors).is_some_and(|end| end <= self.capacity_sectors)
+        sectors > 0
+            && lba
+                .0
+                .checked_add(sectors)
+                .is_some_and(|end| end <= self.capacity_sectors)
     }
 
     /// Reads `buf.len()` bytes starting at sector `lba`.
@@ -39,7 +43,10 @@ impl SectorStore {
     /// Panics if the range is out of bounds or `buf` is not
     /// sector-multiple sized.
     pub fn read(&self, lba: Lba, buf: &mut [u8]) {
-        assert!((buf.len() as u64).is_multiple_of(SECTOR_SIZE), "unaligned read size");
+        assert!(
+            (buf.len() as u64).is_multiple_of(SECTOR_SIZE),
+            "unaligned read size"
+        );
         assert!(
             self.in_range(lba, buf.len() as u64 / SECTOR_SIZE),
             "read out of device range"
@@ -65,7 +72,10 @@ impl SectorStore {
     /// Panics if the range is out of bounds or `data` is not
     /// sector-multiple sized.
     pub fn write(&mut self, lba: Lba, data: &[u8]) {
-        assert!((data.len() as u64).is_multiple_of(SECTOR_SIZE), "unaligned write size");
+        assert!(
+            (data.len() as u64).is_multiple_of(SECTOR_SIZE),
+            "unaligned write size"
+        );
         assert!(
             self.in_range(lba, data.len() as u64 / SECTOR_SIZE),
             "write out of device range"

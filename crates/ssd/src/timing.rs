@@ -62,8 +62,14 @@ impl MediaTiming {
     /// transfer term is whichever of the per-request and bus rates is
     /// slower, matching [`DeviceTimer::schedule`] on an idle device.
     pub fn service(&self, write: bool, bytes: u64) -> Nanos {
-        let base = if write { self.write_base } else { self.read_base };
-        base + self.transfer(write, bytes).max(self.bus_occupancy(write, bytes))
+        let base = if write {
+            self.write_base
+        } else {
+            self.read_base
+        };
+        base + self
+            .transfer(write, bytes)
+            .max(self.bus_occupancy(write, bytes))
     }
 
     fn transfer(&self, write: bool, bytes: u64) -> Nanos {
@@ -72,7 +78,11 @@ impl MediaTiming {
     }
 
     fn bus_occupancy(&self, write: bool, bytes: u64) -> Nanos {
-        let bw = if write { self.write_bus_bw } else { self.read_bus_bw };
+        let bw = if write {
+            self.write_bus_bw
+        } else {
+            self.read_bus_bw
+        };
         Nanos((bytes as f64 / bw * 1e9) as u64)
     }
 }
@@ -166,11 +176,7 @@ impl DeviceTimer {
     /// Schedules a flush arriving at `arrival`, which completes after the
     /// device drains (approximated by all channels going idle).
     pub fn schedule_flush(&mut self, arrival: Nanos) -> Nanos {
-        let drain = self
-            .channel_free
-            .iter()
-            .copied()
-            .fold(arrival, Nanos::max);
+        let drain = self.channel_free.iter().copied().fold(arrival, Nanos::max);
         drain + self.timing.flush_cost
     }
 }
@@ -194,7 +200,10 @@ mod tests {
         let first = t.schedule(Nanos::ZERO, false, 4096);
         let second = t.schedule(first + Nanos(1000), false, 4096);
         let lat = second - (first + Nanos(1000));
-        assert_eq!(lat, t.schedule(second + Nanos::from_secs(1), false, 4096) - (second + Nanos::from_secs(1)));
+        assert_eq!(
+            lat,
+            t.schedule(second + Nanos::from_secs(1), false, 4096) - (second + Nanos::from_secs(1))
+        );
     }
 
     #[test]
@@ -222,7 +231,10 @@ mod tests {
             last = last.max(t.schedule(Nanos::ZERO, false, 131_072));
         }
         let gbps = (n * 131_072) as f64 / 1e9 / last.as_secs_f64();
-        assert!((6.5..7.5).contains(&gbps), "128KB read agg bw = {gbps:.2} GB/s");
+        assert!(
+            (6.5..7.5).contains(&gbps),
+            "128KB read agg bw = {gbps:.2} GB/s"
+        );
     }
 
     #[test]

@@ -8,14 +8,14 @@ use std::sync::Arc;
 
 use bypassd::System;
 use bypassd_backends::{make_factory, BackendFactory, BackendKind};
-use bypassd_kv::{BpfKv, BpfKvConfig, BtreeConfig, BtreeStore, Kvell, KvellConfig, YcsbGen, YcsbWorkload};
+use bypassd_kv::{
+    BpfKv, BpfKvConfig, BtreeConfig, BtreeStore, Kvell, KvellConfig, YcsbGen, YcsbWorkload,
+};
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
 use parking_lot::Mutex;
 
-fn timed<T: Send + 'static>(
-    f: impl FnOnce(&mut bypassd_sim::ActorCtx) -> T + Send + 'static,
-) -> T {
+fn timed<T: Send + 'static>(f: impl FnOnce(&mut bypassd_sim::ActorCtx) -> T + Send + 'static) -> T {
     let sim = Simulation::new();
     let out = Arc::new(Mutex::new(None));
     let o2 = Arc::clone(&out);
@@ -112,6 +112,9 @@ fn main() {
             let r = st.run_ycsb(ctx, &mut *b, h, &mut gen, 200, 1).unwrap();
             (r.throughput.kops_per_sec(r.elapsed), r.latency.mean())
         });
-        println!("  {:>8}: {kops:.0} kops/s at {lat}/request (sync interface)", "bypassd");
+        println!(
+            "  {:>8}: {kops:.0} kops/s at {lat}/request (sync interface)",
+            "bypassd"
+        );
     }
 }

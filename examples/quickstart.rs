@@ -45,7 +45,9 @@ fn main() {
             .sys_open(ctx, pid, "/hello.dat", OpenFlags::rdonly_direct(), 0)
             .unwrap();
         let t1 = ctx.now();
-        sys.kernel().sys_pread(ctx, pid, kfd, &mut buf, 8192).unwrap();
+        sys.kernel()
+            .sys_pread(ctx, pid, kfd, &mut buf, 8192)
+            .unwrap();
         let through_kernel = ctx.now() - t1;
 
         println!("4KB read via BypassD interface : {direct}");

@@ -7,12 +7,12 @@
 //!
 //! Run with: `cargo run --release --example revocation_timeline`
 
-use std::sync::Arc;
 use bypassd::{System, UserProcess};
 use bypassd_os::OpenFlags;
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 fn main() {
     let system = System::builder().capacity(4 << 30).build();
@@ -75,13 +75,19 @@ fn main() {
     println!("\nops around the revocation (op#, time, phase, latency):");
     for i in flip.saturating_sub(3)..(flip + 4).min(tl.len()) {
         let (at, phase, lat) = tl[i];
-        let marker = if i == flip { "  <-- first fallback op" } else { "" };
+        let marker = if i == flip {
+            "  <-- first fallback op"
+        } else {
+            ""
+        };
         println!("  #{i:<5} t={at:<12} {phase:<18} {lat}{marker}");
     }
     let before: u64 = tl[..flip].iter().map(|(_, _, l)| l.as_nanos()).sum::<u64>() / flip as u64;
     let tail = &tl[flip..];
-    let after: u64 =
-        tail.iter().map(|(_, _, l)| l.as_nanos()).sum::<u64>() / tail.len() as u64;
-    println!("\nmean latency before: {}ns, after: {}ns (kernel path)", before, after);
+    let after: u64 = tail.iter().map(|(_, _, l)| l.as_nanos()).sum::<u64>() / tail.len() as u64;
+    println!(
+        "\nmean latency before: {}ns, after: {}ns (kernel path)",
+        before, after
+    );
     assert!(after > before);
 }

@@ -65,7 +65,10 @@ fn main() {
     });
 
     // Two more processes hammering private files concurrently.
-    for (name, path, uid) in [("worker-a", "/private-a", 3000u32), ("worker-b", "/private-b", 4000)] {
+    for (name, path, uid) in [
+        ("worker-a", "/private-a", 3000u32),
+        ("worker-b", "/private-b", 4000),
+    ] {
         let sys = system.clone();
         sim.spawn(name, move |ctx| {
             let proc = UserProcess::start(&sys, uid, uid);

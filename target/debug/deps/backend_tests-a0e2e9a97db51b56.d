@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_tests-a0e2e9a97db51b56.d: crates/backends/tests/backend_tests.rs
+
+/root/repo/target/debug/deps/backend_tests-a0e2e9a97db51b56: crates/backends/tests/backend_tests.rs
+
+crates/backends/tests/backend_tests.rs:

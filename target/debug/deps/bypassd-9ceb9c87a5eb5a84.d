@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd-9ceb9c87a5eb5a84.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/libbypassd-9ceb9c87a5eb5a84.rlib: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/libbypassd-9ceb9c87a5eb5a84.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

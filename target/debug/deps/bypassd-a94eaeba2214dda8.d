@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd-a94eaeba2214dda8.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/bypassd-a94eaeba2214dda8: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd_bench-4560137f6403281e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_bench-4560137f6403281e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_bench-4560137f6403281e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

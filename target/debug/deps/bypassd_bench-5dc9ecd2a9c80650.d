@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypassd_bench-5dc9ecd2a9c80650.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bypassd_bench-5dc9ecd2a9c80650: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypassd_fio-b8b82f14f2221052.d: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/bypassd_fio-b8b82f14f2221052: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

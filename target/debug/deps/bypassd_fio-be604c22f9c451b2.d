@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd_fio-be604c22f9c451b2.d: crates/fio/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_fio-be604c22f9c451b2.rmeta: crates/fio/src/lib.rs Cargo.toml
+
+crates/fio/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd_fio-e6cd34f208204737.d: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_fio-e6cd34f208204737.rlib: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_fio-e6cd34f208204737.rmeta: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

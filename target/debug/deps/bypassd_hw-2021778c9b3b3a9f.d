@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bypassd_hw-2021778c9b3b3a9f.d: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_hw-2021778c9b3b3a9f.rmeta: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/iommu.rs:
+crates/hw/src/lru.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/page_table.rs:
+crates/hw/src/pte.rs:
+crates/hw/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bypassd_hw-905df6f1f3d4af73.d: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+/root/repo/target/debug/deps/bypassd_hw-905df6f1f3d4af73: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/iommu.rs:
+crates/hw/src/lru.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/page_table.rs:
+crates/hw/src/pte.rs:
+crates/hw/src/types.rs:

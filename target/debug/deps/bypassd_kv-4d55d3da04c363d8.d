@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_kv-4d55d3da04c363d8.d: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/debug/deps/libbypassd_kv-4d55d3da04c363d8.rlib: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/debug/deps/libbypassd_kv-4d55d3da04c363d8.rmeta: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bpfkv.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/kvell.rs:
+crates/kv/src/util.rs:
+crates/kv/src/ycsb.rs:

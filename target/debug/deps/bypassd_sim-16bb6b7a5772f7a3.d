@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bypassd_sim-16bb6b7a5772f7a3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_sim-16bb6b7a5772f7a3.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bypassd_ssd-3e4916e01cf3ab18.d: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/libbypassd_ssd-3e4916e01cf3ab18.rlib: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/libbypassd_ssd-3e4916e01cf3ab18.rmeta: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/atc.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/dma.rs:
+crates/ssd/src/queue.rs:
+crates/ssd/src/store.rs:
+crates/ssd/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bypassd_ssd-f9a9f36b4e7507c1.d: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/bypassd_ssd-f9a9f36b4e7507c1: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/atc.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/dma.rs:
+crates/ssd/src/queue.rs:
+crates/ssd/src/store.rs:
+crates/ssd/src/timing.rs:

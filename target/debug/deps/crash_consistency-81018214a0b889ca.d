@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-81018214a0b889ca.d: crates/bench/../../tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-81018214a0b889ca: crates/bench/../../tests/crash_consistency.rs
+
+crates/bench/../../tests/crash_consistency.rs:

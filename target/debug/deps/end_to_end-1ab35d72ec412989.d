@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1ab35d72ec412989.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1ab35d72ec412989: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

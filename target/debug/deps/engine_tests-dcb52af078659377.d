@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-dcb52af078659377.d: crates/kv/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-dcb52af078659377: crates/kv/tests/engine_tests.rs
+
+crates/kv/tests/engine_tests.rs:

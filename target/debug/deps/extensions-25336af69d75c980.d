@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-25336af69d75c980.d: crates/bench/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-25336af69d75c980: crates/bench/../../tests/extensions.rs
+
+crates/bench/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs_integration-d87f5832066ef08c.d: crates/ext4/tests/fs_integration.rs
+
+/root/repo/target/debug/deps/fs_integration-d87f5832066ef08c: crates/ext4/tests/fs_integration.rs
+
+crates/ext4/tests/fs_integration.rs:

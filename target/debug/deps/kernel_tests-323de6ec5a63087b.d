@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_tests-323de6ec5a63087b.d: crates/os/tests/kernel_tests.rs
+
+/root/repo/target/debug/deps/kernel_tests-323de6ec5a63087b: crates/os/tests/kernel_tests.rs
+
+crates/os/tests/kernel_tests.rs:

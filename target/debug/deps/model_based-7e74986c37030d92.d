@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-7e74986c37030d92.d: crates/bench/../../tests/model_based.rs
+
+/root/repo/target/debug/deps/model_based-7e74986c37030d92: crates/bench/../../tests/model_based.rs
+
+crates/bench/../../tests/model_based.rs:

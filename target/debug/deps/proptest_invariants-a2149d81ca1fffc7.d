@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-a2149d81ca1fffc7.d: crates/bench/../../tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-a2149d81ca1fffc7: crates/bench/../../tests/proptest_invariants.rs
+
+crates/bench/../../tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_properties-7127725563cc2869.d: crates/bench/../../tests/security_properties.rs
+
+/root/repo/target/debug/deps/security_properties-7127725563cc2869: crates/bench/../../tests/security_properties.rs
+
+crates/bench/../../tests/security_properties.rs:

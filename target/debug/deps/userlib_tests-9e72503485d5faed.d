@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/userlib_tests-9e72503485d5faed.d: crates/core/tests/userlib_tests.rs
+
+/root/repo/target/debug/deps/userlib_tests-9e72503485d5faed: crates/core/tests/userlib_tests.rs
+
+crates/core/tests/userlib_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store_comparison-c29dddeba34632e3.d: crates/bench/../../examples/kv_store_comparison.rs
+
+/root/repo/target/debug/examples/kv_store_comparison-c29dddeba34632e3: crates/bench/../../examples/kv_store_comparison.rs
+
+crates/bench/../../examples/kv_store_comparison.rs:

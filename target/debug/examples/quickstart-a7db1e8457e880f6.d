@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a7db1e8457e880f6.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a7db1e8457e880f6: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

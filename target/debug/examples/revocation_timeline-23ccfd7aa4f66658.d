@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/revocation_timeline-23ccfd7aa4f66658.d: crates/bench/../../examples/revocation_timeline.rs
+
+/root/repo/target/debug/examples/revocation_timeline-23ccfd7aa4f66658: crates/bench/../../examples/revocation_timeline.rs
+
+crates/bench/../../examples/revocation_timeline.rs:

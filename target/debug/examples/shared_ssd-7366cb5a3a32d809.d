@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_ssd-7366cb5a3a32d809.d: crates/bench/../../examples/shared_ssd.rs
+
+/root/repo/target/debug/examples/shared_ssd-7366cb5a3a32d809: crates/bench/../../examples/shared_ssd.rs
+
+crates/bench/../../examples/shared_ssd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-fa471e36af319c56.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-fa471e36af319c56: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

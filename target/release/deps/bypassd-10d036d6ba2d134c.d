@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bypassd-10d036d6ba2d134c.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/libbypassd-10d036d6ba2d134c.rlib: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/libbypassd-10d036d6ba2d134c.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

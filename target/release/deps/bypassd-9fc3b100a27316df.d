@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd-9fc3b100a27316df.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/bypassd-9fc3b100a27316df: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bypassd_bench-5e749d1cbf30cd11.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bypassd_bench-5e749d1cbf30cd11: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd_bench-ee8a9174f45f53f1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_bench-ee8a9174f45f53f1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_bench-ee8a9174f45f53f1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

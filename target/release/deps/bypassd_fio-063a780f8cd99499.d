@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd_fio-063a780f8cd99499.d: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_fio-063a780f8cd99499.rlib: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_fio-063a780f8cd99499.rmeta: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

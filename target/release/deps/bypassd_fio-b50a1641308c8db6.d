@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bypassd_fio-b50a1641308c8db6.d: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/bypassd_fio-b50a1641308c8db6: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

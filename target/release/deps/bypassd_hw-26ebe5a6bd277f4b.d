@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bypassd_hw-26ebe5a6bd277f4b.d: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+/root/repo/target/release/deps/bypassd_hw-26ebe5a6bd277f4b: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/iommu.rs:
+crates/hw/src/lru.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/page_table.rs:
+crates/hw/src/pte.rs:
+crates/hw/src/types.rs:

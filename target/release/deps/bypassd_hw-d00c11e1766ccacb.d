@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bypassd_hw-d00c11e1766ccacb.d: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+/root/repo/target/release/deps/libbypassd_hw-d00c11e1766ccacb.rlib: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+/root/repo/target/release/deps/libbypassd_hw-d00c11e1766ccacb.rmeta: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/iommu.rs:
+crates/hw/src/lru.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/page_table.rs:
+crates/hw/src/pte.rs:
+crates/hw/src/types.rs:

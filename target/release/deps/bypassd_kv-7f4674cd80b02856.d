@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bypassd_kv-7f4674cd80b02856.d: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/release/deps/libbypassd_kv-7f4674cd80b02856.rlib: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/release/deps/libbypassd_kv-7f4674cd80b02856.rmeta: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bpfkv.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/kvell.rs:
+crates/kv/src/util.rs:
+crates/kv/src/ycsb.rs:

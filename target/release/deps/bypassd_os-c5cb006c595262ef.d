@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bypassd_os-c5cb006c595262ef.d: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+/root/repo/target/release/deps/libbypassd_os-c5cb006c595262ef.rlib: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+/root/repo/target/release/deps/libbypassd_os-c5cb006c595262ef.rmeta: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+crates/os/src/lib.rs:
+crates/os/src/aio.rs:
+crates/os/src/cost.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagecache.rs:
+crates/os/src/process.rs:
+crates/os/src/uring.rs:
+crates/os/src/xrp.rs:

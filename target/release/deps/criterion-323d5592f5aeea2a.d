@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-323d5592f5aeea2a.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-323d5592f5aeea2a: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

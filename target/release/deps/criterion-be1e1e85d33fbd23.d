@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-be1e1e85d33fbd23.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-be1e1e85d33fbd23.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-be1e1e85d33fbd23.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastpath-69d3f837b8a2687c.d: crates/bench/benches/fastpath.rs
+
+/root/repo/target/release/deps/fastpath-69d3f837b8a2687c: crates/bench/benches/fastpath.rs
+
+crates/bench/benches/fastpath.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-d1fa234a88276290.d: crates/bench/benches/fig10.rs
+
+/root/repo/target/release/deps/fig10-d1fa234a88276290: crates/bench/benches/fig10.rs
+
+crates/bench/benches/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-b68131207138c64d.d: crates/bench/benches/fig11.rs
+
+/root/repo/target/release/deps/fig11-b68131207138c64d: crates/bench/benches/fig11.rs
+
+crates/bench/benches/fig11.rs:

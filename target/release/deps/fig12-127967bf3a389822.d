@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-127967bf3a389822.d: crates/bench/benches/fig12.rs
+
+/root/repo/target/release/deps/fig12-127967bf3a389822: crates/bench/benches/fig12.rs
+
+crates/bench/benches/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-eef9b786af681e67.d: crates/bench/benches/fig13.rs
+
+/root/repo/target/release/deps/fig13-eef9b786af681e67: crates/bench/benches/fig13.rs
+
+crates/bench/benches/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-bc6cd1d1fa71ea18.d: crates/bench/benches/fig14.rs
+
+/root/repo/target/release/deps/fig14-bc6cd1d1fa71ea18: crates/bench/benches/fig14.rs
+
+crates/bench/benches/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-a9688108057ac59b.d: crates/bench/benches/fig15.rs
+
+/root/repo/target/release/deps/fig15-a9688108057ac59b: crates/bench/benches/fig15.rs
+
+crates/bench/benches/fig15.rs:

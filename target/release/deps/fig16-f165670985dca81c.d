@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-f165670985dca81c.d: crates/bench/benches/fig16.rs
+
+/root/repo/target/release/deps/fig16-f165670985dca81c: crates/bench/benches/fig16.rs
+
+crates/bench/benches/fig16.rs:

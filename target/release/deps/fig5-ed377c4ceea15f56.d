@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ed377c4ceea15f56.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/release/deps/fig5-ed377c4ceea15f56: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-f0519643e786b436.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/release/deps/fig6-f0519643e786b436: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-4c4ed5c1ea5968d3.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/release/deps/fig7-4c4ed5c1ea5968d3: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c4e536922f8d560d.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/release/deps/fig8-c4e536922f8d560d: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-5fde8f5a8c16d4d0.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/release/deps/fig9-5fde8f5a8c16d4d0: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-ecc7f0f6a707a988.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-ecc7f0f6a707a988: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-37d4ddf58c4b588e.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-37d4ddf58c4b588e.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-37d4ddf58c4b588e.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-f441786b8cd4ed24.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-f441786b8cd4ed24: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-43f194592bdb673c.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-43f194592bdb673c.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-43f194592bdb673c.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-4804ec4d01e8ce66.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-4804ec4d01e8ce66: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

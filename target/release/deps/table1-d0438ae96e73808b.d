@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d0438ae96e73808b.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-d0438ae96e73808b: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bb244320081371cb.d: crates/bench/benches/table4.rs
+
+/root/repo/target/release/deps/table4-bb244320081371cb: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-8ed764b2c092809e.d: crates/bench/benches/table5.rs
+
+/root/repo/target/release/deps/table5-8ed764b2c092809e: crates/bench/benches/table5.rs
+
+crates/bench/benches/table5.rs:

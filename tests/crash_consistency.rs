@@ -21,7 +21,8 @@ fn metadata_survives_crash_after_direct_appends() {
         let fd = t.open_with(ctx, "/journal-me", true, true).unwrap();
         // Appends go through the kernel and are journaled.
         for i in 0..8u64 {
-            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096).unwrap();
+            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
         }
         t.fsync(ctx, fd).unwrap();
         // Crash *before* close: home metadata writes stop reaching the
@@ -38,7 +39,10 @@ fn metadata_survives_crash_after_direct_appends() {
     let size = fs2.size_of(ino).unwrap();
     assert!(size >= 8 * 4096, "size after recovery = {size}");
     let (segs, _) = fs2.resolve(ino, 0, 8 * 4096).unwrap();
-    assert!(segs.iter().all(|(l, _)| l.is_some()), "holes after recovery");
+    assert!(
+        segs.iter().all(|(l, _)| l.is_some()),
+        "holes after recovery"
+    );
     // Data blocks were written in place (ordered mode): contents intact.
     let mut buf = vec![0u8; 4096];
     let mut pos = 0u64;

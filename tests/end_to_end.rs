@@ -30,7 +30,8 @@ fn mixed_interface_workload_stays_coherent() {
         let mut t = proc.thread();
         let fd = t.open(ctx, "/m1", true).unwrap();
         for i in 0..32u64 {
-            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096).unwrap();
+            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
         }
         t.close(ctx, fd).unwrap();
     });
@@ -84,7 +85,8 @@ fn file_grows_while_other_process_reads_it() {
         let fd = t.open(ctx, "/grow", true).unwrap();
         for i in 1..=16u64 {
             ctx.delay(Nanos::from_micros(50));
-            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096).unwrap();
+            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
         }
         t.close(ctx, fd).unwrap();
     });
@@ -98,10 +100,7 @@ fn file_grows_while_other_process_reads_it() {
         for _ in 0..40 {
             ctx.delay(Nanos::from_micros(25));
             // Re-stat via the kernel to learn the current size.
-            let size = s2
-                .fs()
-                .size_of(s2.fs().lookup("/grow").unwrap())
-                .unwrap();
+            let size = s2.fs().size_of(s2.fs().lookup("/grow").unwrap()).unwrap();
             let blocks = size / 4096;
             while seen_blocks < blocks {
                 let n = t.pread(ctx, fd, &mut buf, seen_blocks * 4096).unwrap();
@@ -115,7 +114,10 @@ fn file_grows_while_other_process_reads_it() {
         }
         assert!(seen_blocks >= 8, "reader never observed growth");
         let (direct, _) = proc.op_counts();
-        assert!(direct >= seen_blocks, "appended blocks must be readable directly");
+        assert!(
+            direct >= seen_blocks,
+            "appended blocks must be readable directly"
+        );
     });
     sim.run();
 }

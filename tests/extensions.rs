@@ -92,7 +92,8 @@ fn async_writes_durable_after_fsync() {
         let mut t = proc.thread();
         let fd = t.open(ctx, "/dur", true).unwrap();
         for i in 0..16u64 {
-            t.pwrite_async(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096).unwrap();
+            t.pwrite_async(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
         }
         t.fsync(ctx, fd).unwrap();
         assert_eq!(t.pending_write_count(fd), 0);
@@ -107,7 +108,11 @@ fn async_writes_durable_after_fsync() {
             while left > 0 {
                 sys.device().read_raw(cur, &mut buf);
                 let want = (pos / 4096 + 1) as u8;
-                assert!(buf.iter().all(|&b| b == want), "block {} not durable", pos / 4096);
+                assert!(
+                    buf.iter().all(|&b| b == want),
+                    "block {} not durable",
+                    pos / 4096
+                );
                 cur = bypassd_hw::types::Lba(cur.0 + 8);
                 pos += 4096;
                 left -= 4096;
@@ -173,7 +178,10 @@ fn async_write_falls_back_for_appends_and_unaligned() {
         let mut t = proc.thread();
         let fd = t.open(ctx, "/fb", true).unwrap();
         // Append: falls back to the kernel path but still succeeds.
-        assert_eq!(t.pwrite_async(ctx, fd, &vec![5u8; 4096], 8192).unwrap(), 4096);
+        assert_eq!(
+            t.pwrite_async(ctx, fd, &vec![5u8; 4096], 8192).unwrap(),
+            4096
+        );
         assert_eq!(t.size(fd).unwrap(), 12288);
         // Unaligned: routed through the serialised RMW path.
         assert_eq!(t.pwrite_async(ctx, fd, &[9u8; 100], 50).unwrap(), 100);

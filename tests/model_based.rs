@@ -88,11 +88,12 @@ fn run_model_case(seed: u64, n_ops: usize) {
                 Op::Read { offset, len } => {
                     let mut buf = vec![0u8; *len];
                     let n = t.pread(ctx, fd, &mut buf, *offset).unwrap();
-                    let expect_n = (model.len() as u64).saturating_sub(*offset).min(*len as u64);
+                    let expect_n = (model.len() as u64)
+                        .saturating_sub(*offset)
+                        .min(*len as u64);
                     if n as u64 != expect_n {
-                        f2.lock().push(format!(
-                            "op {i}: read len {n} != model {expect_n} ({op:?})"
-                        ));
+                        f2.lock()
+                            .push(format!("op {i}: read len {n} != model {expect_n} ({op:?})"));
                         return;
                     }
                     if n > 0 {
@@ -144,7 +145,10 @@ fn run_model_case(seed: u64, n_ops: usize) {
                         truncate: false,
                         bypassd_intent: false,
                     };
-                    let kfd = sys2.kernel().sys_open(ctx, pid, "/model", flags, 0).unwrap();
+                    let kfd = sys2
+                        .kernel()
+                        .sys_open(ctx, pid, "/model", flags, 0)
+                        .unwrap();
                     // One read through the kernel interface too.
                     let mut kb = vec![0u8; 512];
                     let kn = sys2.kernel().sys_pread(ctx, pid, kfd, &mut kb, 0).unwrap();
@@ -232,7 +236,10 @@ fn two_threads_disjoint_regions_match_model() {
                 // Immediately verify our own region.
                 let mut buf = vec![0u8; 4096];
                 t.pread(ctx, 3, &mut buf, off).unwrap();
-                assert!(buf.iter().all(|&b| b == byte), "thread {half} lost its write");
+                assert!(
+                    buf.iter().all(|&b| b == byte),
+                    "thread {half} lost its write"
+                );
             }
             t.flush_writes(ctx, 3).unwrap();
         });

@@ -83,8 +83,7 @@ fn anothers_mapping_is_unreachable_via_own_pasid() {
     // The victim maps its file; the attacker replays the *same* VBA on
     // its own queue. The IOMMU walks the attacker's page table → fault.
     let (sys, _) = system_with_secret();
-    let victim_vba: Arc<parking_lot::Mutex<Vba>> =
-        Arc::new(parking_lot::Mutex::new(Vba::NULL));
+    let victim_vba: Arc<parking_lot::Mutex<Vba>> = Arc::new(parking_lot::Mutex::new(Vba::NULL));
     let sim = Simulation::new();
     let s1 = sys.clone();
     let v1 = Arc::clone(&victim_vba);
@@ -112,9 +111,9 @@ fn anothers_mapping_is_unreachable_via_own_pasid() {
         let dma = DmaBuffer::alloc(s2.mem(), 4096);
         let vba = *v2.lock();
         assert!(!vba.is_null());
-        let (st, _) = s2
-            .device()
-            .execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), ctx.now());
+        let (st, _) =
+            s2.device()
+                .execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), ctx.now());
         assert!(
             matches!(st, NvmeStatus::TranslationFault(_)),
             "stolen VBA translated through the attacker's PASID!"
@@ -141,7 +140,7 @@ fn readonly_open_cannot_write_even_via_device() {
         let dma = DmaBuffer::alloc(sys.mem(), 4096);
         dma.write(0, &[0xEE; 4096]);
         let vba = Vba(0x10_0000_0000); // fmap region base
-        // Confirm reads DO work at this VBA (it is the real mapping)…
+                                       // Confirm reads DO work at this VBA (it is the real mapping)…
         let tr = sys
             .iommu()
             .lock()
@@ -149,9 +148,9 @@ fn readonly_open_cannot_write_even_via_device() {
             .map(|t| t.extents.len());
         assert!(tr.is_ok(), "test setup: vba should be the mapping base");
         // …but writes fault.
-        let (st, _) = sys
-            .device()
-            .execute(q, Command::write(BlockAddr::Vba(vba), 8, &dma), ctx.now());
+        let (st, _) =
+            sys.device()
+                .execute(q, Command::write(BlockAddr::Vba(vba), 8, &dma), ctx.now());
         assert!(matches!(st, NvmeStatus::TranslationFault(_)));
         // File content unchanged.
         t.pread(ctx, fd, &mut buf, 0).unwrap();
@@ -210,10 +209,13 @@ fn reallocated_blocks_never_leak_old_data() {
     fs.allocate(a, 0, 1 << 20).unwrap();
     let (segs2, _) = fs.resolve(a, 0, 1 << 20).unwrap();
     // The allocator reused the space…
-    assert!(segs2.iter().any(|(l, n)| {
-        let l = l.unwrap().0;
-        l < old_lba.0 + (1 << 20) / 512 && old_lba.0 < l + n / 512
-    }), "test setup: blocks were not reused");
+    assert!(
+        segs2.iter().any(|(l, n)| {
+            let l = l.unwrap().0;
+            l < old_lba.0 + (1 << 20) / 512 && old_lba.0 < l + n / 512
+        }),
+        "test setup: blocks were not reused"
+    );
     // …and direct reads see only zeroes.
     let sim = Simulation::new();
     sim.spawn("attacker", move |ctx| {
@@ -247,7 +249,13 @@ fn wrong_device_id_rejected() {
         let err = sys
             .iommu()
             .lock()
-            .translate(pasid, Vba(0x10_0000_0000), PAGE_SIZE, AccessKind::Read, DevId(9))
+            .translate(
+                pasid,
+                Vba(0x10_0000_0000),
+                PAGE_SIZE,
+                AccessKind::Read,
+                DevId(9),
+            )
             .unwrap_err();
         assert_eq!(err.0, bypassd_hw::iommu::TranslateError::WrongDevice);
         let _ = Pasid(0);

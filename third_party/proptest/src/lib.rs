@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the small slice of proptest the workspace's property tests
+//! use: the `proptest!` macro (with both `pat in strategy` and
+//! `name: Type` argument forms), integer-range and `any::<T>()`
+//! strategies, tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Each property runs a fixed number of deterministic cases driven by a
+//! seeded xorshift generator, so failures are reproducible. There is no
+//! shrinking: a failing case reports its inputs via the assertion message.
+
+/// Number of cases each property is executed with.
+pub const CASES: u32 = 64;
+
+/// Deterministic case-generation RNG (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG for case index `case` of property `name`.
+    pub fn new(name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Rejection-free multiply-shift reduction is fine for testing.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. The stand-in samples directly instead of building
+/// shrinkable value trees.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi - lo;
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    (lo + rng.below(span + 1)) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy for "any value of T" (see [`Arbitrary`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` samples.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len.clone(), rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// What the `prelude` glob import provides.
+pub mod prelude {
+    /// `prop::collection::vec(..)` paths resolve through this alias.
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Binds one property argument list entry. Two forms, as in proptest:
+/// `pat in strategy` draws from an explicit strategy; `name: Type` is
+/// shorthand for `name in any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr) => {
+        let $pat = $crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Declares `#[test]` functions that run their body over [`CASES`]
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::CASES {
+                let mut __rng = $crate::TestRng::new(stringify!($name), case);
+                $crate::__proptest_bind!(__rng; $($args)*);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0u8..2, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 2);
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn shorthand_and_vec(flag: bool, v in prop::collection::vec(0u64..10, 1..4)) {
+            prop_assert!(flag || !flag);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 10), "out of range: {:?}", v);
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(ops in prop::collection::vec((0u64..64, 1usize..8), 1..10)) {
+            for (a, b) in ops {
+                prop_assert!(a < 64);
+                prop_assert_eq!(b.clamp(1, 7), b);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new("x", 0);
+        let mut b = TestRng::new("x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::new("x", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
