@@ -6,18 +6,27 @@
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_bench::{ops, std_system, us};
 use bypassd_fio::{run_jobs, JobSpec, RwMode};
-use bypassd_sim::report::Table;
+use bypassd_sim::report::{f, Table};
 use bypassd_sim::time::Nanos;
 
 fn main() {
     let background = [0usize, 1, 2, 4, 8, 12, 16];
+    // Approximate series read off the figure.
+    let paper_sync = [8.0, 8.0, 8.5, 8.5, 9.0, 12.0, 14.0];
+    let paper_byp = [5.0, 5.0, 5.0, 5.5, 6.0, 9.0, 11.0];
     let n_ops = ops(200, 1200);
     let mut t = Table::new(
         "Figure 11: foreground 4KB randread latency (µs) with background readers",
-        &["bg readers", "sync", "bypassd"],
+        &[
+            "bg readers",
+            "paper sync",
+            "sync",
+            "paper bypassd",
+            "bypassd",
+        ],
     );
     let mut rows = Vec::new();
-    for n_bg in background {
+    for (load, n_bg) in background.into_iter().enumerate() {
         let mut cells = vec![n_bg.to_string()];
         let mut pair = Vec::new();
         for kind in [BackendKind::Sync, BackendKind::Bypassd] {
@@ -61,8 +70,11 @@ fn main() {
             let results = run_jobs(&system, jobs);
             let fg = &results[0];
             pair.push(fg.mean_latency());
-            cells.push(us(fg.mean_latency()));
         }
+        cells.push(f(paper_sync[load], 1));
+        cells.push(us(pair[0]));
+        cells.push(f(paper_byp[load], 1));
+        cells.push(us(pair[1]));
         rows.push((n_bg, pair[0], pair[1]));
         t.row_owned(cells);
     }
@@ -82,6 +94,63 @@ fn main() {
     assert!(
         byp16 < byp0 * 20,
         "round-robin should bound the foreground latency: {byp16} vs {byp0}"
+    );
+
+    // The flip side of relying on device round-robin alone: a *single*
+    // misbehaving tenant with a deep queue (one process, 16 sync
+    // threads) still inflates an innocent QD1 foreground, because the
+    // device has no notion of per-tenant shares. This is the unfairness
+    // the QoS arbiter removes (see the `fairness` bench / Ablation 8).
+    let system = std_system();
+    let results = run_jobs(
+        &system,
+        vec![
+            (
+                make_factory(BackendKind::Bypassd, &system, 1000, 1000),
+                JobSpec {
+                    name: "fg".into(),
+                    mode: RwMode::RandRead,
+                    block_size: 4096,
+                    file: "/fg".into(),
+                    file_size: 128 << 20,
+                    threads: 1,
+                    ops_per_thread: n_ops,
+                    warmup_ops: 16,
+                    per_thread_files: false,
+                    seed: 31,
+                    start_at: Nanos::ZERO,
+                },
+            ),
+            (
+                make_factory(BackendKind::Bypassd, &system, 2000, 2000),
+                JobSpec {
+                    name: "antagonist".into(),
+                    mode: RwMode::RandRead,
+                    block_size: 4096,
+                    file: "/bg".into(),
+                    file_size: 64 << 20,
+                    threads: 16,
+                    ops_per_thread: n_ops * 2,
+                    warmup_ops: 0,
+                    per_thread_files: false,
+                    seed: 41,
+                    start_at: Nanos::ZERO,
+                },
+            ),
+        ],
+    );
+    let solo = rows[0].2;
+    let contended = results[0].mean_latency();
+    let mut t = Table::new(
+        "Figure 11 addendum: QD1 foreground vs one 16-deep tenant (no QoS)",
+        &["scenario", "fg latency (µs)"],
+    );
+    t.row(&["foreground alone", &us(solo)]);
+    t.row(&["with 16-deep antagonist", &us(contended)]);
+    t.print();
+    assert!(
+        contended.as_nanos() as f64 >= 1.8 * solo.as_nanos() as f64,
+        "a deep-queue tenant must visibly hurt the no-QoS foreground: {contended} vs {solo}"
     );
     println!("OK: Figure 11 shape reproduced (bypassd < sync at every load)");
 }

@@ -43,5 +43,6 @@
 pub mod system;
 pub mod userlib;
 
+pub use bypassd_qos::{QosConfig, RateLimit, Tenant, TenantShare};
 pub use system::{System, SystemBuilder};
-pub use userlib::{UserProcess, UserThread};
+pub use userlib::{IoPolicy, UserProcess, UserThread};

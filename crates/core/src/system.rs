@@ -10,6 +10,7 @@ use bypassd_hw::iommu::{Iommu, IommuTiming};
 use bypassd_hw::types::DevId;
 use bypassd_hw::PhysMem;
 use bypassd_os::{CostModel, Kernel};
+use bypassd_qos::QosConfig;
 use bypassd_ssd::device::NvmeDevice;
 use bypassd_ssd::timing::MediaTiming;
 
@@ -78,6 +79,7 @@ pub struct SystemBuilder {
     iommu_timing: IommuTiming,
     cache_ftes: bool,
     device_atc: bool,
+    qos: QosConfig,
     pwc_capacity: usize,
     cost: CostModel,
     fs_opts: Ext4Options,
@@ -93,6 +95,7 @@ impl Default for SystemBuilder {
             iommu_timing: IommuTiming::default(),
             cache_ftes: false,
             device_atc: false,
+            qos: QosConfig::default(),
             pwc_capacity: 64,
             cost: CostModel::default(),
             fs_opts: Ext4Options::default(),
@@ -136,6 +139,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Configures the multi-tenant QoS subsystem (fair-share pacing,
+    /// per-tenant rate limits, backpressure). Default off: the device
+    /// behaves exactly as without QoS, bit-identical virtual times.
+    /// Per-uid shares in the config are installed as kernel policy and
+    /// applied when processes bind their queue pairs.
+    pub fn qos(mut self, config: QosConfig) -> Self {
+        self.qos = config;
+        self
+    }
+
     /// Page-walk cache capacity in 2 MB-prefix entries (the "larger
     /// translation caches" knob the paper suggests, §4.3).
     pub fn pwc_capacity(mut self, entries: usize) -> Self {
@@ -172,9 +185,21 @@ impl SystemBuilder {
         let iommu = Arc::new(Mutex::new(iommu));
         let sectors = self.capacity_bytes / 512;
         let dev = NvmeDevice::new(self.dev_id, sectors, self.media, iommu);
-        dev.set_atc_enabled(self.device_atc);
+        // CI coverage overrides: force the ablation features on across an
+        // unmodified test suite. Tests asserting the defaults themselves
+        // skip when these are set.
+        let device_atc = self.device_atc || env_force("BYPASSD_FORCE_ATC");
+        let mut qos = self.qos;
+        if env_force("BYPASSD_FORCE_QOS") {
+            qos.enabled = true;
+        }
+        dev.set_atc_enabled(device_atc);
+        dev.set_qos(qos.clone());
         let fs = Arc::new(Ext4::format(&dev, &mem, self.fs_opts));
         let kernel = Kernel::new(&mem, Arc::clone(&fs), self.cost, self.page_cache_blocks);
+        for (uid, share) in &qos.uid_shares {
+            kernel.set_qos_policy(*uid, *share);
+        }
         System {
             mem,
             dev,
@@ -182,6 +207,12 @@ impl SystemBuilder {
             kernel,
         }
     }
+}
+
+/// True when the named coverage override is set to a non-empty,
+/// non-"0" value.
+fn env_force(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 #[cfg(test)]
@@ -204,10 +235,31 @@ mod tests {
 
     #[test]
     fn device_atc_knob_wires_through() {
+        if env_force("BYPASSD_FORCE_ATC") {
+            return; // the override deliberately flips the default
+        }
         let sys = System::builder().build();
         assert!(!sys.device().atc().enabled(), "ATC must default off");
         let sys = System::builder().device_atc(true).build();
         assert!(sys.device().atc().enabled());
+    }
+
+    #[test]
+    fn qos_knob_wires_through() {
+        if env_force("BYPASSD_FORCE_QOS") {
+            return; // the override deliberately flips the default
+        }
+        let sys = System::builder().build();
+        assert!(!sys.device().qos_enabled(), "QoS must default off");
+        let config = QosConfig::enabled().uid_share(1000, bypassd_qos::TenantShare::weight(4));
+        let sys = System::builder().qos(config).build();
+        assert!(sys.device().qos_enabled());
+        // The uid policy reaches the device arbiter at queue bind time.
+        let pid = sys.kernel().spawn_process(1000, 1000);
+        sys.kernel().bind_user_queue(pid, 64);
+        let pasid = sys.kernel().pasid_of(pid);
+        let stats = sys.device().tenant_stats(bypassd_qos::Tenant::User(pasid));
+        assert!(stats.is_some(), "bind must register the tenant");
     }
 
     #[test]

@@ -31,6 +31,37 @@ use bypassd_ssd::queue::{NvmeStatus, QueueId};
 
 use crate::system::System;
 
+/// Retry and backpressure knobs for the direct data path.
+///
+/// The defaults reproduce the historical behaviour exactly: two fault
+/// attempts before falling back to the kernel, no backoff, and no
+/// depth adaptation (the device only reports congestion pressure when
+/// the QoS subsystem is enabled, so with QoS off the adaptive state
+/// never engages).
+#[derive(Debug, Clone, Copy)]
+pub struct IoPolicy {
+    /// Direct attempts per op before falling back to the kernel path.
+    pub max_attempts: u32,
+    /// Delay inserted before re-trying a faulted direct op.
+    pub retry_backoff: Nanos,
+    /// Floor for the adaptive effective queue depth.
+    pub min_depth: usize,
+    /// Pressure-free completions required to grow the effective depth
+    /// back by one slot (the additive half of AIMD).
+    pub recover_after: u32,
+}
+
+impl Default for IoPolicy {
+    fn default() -> Self {
+        IoPolicy {
+            max_attempts: 2,
+            retry_backoff: Nanos::ZERO,
+            min_depth: 1,
+            recover_after: 16,
+        }
+    }
+}
+
 /// Per-open state tracked by UserLib (flags, offset, size, starting VBA —
 /// §3.2). Plain scalars: reading it is a copy, not a clone.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +118,7 @@ pub struct UserProcess {
     /// fd → entry. Read-locked (shared) on the data path; write-locked
     /// only by open/close.
     files: RwLock<HashMap<Fd, Arc<FileEntry>>>,
+    io_policy: Mutex<IoPolicy>,
     direct_ops: AtomicU64,
     fallback_ops: AtomicU64,
 }
@@ -99,6 +131,7 @@ impl UserProcess {
             system: system.clone(),
             pid,
             files: RwLock::new(HashMap::new()),
+            io_policy: Mutex::new(IoPolicy::default()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
         })
@@ -122,6 +155,7 @@ impl UserProcess {
             system: system.clone(),
             pid,
             files: RwLock::new(HashMap::new()),
+            io_policy: Mutex::new(IoPolicy::default()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
         }))
@@ -138,16 +172,33 @@ impl UserProcess {
     }
 
     /// Creates a thread handle with a private queue pair and DMA buffer
-    /// (setup-time work, untimed).
+    /// (setup-time work, untimed). The queue pair is bound through the
+    /// kernel driver, which registers this process's QoS share with the
+    /// device arbiter.
     pub fn thread(self: &Arc<Self>) -> UserThread {
-        let pasid = self.system.kernel().pasid_of(self.pid);
-        let qid = self.system.device().create_queue(Some(pasid), 64);
+        const QUEUE_DEPTH: usize = 64;
+        let qid = self.system.kernel().bind_user_queue(self.pid, QUEUE_DEPTH);
         let dma = DmaBuffer::alloc(self.system.mem(), 1 << 20);
         UserThread {
             proc: Arc::clone(self),
             qid,
             dma,
+            queue_depth: QUEUE_DEPTH,
+            effective_depth: QUEUE_DEPTH,
+            clean_streak: 0,
+            pressure_events: 0,
         }
+    }
+
+    /// Overrides the retry/backpressure policy for all of this process's
+    /// threads.
+    pub fn set_io_policy(&self, policy: IoPolicy) {
+        *self.io_policy.lock() = policy;
+    }
+
+    /// The retry/backpressure policy in force.
+    pub fn io_policy(&self) -> IoPolicy {
+        *self.io_policy.lock()
     }
 
     /// (direct I/Os, kernel-fallback I/Os) completed so far.
@@ -189,6 +240,16 @@ pub struct UserThread {
     proc: Arc<UserProcess>,
     qid: QueueId,
     dma: DmaBuffer,
+    /// Hardware depth of the queue pair.
+    queue_depth: usize,
+    /// Adaptive submission window (AIMD on device pressure signals).
+    /// Stays at `queue_depth` while the device never reports pressure —
+    /// i.e. always, unless QoS is enabled.
+    effective_depth: usize,
+    /// Pressure-free completions since the last depth increase.
+    clean_streak: u32,
+    /// Total congestion signals observed on this queue.
+    pressure_events: u64,
 }
 
 impl std::fmt::Debug for UserThread {
@@ -219,6 +280,36 @@ impl UserThread {
 
     fn cost(&self) -> bypassd_os::CostModel {
         *self.kernel().cost()
+    }
+
+    /// Current adaptive submission window (== hardware depth unless the
+    /// device has signalled congestion).
+    pub fn effective_depth(&self) -> usize {
+        self.effective_depth
+    }
+
+    /// Congestion signals observed on this thread's queue so far.
+    pub fn pressure_events(&self) -> u64 {
+        self.pressure_events
+    }
+
+    /// AIMD reaction to the device's congestion bit: halve the window on
+    /// pressure, creep back one slot per `recover_after` clean
+    /// completions. A no-op while the window is full and pressure never
+    /// arrives (QoS disabled), keeping the default path untouched.
+    fn note_pressure(&mut self, pressure: bool) {
+        if pressure {
+            let policy = self.proc.io_policy();
+            self.pressure_events += 1;
+            self.effective_depth = (self.effective_depth / 2).max(policy.min_depth);
+            self.clean_streak = 0;
+        } else if self.effective_depth < self.queue_depth {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.proc.io_policy().recover_after {
+                self.effective_depth += 1;
+                self.clean_streak = 0;
+            }
+        }
     }
 
     // ---- open/close ----
@@ -337,9 +428,14 @@ impl UserThread {
         } else {
             Command::read(addr, sectors, &self.dma)
         };
-        let (status, ready) = self.proc.system.device().execute(self.qid, cmd, ctx.now());
-        ctx.wait_until(ready);
-        match status {
+        let comp = self
+            .proc
+            .system
+            .device()
+            .execute_full(self.qid, cmd, ctx.now());
+        self.note_pressure(comp.pressure);
+        ctx.wait_until(comp.ready_at);
+        match comp.status {
             NvmeStatus::Success => Ok(DirectIo::Done),
             NvmeStatus::TranslationFault(_) => {
                 // Revocation or growth race: re-fmap (§3.6).
@@ -408,6 +504,7 @@ impl UserThread {
         };
         let start = offset - offset % SECTOR_SIZE;
         let end = (offset + len).div_ceil(SECTOR_SIZE) * SECTOR_SIZE;
+        let policy = self.proc.io_policy();
         let mut attempts = 0;
         loop {
             // Chunk by the DMA buffer size.
@@ -445,12 +542,15 @@ impl UserThread {
                 return Ok(len as usize);
             }
             attempts += 1;
-            if attempts >= 2 {
+            if attempts >= policy.max_attempts {
                 // Persistent fault (e.g. a hole): let the kernel path
                 // handle this one op.
                 self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
                 let kernel = Arc::clone(self.kernel());
                 return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+            }
+            if policy.retry_backoff > Nanos::ZERO {
+                ctx.delay(policy.retry_backoff);
             }
         }
     }
@@ -502,6 +602,7 @@ impl UserThread {
         let Some(vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
         };
+        let policy = self.proc.io_policy();
         let mut attempts = 0;
         loop {
             let mut pos = 0u64;
@@ -529,10 +630,13 @@ impl UserThread {
                 return Ok(data.len());
             }
             attempts += 1;
-            if attempts >= 2 {
+            if attempts >= policy.max_attempts {
                 self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
                 let kernel = Arc::clone(self.kernel());
                 return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+            }
+            if policy.retry_backoff > Nanos::ZERO {
+                ctx.delay(policy.retry_backoff);
             }
         }
     }
@@ -731,6 +835,14 @@ impl UserThread {
             }
             self.flush_writes(ctx, fd)?;
         }
+        // Backpressure: once the device has signalled congestion, the
+        // submission window shrinks below the hardware depth and we drain
+        // before going deeper (never engages while QoS is disabled).
+        while self.effective_depth < self.queue_depth
+            && self.pending_write_count(fd) >= self.effective_depth
+        {
+            self.flush_writes(ctx, fd)?;
+        }
         ctx.delay(self.cost().userlib_overhead + self.cost().user_copy(len));
         // Each async write stages through its own small DMA buffer so the
         // thread buffer stays free for subsequent operations.
@@ -772,6 +884,7 @@ impl UserThread {
         let comp = dev
             .reap_at(self.qid, cid, ready)
             .expect("completion not posted");
+        self.note_pressure(comp.pressure);
         if !comp.status.is_ok() {
             // Translation fault (revocation mid-flight): fall back.
             return self.pwrite(ctx, fd, data, offset);

@@ -465,3 +465,83 @@ fn multithreaded_distinct_fds_smoke() {
     });
     sim.run();
 }
+
+// ---- QoS backpressure (bypassd-qos integration) ----
+
+#[test]
+fn qos_backpressure_adapts_effective_depth() {
+    // A non-blocking write flood under QoS must draw congestion signals
+    // (the tenant outruns its lane allocation) and shrink the thread's
+    // effective submission window, AIMD-style.
+    let sys = System::builder().qos(bypassd::QosConfig::enabled()).build();
+    sys.fs().populate("/bp", 1 << 20, 0).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/bp", true).unwrap();
+        assert_eq!(t.effective_depth(), 64);
+        let data = vec![0xABu8; 4096];
+        for i in 0..64u64 {
+            t.pwrite_async(ctx, fd, &data, i * 4096).unwrap();
+        }
+        assert!(
+            t.pressure_events() > 0,
+            "a 64-deep flood under QoS must signal pressure"
+        );
+        assert!(
+            t.effective_depth() < 64,
+            "the submission window must shrink under pressure"
+        );
+        // Data integrity survives the adaptive draining.
+        t.flush_writes(ctx, fd).unwrap();
+        let mut buf = vec![0u8; 4096];
+        t.pread(ctx, fd, &mut buf, 63 * 4096).unwrap();
+        assert_eq!(buf, data);
+        t.close(ctx, fd).unwrap();
+    });
+}
+
+#[test]
+fn no_pressure_signals_without_qos() {
+    if std::env::var("BYPASSD_FORCE_QOS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return; // the CI override deliberately enables QoS everywhere
+    }
+    let sys = system();
+    sys.fs().populate("/np", 1 << 20, 0).unwrap();
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/np", true).unwrap();
+        let data = vec![0x5Au8; 4096];
+        for i in 0..64u64 {
+            t.pwrite_async(ctx, fd, &data, i * 4096).unwrap();
+        }
+        assert_eq!(t.pressure_events(), 0, "QoS off must never signal pressure");
+        assert_eq!(
+            t.effective_depth(),
+            64,
+            "window must stay at hardware depth"
+        );
+        t.flush_writes(ctx, fd).unwrap();
+        t.close(ctx, fd).unwrap();
+    });
+}
+
+#[test]
+fn io_policy_knobs_apply() {
+    // retry_backoff and max_attempts are visible through the policy;
+    // the default must match the historical constants.
+    let sys = system();
+    let proc = UserProcess::start(&sys, 0, 0);
+    let p = proc.io_policy();
+    assert_eq!(p.max_attempts, 2);
+    assert_eq!(p.retry_backoff, Nanos::ZERO);
+    proc.set_io_policy(bypassd::IoPolicy {
+        max_attempts: 4,
+        retry_backoff: Nanos(500),
+        min_depth: 2,
+        recover_after: 8,
+    });
+    assert_eq!(proc.io_policy().max_attempts, 4);
+    assert_eq!(proc.io_policy().min_depth, 2);
+}

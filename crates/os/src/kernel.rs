@@ -16,6 +16,7 @@ use bypassd_ext4::{Ext4, Ext4Error};
 use bypassd_hw::mem::PhysMem;
 use bypassd_hw::page_table::AddressSpace;
 use bypassd_hw::types::{Lba, Pasid, Vba, SECTOR_SIZE};
+use bypassd_qos::{Tenant, TenantShare};
 use bypassd_sim::engine::ActorCtx;
 use bypassd_sim::time::Nanos;
 use bypassd_ssd::device::{BlockAddr, Command, NvmeDevice};
@@ -160,6 +161,9 @@ pub struct Kernel {
     state: Mutex<KState>,
     cache: Mutex<PageCache>,
     kq: QueueId,
+    /// Administrative QoS policy: per-uid shares applied to queue pairs
+    /// at bind time. Uids absent here get the device's default share.
+    qos_shares: Mutex<std::collections::HashMap<u32, TenantShare>>,
     pub(crate) uring_jobs: Arc<AtomicU32>,
 }
 
@@ -180,6 +184,7 @@ impl Kernel {
             }),
             cache: Mutex::new(PageCache::new(cache_blocks)),
             kq,
+            qos_shares: Mutex::new(std::collections::HashMap::new()),
             uring_jobs: Arc::new(AtomicU32::new(0)),
         })
     }
@@ -401,7 +406,32 @@ impl Kernel {
     /// bound to the process PASID and mapped into userspace (§3.3).
     pub fn sys_create_user_queue(&self, ctx: &mut ActorCtx, pid: Pid, depth: usize) -> QueueId {
         ctx.delay(self.cost.syscall() + Nanos(2_000));
-        let pasid = self.pasid_of(pid);
+        self.bind_user_queue(pid, depth)
+    }
+
+    /// Sets the QoS share applied to queue pairs bound by processes of
+    /// `uid` from now on (administrative policy; cgroup-style). Takes
+    /// effect at the next [`Kernel::bind_user_queue`].
+    pub fn set_qos_policy(&self, uid: u32, share: TenantShare) {
+        self.qos_shares.lock().insert(uid, share);
+    }
+
+    /// Binds a user queue pair for `pid`, registering the process's
+    /// tenant share with the device arbiter first. Untimed: the
+    /// syscall-shaped wrapper is [`Kernel::sys_create_user_queue`].
+    pub fn bind_user_queue(&self, pid: Pid, depth: usize) -> QueueId {
+        let (pasid, uid) = {
+            let state = self.state.lock();
+            let p = &state.procs[&pid];
+            (p.pasid, p.uid)
+        };
+        let share = self
+            .qos_shares
+            .lock()
+            .get(&uid)
+            .copied()
+            .unwrap_or_else(|| self.dev.qos_default_share());
+        self.dev.register_tenant(Tenant::User(pasid), share);
         self.dev.create_queue(Some(pasid), depth)
     }
 

@@ -1,0 +1,455 @@
+//! The device-facing QoS arbiter.
+//!
+//! The simulated device computes every command's completion time at
+//! submission (the eager ledger in `bypassd-ssd::timing`), so a
+//! queue-based scheduler cannot reorder dispatch after the fact. The
+//! arbiter therefore enforces the DRR shares *at admission*, in two
+//! composable steps:
+//!
+//! 1. **Token buckets** ([`crate::bucket`]) push the command's
+//!    effective arrival to the earliest conforming virtual time
+//!    (`throttled`).
+//! 2. **Share-scaled media parallelism**: of the device's `channels`
+//!    media channels, a tenant competing with other *active* tenants
+//!    may only keep `channels × weight / Σ active weights` (≥ 1) booked
+//!    ahead of time. Each tenant owns a private ledger of virtual
+//!    "lanes"; a command is admitted on the earliest free lane of the
+//!    tenant's current allocation, which delays its effective arrival
+//!    while the allocation is saturated (`deferred`).
+//!
+//! This is exactly the allocation the reference [`crate::drr`]
+//! scheduler converges to when every tenant is backlogged (service
+//! ∝ weight), but expressed as arrival pacing: a deep-queue tenant's
+//! backlog parks on its own future lanes instead of the shared channel
+//! ledger, so a QD1 neighbor's commands find a free channel at `now`.
+//! The active-set test (any media activity within `active_grace`) keeps
+//! the scheme work-conserving at coarse grain: a tenant alone on the
+//! device gets every lane, hence full throughput.
+
+use std::collections::HashMap;
+
+use bypassd_hw::types::Pasid;
+use bypassd_sim::time::Nanos;
+
+use crate::bucket::RateLimiter;
+use crate::config::{QosConfig, TenantShare};
+use crate::stats::TenantStats;
+
+/// Who a command is accounted to: the queue pair's PASID binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tenant {
+    /// Kernel-owned queues (no PASID): the kernel block layer, SPDK.
+    Kernel,
+    /// A PASID-bound user queue (BypassD direct I/O).
+    User(Pasid),
+}
+
+impl std::fmt::Display for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tenant::Kernel => f.write_str("kernel"),
+            Tenant::User(p) => write!(f, "pasid:{}", p.0),
+        }
+    }
+}
+
+/// Outcome of admitting one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Effective arrival time to hand to the media scheduler (≥ the
+    /// submission time; equal to it when the command was not delayed).
+    pub arrival: Nanos,
+    /// Delayed by the tenant's token-bucket rate limit.
+    pub throttled: bool,
+    /// Delayed by the fair scheduler (tenant's lane allocation busy).
+    pub deferred: bool,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    share: TenantShare,
+    limiter: Option<RateLimiter>,
+    /// Virtual per-tenant channel ledger (`free-at` times); only the
+    /// first `k` lanes of the current allocation are bookable.
+    lanes: Vec<Nanos>,
+    /// Latest scheduled media activity; drives the active-set test.
+    busy_until: Nanos,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn new(share: TenantShare, channels: usize) -> Self {
+        TenantState {
+            limiter: share.limit.as_ref().and_then(RateLimiter::from_limit),
+            share,
+            lanes: vec![Nanos::ZERO; channels],
+            busy_until: Nanos::ZERO,
+            stats: TenantStats::default(),
+        }
+    }
+}
+
+/// Per-device QoS enforcement state. The owning device serialises calls
+/// under its own lock; the arbiter itself is plain mutable state.
+#[derive(Debug)]
+pub struct QosArbiter {
+    config: QosConfig,
+    channels: usize,
+    tenants: HashMap<Tenant, TenantState>,
+}
+
+impl QosArbiter {
+    /// An arbiter for a device with `channels` media channels.
+    pub fn new(config: QosConfig, channels: usize) -> Self {
+        QosArbiter {
+            config,
+            channels: channels.max(1),
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Whether pacing/throttling/backpressure are in force. When false,
+    /// the device must not call [`QosArbiter::admit`]; accounting stays
+    /// available either way.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &QosConfig {
+        &self.config
+    }
+
+    /// The share applied to unregistered tenants.
+    pub fn default_share(&self) -> TenantShare {
+        self.config.default_share
+    }
+
+    /// Registers (or updates) `tenant`'s share. Called by the kernel at
+    /// queue-pair bind time; accounting history is preserved.
+    pub fn register(&mut self, tenant: Tenant, share: TenantShare) {
+        let channels = self.channels;
+        let st = self
+            .tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::new(share, channels));
+        st.share = share;
+        st.limiter = share.limit.as_ref().and_then(RateLimiter::from_limit);
+    }
+
+    fn ensure(&mut self, tenant: Tenant) -> &mut TenantState {
+        let share = self.config.default_share;
+        let channels = self.channels;
+        self.tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::new(share, channels))
+    }
+
+    /// Sum of weights over tenants active at `now` (always counts
+    /// `tenant` itself).
+    fn active_weight(&self, tenant: Tenant, now: Nanos) -> u64 {
+        let grace = self.config.active_grace;
+        self.tenants
+            .iter()
+            .filter(|(t, st)| **t == tenant || st.busy_until + grace > now)
+            .map(|(_, st)| u64::from(st.share.weight))
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// Admits one command submitted at `now` whose media service is
+    /// estimated at `service_est`, returning its effective arrival.
+    /// Only called when [`QosArbiter::enabled`].
+    pub fn admit(
+        &mut self,
+        tenant: Tenant,
+        now: Nanos,
+        service_est: Nanos,
+        bytes: u64,
+    ) -> Admission {
+        self.ensure(tenant);
+        let active_weight = self.active_weight(tenant, now);
+        let channels = self.channels as u64;
+        let st = self.tenants.get_mut(&tenant).expect("ensured above");
+
+        let mut eligible = now;
+        let mut throttled = false;
+        if let Some(limiter) = &mut st.limiter {
+            let conforming = limiter.reserve(now, bytes);
+            if conforming > eligible {
+                eligible = conforming;
+                throttled = true;
+            }
+        }
+
+        // Lane allocation: this tenant's share of the device's internal
+        // parallelism given who else is currently active.
+        let weight = u64::from(st.share.weight);
+        let k = (channels * weight / active_weight).clamp(1, channels) as usize;
+        let (idx, &free) = st.lanes[..k]
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &t)| (t, *i))
+            .expect("k >= 1");
+        let arrival = eligible.max(free);
+        let deferred = arrival > eligible;
+        st.lanes[idx] = arrival + service_est;
+        st.busy_until = st.busy_until.max(st.lanes[idx]);
+
+        if throttled {
+            st.stats.throttled += 1;
+        }
+        if deferred {
+            st.stats.deferred += 1;
+        }
+        Admission {
+            arrival,
+            throttled,
+            deferred,
+        }
+    }
+
+    /// Latest media activity booked on any tenant's lanes. The device's
+    /// flush barrier drains to this horizon when QoS pacing (which
+    /// bypasses the shared channel ledger) is in force.
+    pub fn horizon(&self) -> Nanos {
+        self.tenants
+            .values()
+            .map(|st| st.busy_until)
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    /// Accounts a command accepted into a queue pair.
+    pub fn record_submit(&mut self, tenant: Tenant) {
+        self.ensure(tenant).stats.submitted += 1;
+    }
+
+    /// Accounts a submission bounced with a full queue.
+    pub fn record_rejected(&mut self, tenant: Tenant) {
+        self.ensure(tenant).stats.rejected += 1;
+    }
+
+    /// Accounts a command's completion: `ok` selects completed/failed;
+    /// successful data movement adds `read_bytes`/`written_bytes`.
+    pub fn record_completion(
+        &mut self,
+        tenant: Tenant,
+        latency: Nanos,
+        ok: bool,
+        read_bytes: u64,
+        written_bytes: u64,
+    ) {
+        let st = self.ensure(tenant);
+        if ok {
+            st.stats.completed += 1;
+            st.stats.read_bytes += read_bytes;
+            st.stats.written_bytes += written_bytes;
+            st.stats.latency.record(latency);
+        } else {
+            st.stats.failed += 1;
+        }
+    }
+
+    /// Aggregate (throttled, deferred) across tenants.
+    pub fn totals(&self) -> (u64, u64) {
+        self.tenants.values().fold((0, 0), |(t, d), st| {
+            (t + st.stats.throttled, d + st.stats.deferred)
+        })
+    }
+
+    /// One tenant's accounting.
+    pub fn tenant_stats(&self, tenant: Tenant) -> Option<TenantStats> {
+        self.tenants.get(&tenant).map(|st| st.stats.clone())
+    }
+
+    /// All tenants' accounting, ordered by tenant for determinism.
+    pub fn snapshot(&self) -> Vec<(Tenant, TenantStats)> {
+        let mut all: Vec<_> = self
+            .tenants
+            .iter()
+            .map(|(t, st)| (*t, st.stats.clone()))
+            .collect();
+        all.sort_by_key(|(t, _)| *t);
+        all
+    }
+
+    /// Forgets absolute time (lane ledgers, activity marks, bucket
+    /// clocks) so a fresh simulation starting at t=0 does not inherit
+    /// backlog. Accounting is preserved, mirroring `DeviceStats` across
+    /// `reset_timing`.
+    pub fn reset_clock(&mut self) {
+        for st in self.tenants.values_mut() {
+            st.lanes.fill(Nanos::ZERO);
+            st.busy_until = Nanos::ZERO;
+            if let Some(l) = &mut st.limiter {
+                l.reset();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RateLimit;
+
+    const SERVICE: Nanos = Nanos(4_000);
+
+    fn arbiter() -> QosArbiter {
+        QosArbiter::new(QosConfig::enabled(), 6)
+    }
+
+    fn t(p: u32) -> Tenant {
+        Tenant::User(Pasid(p))
+    }
+
+    #[test]
+    fn solo_tenant_is_never_delayed_at_low_depth() {
+        let mut a = arbiter();
+        let mut now = Nanos::ZERO;
+        for _ in 0..32 {
+            let adm = a.admit(t(1), now, SERVICE, 4096);
+            assert_eq!(adm.arrival, now, "QD1 tenant must admit immediately");
+            assert!(!adm.throttled && !adm.deferred);
+            now = now + SERVICE + Nanos(500);
+        }
+    }
+
+    #[test]
+    fn solo_tenant_gets_all_lanes() {
+        // A lone flooder books all 6 lanes before deferring: the scheme
+        // is work-conserving when nobody competes.
+        let mut a = arbiter();
+        let mut deferred_at = None;
+        for i in 0..8 {
+            let adm = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+            if adm.deferred && deferred_at.is_none() {
+                deferred_at = Some(i);
+            }
+        }
+        assert_eq!(deferred_at, Some(6));
+    }
+
+    #[test]
+    fn contended_equal_weights_halve_the_lanes() {
+        let mut a = arbiter();
+        // Make tenant 2 active.
+        a.admit(t(2), Nanos::ZERO, SERVICE, 4096);
+        // Tenant 1 now only gets 3 of 6 lanes.
+        let mut deferred_at = None;
+        for i in 0..6 {
+            let adm = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+            if adm.deferred && deferred_at.is_none() {
+                deferred_at = Some(i);
+            }
+        }
+        assert_eq!(deferred_at, Some(3));
+    }
+
+    #[test]
+    fn flooder_does_not_consume_a_light_tenants_lanes() {
+        let mut a = arbiter();
+        // Antagonist floods 16 deep at t=0.
+        for _ in 0..16 {
+            a.admit(t(2), Nanos::ZERO, SERVICE, 4096);
+        }
+        // The QD1 foreground still admits at now: its own lanes are free.
+        let adm = a.admit(t(1), Nanos(100), SERVICE, 4096);
+        assert_eq!(adm.arrival, Nanos(100));
+        assert!(!adm.deferred);
+    }
+
+    #[test]
+    fn weights_skew_lane_allocation() {
+        let mut a = QosArbiter::new(QosConfig::enabled(), 6);
+        a.register(t(1), TenantShare::weight(2));
+        a.register(t(2), TenantShare::weight(1));
+        a.admit(t(2), Nanos::ZERO, SERVICE, 4096);
+        // weight 2 of total 3 → 4 of 6 lanes.
+        let mut deferred_at = None;
+        for i in 0..6 {
+            let adm = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+            if adm.deferred && deferred_at.is_none() {
+                deferred_at = Some(i);
+            }
+        }
+        assert_eq!(deferred_at, Some(4));
+    }
+
+    #[test]
+    fn idle_tenant_leaves_the_active_set() {
+        let mut a = arbiter();
+        a.admit(t(2), Nanos::ZERO, SERVICE, 4096);
+        // Far beyond busy_until + grace, tenant 2 no longer halves
+        // tenant 1's allocation.
+        let later = Nanos::from_millis(10);
+        let mut deferred_at = None;
+        for i in 0..8 {
+            let adm = a.admit(t(1), later, SERVICE, 4096);
+            if adm.deferred && deferred_at.is_none() {
+                deferred_at = Some(i);
+            }
+        }
+        assert_eq!(deferred_at, Some(6));
+    }
+
+    #[test]
+    fn iops_limit_throttles_and_spaces() {
+        let mut a = QosArbiter::new(QosConfig::enabled(), 6);
+        a.register(
+            t(1),
+            TenantShare::weight(1).with_limit(RateLimit {
+                iops: Some(1000),
+                bytes_per_sec: None,
+                burst_ops: 1,
+                burst_bytes: 0,
+            }),
+        );
+        let first = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+        assert!(!first.throttled);
+        let second = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+        assert!(second.throttled);
+        assert_eq!(second.arrival, Nanos::from_millis(1));
+        assert_eq!(a.tenant_stats(t(1)).unwrap().throttled, 1);
+    }
+
+    #[test]
+    fn accounting_tracks_every_op() {
+        let mut a = arbiter();
+        a.record_submit(t(1));
+        a.record_submit(t(1));
+        a.record_submit(t(1));
+        a.record_completion(t(1), Nanos(4000), true, 4096, 0);
+        a.record_completion(t(1), Nanos(4000), true, 0, 4096);
+        a.record_completion(t(1), Nanos(100), false, 0, 0);
+        let s = a.tenant_stats(t(1)).unwrap();
+        assert!(s.accounted());
+        assert_eq!((s.completed, s.failed), (2, 1));
+        assert_eq!((s.read_bytes, s.written_bytes), (4096, 4096));
+        assert_eq!(s.latency.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut a = arbiter();
+        a.record_submit(t(9));
+        a.record_submit(Tenant::Kernel);
+        a.record_submit(t(3));
+        let snap = a.snapshot();
+        let order: Vec<Tenant> = snap.iter().map(|(t, _)| *t).collect();
+        assert_eq!(order, vec![Tenant::Kernel, t(3), t(9)]);
+    }
+
+    #[test]
+    fn reset_clock_clears_backlog_but_keeps_stats() {
+        let mut a = arbiter();
+        for _ in 0..12 {
+            a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+        }
+        a.record_submit(t(1));
+        a.reset_clock();
+        let adm = a.admit(t(1), Nanos::ZERO, SERVICE, 4096);
+        assert!(!adm.deferred, "reset must clear the lane ledger");
+        assert_eq!(a.tenant_stats(t(1)).unwrap().submitted, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Per-tenant observability counters and latency histograms.
+
+use bypassd_sim::stats::Histogram;
+use bypassd_sim::time::Nanos;
+
+/// One tenant's I/O accounting. Recording never moves virtual time, so
+/// these stay on even with QoS pacing disabled.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Commands accepted into a queue pair (including ones that later
+    /// fail translation or range checks).
+    pub submitted: u64,
+    /// Commands completed successfully.
+    pub completed: u64,
+    /// Commands completed with an error status (translation faults,
+    /// range/field errors).
+    pub failed: u64,
+    /// Submissions bounced at the doorbell with a full queue.
+    pub rejected: u64,
+    /// Commands delayed by the tenant's token-bucket rate limit.
+    pub throttled: u64,
+    /// Commands delayed by the fair scheduler (another tenant's share).
+    pub deferred: u64,
+    /// Bytes read from media.
+    pub read_bytes: u64,
+    /// Bytes written to media.
+    pub written_bytes: u64,
+    /// Device-side command latency (submission → completion visible).
+    pub latency: Histogram,
+}
+
+impl TenantStats {
+    /// Every submitted command must be accounted exactly once.
+    pub fn accounted(&self) -> bool {
+        self.submitted == self.completed + self.failed
+    }
+
+    /// Mean device latency over completed commands.
+    pub fn mean_latency(&self) -> Nanos {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_invariant() {
+        let mut s = TenantStats::default();
+        assert!(s.accounted());
+        s.submitted = 3;
+        s.completed = 2;
+        assert!(!s.accounted());
+        s.failed = 1;
+        assert!(s.accounted());
+    }
+}

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use bypassd_hw::iommu::{AccessKind, Iommu};
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
+use bypassd_qos::{QosArbiter, QosConfig, Tenant, TenantShare, TenantStats};
 use bypassd_sim::time::Nanos;
 
 use crate::atc::{AtcStats, AtsCache, DEFAULT_ATC_CAPACITY};
@@ -150,6 +151,16 @@ pub struct DeviceStats {
     pub flushes: u64,
     /// VBA translation faults surfaced as failed completions.
     pub translation_faults: u64,
+    /// Device-side ATC hits (0 unless the ATC ablation is on).
+    pub atc_hits: u64,
+    /// Device-side ATC misses.
+    pub atc_misses: u64,
+    /// ATS shootdowns that reached the device cache.
+    pub atc_shootdowns: u64,
+    /// Commands delayed by a tenant's token-bucket rate limit (QoS).
+    pub qos_throttled: u64,
+    /// Commands delayed by fair-share pacing (QoS).
+    pub qos_deferred: u64,
 }
 
 struct DevState {
@@ -157,6 +168,10 @@ struct DevState {
     timer: DeviceTimer,
     queues: std::collections::HashMap<QueueId, QueuePair>,
     stats: DeviceStats,
+    /// QoS enforcement + per-tenant accounting. Accounting is always on
+    /// (it never moves virtual time); pacing only when the config
+    /// enables it, so the default data path stays bit-identical.
+    qos: QosArbiter,
 }
 
 /// A simulated NVMe SSD.
@@ -197,6 +212,7 @@ impl NvmeDevice {
                 timer: DeviceTimer::new(timing),
                 queues: std::collections::HashMap::new(),
                 stats: DeviceStats::default(),
+                qos: QosArbiter::new(QosConfig::default(), timing.channels),
             }),
             next_qid: AtomicU32::new(1),
         })
@@ -226,6 +242,43 @@ impl NvmeDevice {
     /// ATC hit/miss/shootdown counters.
     pub fn atc_stats(&self) -> AtcStats {
         self.atc.stats()
+    }
+
+    /// Installs a QoS configuration (scheduling weights, rate limits,
+    /// backpressure). Call before traffic starts — existing per-tenant
+    /// accounting is discarded. The default config is disabled: the
+    /// device's timing is then bit-identical to a build without QoS.
+    pub fn set_qos(&self, config: QosConfig) {
+        let mut state = self.state.lock();
+        let channels = state.timer.timing().channels;
+        state.qos = QosArbiter::new(config, channels);
+    }
+
+    /// Whether QoS pacing/throttling is in force.
+    pub fn qos_enabled(&self) -> bool {
+        self.state.lock().qos.enabled()
+    }
+
+    /// The share applied to tenants without an explicit registration.
+    pub fn qos_default_share(&self) -> TenantShare {
+        self.state.lock().qos.default_share()
+    }
+
+    /// Registers `tenant`'s share with the arbiter. The kernel calls
+    /// this at queue-pair bind time (policy stays kernel-side; the
+    /// device only enforces).
+    pub fn register_tenant(&self, tenant: Tenant, share: TenantShare) {
+        self.state.lock().qos.register(tenant, share);
+    }
+
+    /// One tenant's counters and latency histogram, if it has been seen.
+    pub fn tenant_stats(&self, tenant: Tenant) -> Option<TenantStats> {
+        self.state.lock().qos.tenant_stats(tenant)
+    }
+
+    /// Every tenant's counters and latency histogram, tenant-ordered.
+    pub fn qos_snapshot(&self) -> Vec<(Tenant, TenantStats)> {
+        self.state.lock().qos.snapshot()
     }
 
     /// Media timing parameters.
@@ -262,20 +315,28 @@ impl NvmeDevice {
     /// [`SubmitError::UnknownQueue`] for a deleted queue.
     pub fn submit(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Result<u16, SubmitError> {
         let mut state = self.state.lock();
-        let pasid = {
+        let (pasid, inflight, depth) = {
             let q = state
                 .queues
                 .get_mut(&qid)
                 .ok_or(SubmitError::UnknownQueue)?;
-            q.pasid
+            (q.pasid, q.inflight, q.depth)
         };
-        let cid = state
-            .queues
-            .get_mut(&qid)
-            .unwrap()
-            .claim()
-            .ok_or(SubmitError::QueueFull)?;
-        let completion = self.process(&mut state, pasid, cmd, now);
+        let tenant = pasid.map_or(Tenant::Kernel, Tenant::User);
+        let cid = match state.queues.get_mut(&qid).unwrap().claim() {
+            Some(cid) => cid,
+            None => {
+                state.qos.record_rejected(tenant);
+                return Err(SubmitError::QueueFull);
+            }
+        };
+        let mut completion = self.process(&mut state, tenant, pasid, cmd, now);
+        // Depth pressure: with QoS on, flag completions once the queue
+        // pair runs at ≥ 3/4 of its depth so UserLib backs off before
+        // hitting hard QueueFull rejections.
+        if state.qos.enabled() && (inflight + 1) * 4 >= depth * 3 {
+            completion.pressure = true;
+        }
         state
             .queues
             .get_mut(&qid)
@@ -285,35 +346,79 @@ impl NvmeDevice {
     }
 
     /// Convenience for synchronous callers: submit, reap, and return the
-    /// final status with its completion time. The caller should
-    /// `wait_until` the returned time before acting on the data.
-    pub fn execute(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> (NvmeStatus, Nanos) {
+    /// full completion. The caller should `wait_until` its `ready_at`
+    /// before acting on the data.
+    pub fn execute_full(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Completion {
         let cid = match self.submit(qid, cmd, now) {
             Ok(c) => c,
             Err(SubmitError::QueueFull) => panic!("execute() on a full queue"),
             Err(SubmitError::UnknownQueue) => panic!("execute() on unknown queue"),
         };
         let ready = self.ready_time(qid, cid).expect("command vanished");
-        let comp = self
-            .reap_at(qid, cid, ready)
-            .expect("completion not ready at its own ready time");
-        (comp.status, ready)
+        self.reap_at(qid, cid, ready)
+            .expect("completion not ready at its own ready time")
     }
 
+    /// [`NvmeDevice::execute_full`], reduced to status + completion time.
+    pub fn execute(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> (NvmeStatus, Nanos) {
+        let comp = self.execute_full(qid, cmd, now);
+        (comp.status, comp.ready_at)
+    }
+
+    /// Processes one claimed command: per-tenant accounting around the
+    /// actual execution.
     fn process(
         &self,
         state: &mut DevState,
+        tenant: Tenant,
+        pasid: Option<Pasid>,
+        cmd: Command<'_>,
+        now: Nanos,
+    ) -> Completion {
+        state.qos.record_submit(tenant);
+        let (opcode, sectors) = (cmd.opcode, cmd.sectors);
+        let completion = self.process_inner(state, tenant, pasid, cmd, now);
+        let ok = completion.status.is_ok();
+        let bytes = if ok { sectors as u64 * SECTOR_SIZE } else { 0 };
+        let (read_bytes, written_bytes) = match opcode {
+            Opcode::Read => (bytes, 0),
+            Opcode::Write | Opcode::WriteZeroes => (0, bytes),
+            Opcode::Flush => (0, 0),
+        };
+        state.qos.record_completion(
+            tenant,
+            completion.ready_at - now,
+            ok,
+            read_bytes,
+            written_bytes,
+        );
+        completion
+    }
+
+    fn process_inner(
+        &self,
+        state: &mut DevState,
+        tenant: Tenant,
         pasid: Option<Pasid>,
         cmd: Command<'_>,
         now: Nanos,
     ) -> Completion {
         if cmd.opcode == Opcode::Flush {
             state.stats.flushes += 1;
-            let ready = state.timer.schedule_flush(now);
+            // With QoS pacing in force, media occupancy lives on the
+            // per-tenant lane ledgers, not the shared channel ledger;
+            // drain to whichever horizon is later.
+            let drain_from = if state.qos.enabled() {
+                now.max(state.qos.horizon())
+            } else {
+                now
+            };
+            let ready = state.timer.schedule_flush(drain_from);
             return Completion {
                 cid: 0,
                 status: NvmeStatus::Success,
                 ready_at: ready,
+                pressure: false,
             };
         }
         if cmd.sectors == 0 {
@@ -321,9 +426,30 @@ impl NvmeDevice {
                 cid: 0,
                 status: NvmeStatus::InvalidField,
                 ready_at: now,
+                pressure: false,
             };
         }
         let is_write = matches!(cmd.opcode, Opcode::Write | Opcode::WriteZeroes);
+
+        // QoS admission (§3.1 sharing): rate limits and fair-share
+        // pacing delay the command's *effective arrival*; everything
+        // downstream (translation, media scheduling) sees the delayed
+        // time. Skipped entirely when disabled, keeping the default
+        // timing bit-identical.
+        let total_bytes = cmd.sectors as u64 * SECTOR_SIZE;
+        let qos_paced = state.qos.enabled();
+        let (now, pressure) = if qos_paced {
+            let timing = state.timer.timing();
+            let service_est = if cmd.opcode == Opcode::WriteZeroes {
+                timing.write_zeroes_cost
+            } else {
+                timing.service(is_write, total_bytes)
+            };
+            let adm = state.qos.admit(tenant, now, service_est, total_bytes);
+            (adm.arrival, adm.throttled || adm.deferred)
+        } else {
+            (now, false)
+        };
 
         // Resolve the address to LBA extents.
         let (extents, trans_cost): (Vec<(Lba, u32)>, Nanos) = match cmd.addr {
@@ -334,6 +460,7 @@ impl NvmeDevice {
                         cid: 0,
                         status: NvmeStatus::InvalidField,
                         ready_at: now,
+                        pressure,
                     };
                 }
                 (vec![(lba, cmd.sectors)], Nanos::ZERO)
@@ -346,6 +473,7 @@ impl NvmeDevice {
                             cid: 0,
                             status: NvmeStatus::InvalidField,
                             ready_at: now,
+                            pressure,
                         }
                     }
                 };
@@ -390,6 +518,7 @@ impl NvmeDevice {
                                 cid: 0,
                                 status: NvmeStatus::TranslationFault(fault),
                                 ready_at: now + cost,
+                                pressure,
                             };
                         }
                     }
@@ -404,12 +533,12 @@ impl NvmeDevice {
                     cid: 0,
                     status: NvmeStatus::LbaOutOfRange,
                     ready_at: now,
+                    pressure,
                 };
             }
         }
 
         // Functional data movement.
-        let total_bytes = cmd.sectors as u64 * SECTOR_SIZE;
         match cmd.opcode {
             Opcode::Read => {
                 let dma = cmd.dma.expect("read without DMA buffer");
@@ -449,9 +578,27 @@ impl NvmeDevice {
             Opcode::Flush => unreachable!(),
         }
 
+        // When QoS pacing admitted the command, its channel occupancy is
+        // already booked on the tenant's private lanes, and the direction
+        // bus is weighted time-division multiplexed (the tenant's bus
+        // share is part of its lane pacing), so only the tenant's own
+        // transfers serialize. Otherwise the command goes through the
+        // shared channel ledger as before.
         let ready = if matches!(cmd.opcode, Opcode::WriteZeroes) {
             let cost = state.timer.timing().write_zeroes_cost;
-            state.timer.schedule_fixed(now + trans_cost, cost)
+            if qos_paced {
+                now + trans_cost + cost
+            } else {
+                state.timer.schedule_fixed(now + trans_cost, cost)
+            }
+        } else if qos_paced {
+            let tenant_key = match tenant {
+                Tenant::Kernel => 0,
+                Tenant::User(p) => u64::from(p.0) + 1,
+            };
+            state
+                .timer
+                .schedule_paced(now + trans_cost, is_write, total_bytes, tenant_key)
         } else {
             state
                 .timer
@@ -461,6 +608,7 @@ impl NvmeDevice {
             cid: 0,
             status: NvmeStatus::Success,
             ready_at: ready,
+            pressure,
         }
     }
 
@@ -500,15 +648,24 @@ impl NvmeDevice {
     pub fn reset_timing(&self) {
         let mut state = self.state.lock();
         state.timer.reset();
+        state.qos.reset_clock();
         for q in state.queues.values_mut() {
             let dropped = q.drop_pending();
             q.inflight -= dropped.min(q.inflight);
         }
     }
 
-    /// Counters.
+    /// Counters, including the ATC and QoS aggregates so they show up in
+    /// any report that prints `DeviceStats`.
     pub fn stats(&self) -> DeviceStats {
-        self.state.lock().stats
+        let state = self.state.lock();
+        let mut s = state.stats;
+        let atc = self.atc.stats();
+        s.atc_hits = atc.hits;
+        s.atc_misses = atc.misses;
+        s.atc_shootdowns = atc.shootdowns;
+        (s.qos_throttled, s.qos_deferred) = state.qos.totals();
+        s
     }
 
     // ---- Maintenance access (setup code and the simulated kernel's
@@ -912,5 +1069,223 @@ mod tests {
         dev.iommu().lock().invalidate_pasid(P);
         let (st, _) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t);
         assert!(matches!(st, NvmeStatus::TranslationFault(_)));
+    }
+
+    // ---- QoS (bypassd-qos integration) ----
+
+    use bypassd_qos::RateLimit;
+
+    const P2: Pasid = Pasid(43);
+
+    /// Maps `n_blocks` FTEs for `pasid` at its own VBA window.
+    fn map_tenant(
+        mem: &PhysMem,
+        dev: &Arc<NvmeDevice>,
+        pasid: Pasid,
+        first_block: u64,
+        n_blocks: u64,
+    ) -> (AddressSpace, Vba) {
+        let mut asid = AddressSpace::new(mem);
+        let vba = Vba(0x4000_0000);
+        for i in 0..n_blocks {
+            asid.map_page(
+                vba.as_virt().offset(i * PAGE_SIZE),
+                Pte::fte(Lba::from_block(first_block + i), DEV, true),
+            );
+        }
+        dev.iommu().lock().register(pasid, asid.root_frame());
+        (asid, vba)
+    }
+
+    #[test]
+    fn qos_enabled_solo_tenant_timing_matches_disabled() {
+        // A tenant alone on the device must see the exact same virtual
+        // times with QoS on: pacing is work-conserving when idle.
+        let run = |qos: bool| -> Vec<Nanos> {
+            let (mem, dev) = setup();
+            if qos {
+                dev.set_qos(QosConfig::enabled());
+            }
+            let q = dev.create_queue(None, 32);
+            let dma = DmaBuffer::alloc(&mem, 4096);
+            let mut times = Vec::new();
+            let mut now = Nanos::ZERO;
+            for _ in 0..16 {
+                let (st, t) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), now);
+                assert!(st.is_ok());
+                times.push(t);
+                now = t;
+            }
+            times
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn qos_protects_qd1_foreground_from_deep_antagonist() {
+        // Ablation-8 in miniature: a QD1 tenant vs a 16-deep burst from a
+        // second PASID, with and without QoS (equal weights).
+        let fg_latency = |qos: bool| -> u64 {
+            let (mem, dev) = setup();
+            if qos {
+                dev.set_qos(QosConfig::enabled());
+            }
+            let (_fa, fvba) = map_tenant(&mem, &dev, P, 1000, 1);
+            let (_aa, avba) = map_tenant(&mem, &dev, P2, 2000, 1);
+            let fq = dev.create_queue(Some(P), 32);
+            let aq = dev.create_queue(Some(P2), 32);
+            let fdma = DmaBuffer::alloc(&mem, 4096);
+            let adma = DmaBuffer::alloc(&mem, 4096);
+            // Prime the foreground so the arbiter sees it as active.
+            let (st, t0) = dev.execute(
+                fq,
+                Command::read(BlockAddr::Vba(fvba), 8, &fdma),
+                Nanos::ZERO,
+            );
+            assert!(st.is_ok());
+            for _ in 0..16 {
+                dev.submit(aq, Command::read(BlockAddr::Vba(avba), 8, &adma), t0)
+                    .unwrap();
+            }
+            let (st, done) = dev.execute(fq, Command::read(BlockAddr::Vba(fvba), 8, &fdma), t0);
+            assert!(st.is_ok());
+            done.as_nanos() - t0.as_nanos()
+        };
+        let no_qos = fg_latency(false);
+        let qos = fg_latency(true);
+        assert!(
+            no_qos >= 2 * qos,
+            "QoS must at least halve the victim latency: no_qos={no_qos}ns qos={qos}ns"
+        );
+        assert!(
+            qos < 8_000,
+            "paced foreground read should stay near uncontended service: {qos}ns"
+        );
+    }
+
+    #[test]
+    fn qos_rate_limit_paces_completions() {
+        let (mem, dev) = setup();
+        dev.set_qos(QosConfig::enabled());
+        dev.register_tenant(
+            Tenant::Kernel,
+            TenantShare::weight(1).with_limit(RateLimit {
+                iops: Some(10_000),
+                bytes_per_sec: None,
+                burst_ops: 1,
+                burst_bytes: 0,
+            }),
+        );
+        let q = dev.create_queue(None, 64);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let mut last = Nanos::ZERO;
+        for i in 0..4 {
+            let (st, t) = dev.execute(
+                q,
+                Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+                Nanos::ZERO,
+            );
+            assert!(st.is_ok());
+            if i > 0 {
+                // 10K IOPS with burst 1 → 100µs spacing.
+                let gap = t.as_nanos() - last.as_nanos();
+                assert_eq!(gap, 100_000, "op {i} gap = {gap}ns");
+            }
+            last = t;
+        }
+        let s = dev.tenant_stats(Tenant::Kernel).unwrap();
+        assert_eq!(s.throttled, 3);
+        assert_eq!(dev.stats().qos_throttled, 3);
+    }
+
+    #[test]
+    fn qos_pressure_flag_signals_congestion() {
+        // With QoS on, completions carry a pressure bit once the queue
+        // pair runs at ≥ 3/4 depth; with QoS off the bit never sets.
+        let run = |qos: bool| -> bool {
+            let (mem, dev) = setup();
+            if qos {
+                dev.set_qos(QosConfig::enabled());
+            }
+            let q = dev.create_queue(None, 8);
+            let dma = DmaBuffer::alloc(&mem, 4096);
+            let mut cids = Vec::new();
+            for _ in 0..8 {
+                cids.push(
+                    dev.submit(
+                        q,
+                        Command::read(BlockAddr::Lba(Lba(0)), 8, &dma),
+                        Nanos::ZERO,
+                    )
+                    .unwrap(),
+                );
+            }
+            cids.into_iter().any(|cid| {
+                let ready = dev.ready_time(q, cid).unwrap();
+                dev.reap_at(q, cid, ready).unwrap().pressure
+            })
+        };
+        assert!(!run(false), "pressure must never be signalled without QoS");
+        assert!(run(true), "deep queue under QoS must signal pressure");
+    }
+
+    #[test]
+    fn qos_tenant_stats_account_every_op() {
+        let (mem, dev) = setup();
+        dev.set_qos(QosConfig::enabled());
+        let (_a, vba) = map_tenant(&mem, &dev, P, 1000, 1);
+        let q = dev.create_queue(Some(P), 2);
+        let kq = dev.create_queue(None, 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        // Two good reads, one invalid (raw LBA on a user queue), one
+        // queue-full rejection, plus kernel traffic.
+        let (st, t1) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        assert!(st.is_ok());
+        let (st, t2) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t1);
+        assert!(st.is_ok());
+        let (st, _) = dev.execute(q, Command::read(BlockAddr::Lba(Lba(0)), 8, &dma), t2);
+        assert_eq!(st, NvmeStatus::InvalidField);
+        let c1 = dev
+            .submit(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t2)
+            .unwrap();
+        let _c2 = dev
+            .submit(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t2)
+            .unwrap();
+        let err = dev
+            .submit(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t2)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        let ready = dev.ready_time(q, c1).unwrap();
+        dev.reap_at(q, c1, ready).unwrap();
+        dev.execute(kq, Command::write(BlockAddr::Lba(Lba(0)), 8, &dma), t2);
+
+        let user = dev.tenant_stats(Tenant::User(P)).unwrap();
+        assert!(user.accounted(), "submitted must equal completed + failed");
+        assert_eq!(user.submitted, 5);
+        assert_eq!((user.completed, user.failed, user.rejected), (4, 1, 1));
+        assert_eq!(user.read_bytes, 4 * 4096);
+        assert_eq!(user.latency.count(), 4);
+        let kernel = dev.tenant_stats(Tenant::Kernel).unwrap();
+        assert!(kernel.accounted());
+        assert_eq!(kernel.written_bytes, 4096);
+        // The snapshot covers every tenant the device has seen.
+        let snap = dev.qos_snapshot();
+        let names: Vec<Tenant> = snap.iter().map(|(t, _)| *t).collect();
+        assert_eq!(names, vec![Tenant::Kernel, Tenant::User(P)]);
+    }
+
+    #[test]
+    fn device_stats_surface_atc_and_qos_counters() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        dev.set_atc_enabled(true);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let (_, t1) = dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), Nanos::ZERO);
+        dev.execute(q, Command::read(BlockAddr::Vba(vba), 8, &dma), t1);
+        let s = dev.stats();
+        assert_eq!((s.atc_hits, s.atc_misses), (1, 1));
+        assert_eq!((s.qos_throttled, s.qos_deferred), (0, 0));
+        dev.iommu().lock().invalidate_pasid(P);
+        assert_eq!(dev.stats().atc_shootdowns, 1);
     }
 }

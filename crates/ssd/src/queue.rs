@@ -55,6 +55,11 @@ pub struct Completion {
     pub status: NvmeStatus,
     /// Virtual time at which the completion is visible to the host.
     pub ready_at: Nanos,
+    /// Congestion signal (QoS backpressure): the command was delayed by
+    /// rate limiting or fair-share pacing, or the queue pair is running
+    /// near its depth limit. Always false with QoS disabled. UserLib
+    /// reacts by shrinking its effective queue depth (§5.1 pipeline).
+    pub pressure: bool,
 }
 
 /// Device-side queue pair state.
@@ -188,6 +193,7 @@ mod tests {
             cid,
             status: NvmeStatus::Success,
             ready_at: Nanos(at),
+            pressure: false,
         }
     }
 

@@ -87,6 +87,55 @@ impl MediaTiming {
     }
 }
 
+/// Busy intervals on one direction bus, with gap backfill.
+///
+/// The eager completion model books commands in *submission* order, but
+/// QoS pacing gives them *future* arrivals; a plain free-at cursor would
+/// let a deep burst's late arrivals block an unrelated command whose
+/// transfer fits in an earlier idle gap. First-fit over a bounded,
+/// sorted interval list fixes that while keeping the bandwidth cap.
+#[derive(Debug, Default)]
+struct BusLedger {
+    /// Sorted, disjoint (start, end) busy intervals.
+    busy: Vec<(Nanos, Nanos)>,
+}
+
+impl BusLedger {
+    /// Old intervals beyond this are pruned; their gaps are in the past
+    /// relative to simulation progress, so losing them only costs a
+    /// theoretical backfill slot.
+    const MAX_INTERVALS: usize = 128;
+
+    /// Reserves `occ` of bus time at the earliest instant ≥ `earliest`.
+    fn reserve(&mut self, earliest: Nanos, occ: Nanos) -> Nanos {
+        let mut start = earliest;
+        let mut pos = 0;
+        for &(s, e) in &self.busy {
+            if start + occ <= s {
+                break;
+            }
+            pos += 1;
+            if e > start {
+                start = e;
+            }
+        }
+        self.busy.insert(pos, (start, start + occ));
+        // Coalesce with touching neighbours to keep the list short.
+        if pos + 1 < self.busy.len() && self.busy[pos].1 == self.busy[pos + 1].0 {
+            self.busy[pos].1 = self.busy[pos + 1].1;
+            self.busy.remove(pos + 1);
+        }
+        if pos > 0 && self.busy[pos - 1].1 == self.busy[pos].0 {
+            self.busy[pos - 1].1 = self.busy[pos].1;
+            self.busy.remove(pos);
+        }
+        if self.busy.len() > Self::MAX_INTERVALS {
+            self.busy.remove(0);
+        }
+        start
+    }
+}
+
 /// The device's shared contention ledger.
 #[derive(Debug)]
 pub struct DeviceTimer {
@@ -94,6 +143,14 @@ pub struct DeviceTimer {
     channel_free: Vec<Nanos>,
     read_bus_free: Nanos,
     write_bus_free: Nanos,
+    /// Backfilling per-tenant bus ledgers for the QoS-paced path (the
+    /// cursor pair above serves the default path and stays
+    /// bit-identical). The paced bus is weighted time-division
+    /// multiplexed: a tenant's fair fraction of bus bandwidth is already
+    /// priced into its lane pacing, so transfers of *different* tenants
+    /// do not collide here — only a tenant's own transfers serialize,
+    /// keyed by an opaque tenant id.
+    paced_buses: std::collections::HashMap<u64, (BusLedger, BusLedger)>,
 }
 
 impl DeviceTimer {
@@ -104,6 +161,7 @@ impl DeviceTimer {
             timing,
             read_bus_free: Nanos::ZERO,
             write_bus_free: Nanos::ZERO,
+            paced_buses: std::collections::HashMap::new(),
         }
     }
 
@@ -149,6 +207,36 @@ impl DeviceTimer {
         done
     }
 
+    /// Schedules a command whose channel occupancy is already accounted
+    /// for elsewhere (QoS admission books per-tenant lanes instead of the
+    /// shared channel ledger). Only the tenant's own direction bus is
+    /// contended here (`tenant_key` names it); `start` is the paced
+    /// arrival chosen by the arbiter.
+    pub fn schedule_paced(
+        &mut self,
+        start: Nanos,
+        write: bool,
+        bytes: u64,
+        tenant_key: u64,
+    ) -> Nanos {
+        let base = if write {
+            self.timing.write_base
+        } else {
+            self.timing.read_base
+        };
+        let transfer = self.timing.transfer(write, bytes);
+        let bus_occ = self.timing.bus_occupancy(write, bytes);
+        let (read_bus, write_bus) = self.paced_buses.entry(tenant_key).or_default();
+        if write {
+            let bus_start = write_bus.reserve(start, bus_occ);
+            bus_start + transfer.max(bus_occ) + base
+        } else {
+            let media_done = start + base;
+            let bus_start = read_bus.reserve(media_done, bus_occ);
+            bus_start + transfer.max(bus_occ)
+        }
+    }
+
     /// Schedules a fixed-service command (e.g. Write Zeroes) on the
     /// earliest-free channel.
     pub fn schedule_fixed(&mut self, arrival: Nanos, service: Nanos) -> Nanos {
@@ -171,6 +259,7 @@ impl DeviceTimer {
         self.channel_free.fill(Nanos::ZERO);
         self.read_bus_free = Nanos::ZERO;
         self.write_bus_free = Nanos::ZERO;
+        self.paced_buses.clear();
     }
 
     /// Schedules a flush arriving at `arrival`, which completes after the

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_tests-c429bba56cfbceb6.d: crates/backends/tests/backend_tests.rs
+
+/root/repo/target/debug/deps/backend_tests-c429bba56cfbceb6: crates/backends/tests/backend_tests.rs
+
+crates/backends/tests/backend_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_tests-e865fed2cadf74a2.d: crates/backends/tests/backend_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_tests-e865fed2cadf74a2.rmeta: crates/backends/tests/backend_tests.rs Cargo.toml
+
+crates/backends/tests/backend_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

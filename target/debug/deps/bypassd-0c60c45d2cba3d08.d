@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd-0c60c45d2cba3d08.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/bypassd-0c60c45d2cba3d08: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

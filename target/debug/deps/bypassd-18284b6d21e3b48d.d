@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd-18284b6d21e3b48d.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/libbypassd-18284b6d21e3b48d.rlib: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/debug/deps/libbypassd-18284b6d21e3b48d.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

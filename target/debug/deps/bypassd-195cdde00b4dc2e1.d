@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bypassd-195cdde00b4dc2e1.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd-195cdde00b4dc2e1.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bypassd-407d82b5182c7890.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd-407d82b5182c7890.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bypassd_backends-3d15a92f49b500f2.d: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_backends-3d15a92f49b500f2.rmeta: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs Cargo.toml
+
+crates/backends/src/lib.rs:
+crates/backends/src/aio_backend.rs:
+crates/backends/src/bypassd_backend.rs:
+crates/backends/src/spdk.rs:
+crates/backends/src/sync_backend.rs:
+crates/backends/src/traits.rs:
+crates/backends/src/uring_backend.rs:
+crates/backends/src/xrp_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bypassd_backends-de4ac6ea22ec9aa8.d: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/debug/deps/libbypassd_backends-de4ac6ea22ec9aa8.rlib: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/debug/deps/libbypassd_backends-de4ac6ea22ec9aa8.rmeta: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+crates/backends/src/lib.rs:
+crates/backends/src/aio_backend.rs:
+crates/backends/src/bypassd_backend.rs:
+crates/backends/src/spdk.rs:
+crates/backends/src/sync_backend.rs:
+crates/backends/src/traits.rs:
+crates/backends/src/uring_backend.rs:
+crates/backends/src/xrp_backend.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_backends-e31d081b8ac26b35.d: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/debug/deps/bypassd_backends-e31d081b8ac26b35: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+crates/backends/src/lib.rs:
+crates/backends/src/aio_backend.rs:
+crates/backends/src/bypassd_backend.rs:
+crates/backends/src/spdk.rs:
+crates/backends/src/sync_backend.rs:
+crates/backends/src/traits.rs:
+crates/backends/src/uring_backend.rs:
+crates/backends/src/xrp_backend.rs:

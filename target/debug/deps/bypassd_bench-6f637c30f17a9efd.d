@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypassd_bench-6f637c30f17a9efd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bypassd_bench-6f637c30f17a9efd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd_bench-87c58c239d66a59b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_bench-87c58c239d66a59b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

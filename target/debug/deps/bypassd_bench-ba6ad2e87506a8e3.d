@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd_bench-ba6ad2e87506a8e3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_bench-ba6ad2e87506a8e3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

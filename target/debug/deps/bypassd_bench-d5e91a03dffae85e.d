@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd_bench-d5e91a03dffae85e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_bench-d5e91a03dffae85e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_bench-d5e91a03dffae85e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

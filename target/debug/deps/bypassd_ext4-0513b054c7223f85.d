@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bypassd_ext4-0513b054c7223f85.d: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_ext4-0513b054c7223f85.rmeta: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs Cargo.toml
+
+crates/ext4/src/lib.rs:
+crates/ext4/src/alloc.rs:
+crates/ext4/src/dir.rs:
+crates/ext4/src/extent.rs:
+crates/ext4/src/fmap.rs:
+crates/ext4/src/fs.rs:
+crates/ext4/src/journal.rs:
+crates/ext4/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_ext4-66fe87a4e1bdc913.d: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+/root/repo/target/debug/deps/bypassd_ext4-66fe87a4e1bdc913: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+crates/ext4/src/lib.rs:
+crates/ext4/src/alloc.rs:
+crates/ext4/src/dir.rs:
+crates/ext4/src/extent.rs:
+crates/ext4/src/fmap.rs:
+crates/ext4/src/fs.rs:
+crates/ext4/src/journal.rs:
+crates/ext4/src/layout.rs:

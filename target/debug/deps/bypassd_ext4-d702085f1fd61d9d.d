@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bypassd_ext4-d702085f1fd61d9d.d: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_ext4-d702085f1fd61d9d.rmeta: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs Cargo.toml
+
+crates/ext4/src/lib.rs:
+crates/ext4/src/alloc.rs:
+crates/ext4/src/dir.rs:
+crates/ext4/src/extent.rs:
+crates/ext4/src/fmap.rs:
+crates/ext4/src/fs.rs:
+crates/ext4/src/journal.rs:
+crates/ext4/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bypassd_fio-06d8cc21522fc805.d: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_fio-06d8cc21522fc805.rlib: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/libbypassd_fio-06d8cc21522fc805.rmeta: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypassd_fio-16038bcc832a6bc0.d: crates/fio/src/lib.rs
+
+/root/repo/target/debug/deps/bypassd_fio-16038bcc832a6bc0: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd_fio-7334cf01bb1df68a.d: crates/fio/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_fio-7334cf01bb1df68a.rmeta: crates/fio/src/lib.rs Cargo.toml
+
+crates/fio/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

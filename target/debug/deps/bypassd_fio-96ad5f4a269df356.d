@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bypassd_fio-96ad5f4a269df356.d: crates/fio/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_fio-96ad5f4a269df356.rmeta: crates/fio/src/lib.rs Cargo.toml
+
+crates/fio/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

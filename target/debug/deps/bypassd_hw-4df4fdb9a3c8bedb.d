@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bypassd_hw-4df4fdb9a3c8bedb.d: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_hw-4df4fdb9a3c8bedb.rmeta: crates/hw/src/lib.rs crates/hw/src/iommu.rs crates/hw/src/lru.rs crates/hw/src/mem.rs crates/hw/src/page_table.rs crates/hw/src/pte.rs crates/hw/src/types.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/iommu.rs:
+crates/hw/src/lru.rs:
+crates/hw/src/mem.rs:
+crates/hw/src/page_table.rs:
+crates/hw/src/pte.rs:
+crates/hw/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bypassd_kv-2f669ab762fd18c9.d: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_kv-2f669ab762fd18c9.rmeta: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs Cargo.toml
+
+crates/kv/src/lib.rs:
+crates/kv/src/bpfkv.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/kvell.rs:
+crates/kv/src/util.rs:
+crates/kv/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_kv-cc25844081dcc424.d: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/debug/deps/libbypassd_kv-cc25844081dcc424.rlib: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/debug/deps/libbypassd_kv-cc25844081dcc424.rmeta: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bpfkv.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/kvell.rs:
+crates/kv/src/util.rs:
+crates/kv/src/ycsb.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bypassd_os-5e3fa2c54b44c5c0.d: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_os-5e3fa2c54b44c5c0.rmeta: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/aio.rs:
+crates/os/src/cost.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagecache.rs:
+crates/os/src/process.rs:
+crates/os/src/uring.rs:
+crates/os/src/xrp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_os-d6b9326dd49a12ff.d: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+/root/repo/target/debug/deps/bypassd_os-d6b9326dd49a12ff: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+crates/os/src/lib.rs:
+crates/os/src/aio.rs:
+crates/os/src/cost.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagecache.rs:
+crates/os/src/process.rs:
+crates/os/src/uring.rs:
+crates/os/src/xrp.rs:

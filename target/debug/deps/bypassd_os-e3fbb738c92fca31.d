@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bypassd_os-e3fbb738c92fca31.d: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_os-e3fbb738c92fca31.rmeta: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/aio.rs:
+crates/os/src/cost.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagecache.rs:
+crates/os/src/process.rs:
+crates/os/src/uring.rs:
+crates/os/src/xrp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bypassd_qos-02f7b7eda3572f38.d: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_qos-02f7b7eda3572f38.rmeta: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs Cargo.toml
+
+crates/qos/src/lib.rs:
+crates/qos/src/arbiter.rs:
+crates/qos/src/bucket.rs:
+crates/qos/src/config.rs:
+crates/qos/src/drr.rs:
+crates/qos/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bypassd_qos-61d2aec7cce5abb1.d: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypassd_qos-61d2aec7cce5abb1.rmeta: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs Cargo.toml
+
+crates/qos/src/lib.rs:
+crates/qos/src/arbiter.rs:
+crates/qos/src/bucket.rs:
+crates/qos/src/config.rs:
+crates/qos/src/drr.rs:
+crates/qos/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bypassd_qos-cb1acfba36e22b5a.d: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+/root/repo/target/debug/deps/bypassd_qos-cb1acfba36e22b5a: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/arbiter.rs:
+crates/qos/src/bucket.rs:
+crates/qos/src/config.rs:
+crates/qos/src/drr.rs:
+crates/qos/src/stats.rs:

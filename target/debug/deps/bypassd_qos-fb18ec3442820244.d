@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bypassd_qos-fb18ec3442820244.d: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+/root/repo/target/debug/deps/libbypassd_qos-fb18ec3442820244.rlib: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+/root/repo/target/debug/deps/libbypassd_qos-fb18ec3442820244.rmeta: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/arbiter.rs:
+crates/qos/src/bucket.rs:
+crates/qos/src/config.rs:
+crates/qos/src/drr.rs:
+crates/qos/src/stats.rs:

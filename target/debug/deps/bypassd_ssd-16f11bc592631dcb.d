@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bypassd_ssd-16f11bc592631dcb.d: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/bypassd_ssd-16f11bc592631dcb: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/atc.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/dma.rs:
+crates/ssd/src/queue.rs:
+crates/ssd/src/store.rs:
+crates/ssd/src/timing.rs:

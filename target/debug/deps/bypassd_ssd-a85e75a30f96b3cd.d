@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bypassd_ssd-a85e75a30f96b3cd.d: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/libbypassd_ssd-a85e75a30f96b3cd.rlib: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/debug/deps/libbypassd_ssd-a85e75a30f96b3cd.rmeta: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/atc.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/dma.rs:
+crates/ssd/src/queue.rs:
+crates/ssd/src/store.rs:
+crates/ssd/src/timing.rs:

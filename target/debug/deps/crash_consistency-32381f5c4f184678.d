@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-32381f5c4f184678.d: crates/bench/../../tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-32381f5c4f184678: crates/bench/../../tests/crash_consistency.rs
+
+crates/bench/../../tests/crash_consistency.rs:

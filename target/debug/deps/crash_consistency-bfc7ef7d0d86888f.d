@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_consistency-bfc7ef7d0d86888f.d: crates/bench/../../tests/crash_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_consistency-bfc7ef7d0d86888f.rmeta: crates/bench/../../tests/crash_consistency.rs Cargo.toml
+
+crates/bench/../../tests/crash_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drr_properties-51e276524d24cbaa.d: crates/qos/tests/drr_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrr_properties-51e276524d24cbaa.rmeta: crates/qos/tests/drr_properties.rs Cargo.toml
+
+crates/qos/tests/drr_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

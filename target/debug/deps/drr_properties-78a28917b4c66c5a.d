@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drr_properties-78a28917b4c66c5a.d: crates/qos/tests/drr_properties.rs
+
+/root/repo/target/debug/deps/drr_properties-78a28917b4c66c5a: crates/qos/tests/drr_properties.rs
+
+crates/qos/tests/drr_properties.rs:

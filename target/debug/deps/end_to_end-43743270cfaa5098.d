@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-43743270cfaa5098.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-43743270cfaa5098: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-f4944a884350221d.d: crates/bench/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-f4944a884350221d.rmeta: crates/bench/../../tests/end_to_end.rs Cargo.toml
+
+crates/bench/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_tests-a449e9619d66b562.d: crates/kv/tests/engine_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_tests-a449e9619d66b562.rmeta: crates/kv/tests/engine_tests.rs Cargo.toml
+
+crates/kv/tests/engine_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

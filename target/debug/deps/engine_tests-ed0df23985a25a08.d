@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-ed0df23985a25a08.d: crates/kv/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-ed0df23985a25a08: crates/kv/tests/engine_tests.rs
+
+crates/kv/tests/engine_tests.rs:

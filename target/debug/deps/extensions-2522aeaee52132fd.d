@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-2522aeaee52132fd.d: crates/bench/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-2522aeaee52132fd.rmeta: crates/bench/../../tests/extensions.rs Cargo.toml
+
+crates/bench/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

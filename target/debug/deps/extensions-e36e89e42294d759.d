@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e36e89e42294d759.d: crates/bench/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e36e89e42294d759: crates/bench/../../tests/extensions.rs
+
+crates/bench/../../tests/extensions.rs:

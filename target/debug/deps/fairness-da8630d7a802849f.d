@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness-da8630d7a802849f.d: crates/bench/benches/fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness-da8630d7a802849f.rmeta: crates/bench/benches/fairness.rs Cargo.toml
+
+crates/bench/benches/fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastpath-135ec920ffef30e1.d: crates/bench/benches/fastpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastpath-135ec920ffef30e1.rmeta: crates/bench/benches/fastpath.rs Cargo.toml
+
+crates/bench/benches/fastpath.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

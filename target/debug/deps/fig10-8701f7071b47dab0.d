@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-8701f7071b47dab0.d: crates/bench/benches/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-8701f7071b47dab0.rmeta: crates/bench/benches/fig10.rs Cargo.toml
+
+crates/bench/benches/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-608d65d943c2f13e.d: crates/bench/benches/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-608d65d943c2f13e.rmeta: crates/bench/benches/fig11.rs Cargo.toml
+
+crates/bench/benches/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

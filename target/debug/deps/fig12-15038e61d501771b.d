@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-15038e61d501771b.d: crates/bench/benches/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-15038e61d501771b.rmeta: crates/bench/benches/fig12.rs Cargo.toml
+
+crates/bench/benches/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-cf293f966b72295b.d: crates/bench/benches/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-cf293f966b72295b.rmeta: crates/bench/benches/fig13.rs Cargo.toml
+
+crates/bench/benches/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-9198d6d2a70e4060.d: crates/bench/benches/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-9198d6d2a70e4060.rmeta: crates/bench/benches/fig14.rs Cargo.toml
+
+crates/bench/benches/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

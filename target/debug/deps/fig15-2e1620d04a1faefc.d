@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-2e1620d04a1faefc.d: crates/bench/benches/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-2e1620d04a1faefc.rmeta: crates/bench/benches/fig15.rs Cargo.toml
+
+crates/bench/benches/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

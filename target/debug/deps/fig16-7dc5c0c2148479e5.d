@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-7dc5c0c2148479e5.d: crates/bench/benches/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-7dc5c0c2148479e5.rmeta: crates/bench/benches/fig16.rs Cargo.toml
+
+crates/bench/benches/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

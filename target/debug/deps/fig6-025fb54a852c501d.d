@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-025fb54a852c501d.d: crates/bench/benches/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-025fb54a852c501d.rmeta: crates/bench/benches/fig6.rs Cargo.toml
+
+crates/bench/benches/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

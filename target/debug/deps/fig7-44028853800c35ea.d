@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-44028853800c35ea.d: crates/bench/benches/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-44028853800c35ea.rmeta: crates/bench/benches/fig7.rs Cargo.toml
+
+crates/bench/benches/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

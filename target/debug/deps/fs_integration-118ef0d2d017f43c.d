@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fs_integration-118ef0d2d017f43c.d: crates/ext4/tests/fs_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfs_integration-118ef0d2d017f43c.rmeta: crates/ext4/tests/fs_integration.rs Cargo.toml
+
+crates/ext4/tests/fs_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

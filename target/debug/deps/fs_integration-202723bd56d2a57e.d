@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs_integration-202723bd56d2a57e.d: crates/ext4/tests/fs_integration.rs
+
+/root/repo/target/debug/deps/fs_integration-202723bd56d2a57e: crates/ext4/tests/fs_integration.rs
+
+crates/ext4/tests/fs_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_tests-b4dff9cde193e1bd.d: crates/os/tests/kernel_tests.rs
+
+/root/repo/target/debug/deps/kernel_tests-b4dff9cde193e1bd: crates/os/tests/kernel_tests.rs
+
+crates/os/tests/kernel_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_tests-e82775cd621201a9.d: crates/os/tests/kernel_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_tests-e82775cd621201a9.rmeta: crates/os/tests/kernel_tests.rs Cargo.toml
+
+crates/os/tests/kernel_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-d11909cbb50eecc2.d: crates/bench/../../tests/model_based.rs
+
+/root/repo/target/debug/deps/model_based-d11909cbb50eecc2: crates/bench/../../tests/model_based.rs
+
+crates/bench/../../tests/model_based.rs:

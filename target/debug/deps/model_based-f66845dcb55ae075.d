@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_based-f66845dcb55ae075.d: crates/bench/../../tests/model_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_based-f66845dcb55ae075.rmeta: crates/bench/../../tests/model_based.rs Cargo.toml
+
+crates/bench/../../tests/model_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-c18369de35f40e00.d: crates/bench/../../tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-c18369de35f40e00.rmeta: crates/bench/../../tests/proptest_invariants.rs Cargo.toml
+
+crates/bench/../../tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

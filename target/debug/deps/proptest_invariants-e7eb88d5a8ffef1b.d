@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-e7eb88d5a8ffef1b.d: crates/bench/../../tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-e7eb88d5a8ffef1b: crates/bench/../../tests/proptest_invariants.rs
+
+crates/bench/../../tests/proptest_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_properties-175c307ef5b20623.d: crates/bench/../../tests/security_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_properties-175c307ef5b20623.rmeta: crates/bench/../../tests/security_properties.rs Cargo.toml
+
+crates/bench/../../tests/security_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_properties-80f965271aa1d8cc.d: crates/bench/../../tests/security_properties.rs
+
+/root/repo/target/debug/deps/security_properties-80f965271aa1d8cc: crates/bench/../../tests/security_properties.rs
+
+crates/bench/../../tests/security_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-7dada705224cfaa9.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-7dada705224cfaa9.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-a4b361861295adca.d: crates/bench/benches/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-a4b361861295adca.rmeta: crates/bench/benches/table4.rs Cargo.toml
+
+crates/bench/benches/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

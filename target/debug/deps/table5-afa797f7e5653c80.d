@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-afa797f7e5653c80.d: crates/bench/benches/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-afa797f7e5653c80.rmeta: crates/bench/benches/table5.rs Cargo.toml
+
+crates/bench/benches/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

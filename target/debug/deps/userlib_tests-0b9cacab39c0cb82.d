@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/userlib_tests-0b9cacab39c0cb82.d: crates/core/tests/userlib_tests.rs
+
+/root/repo/target/debug/deps/userlib_tests-0b9cacab39c0cb82: crates/core/tests/userlib_tests.rs
+
+crates/core/tests/userlib_tests.rs:

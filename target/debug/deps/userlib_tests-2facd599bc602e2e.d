@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/userlib_tests-2facd599bc602e2e.d: crates/core/tests/userlib_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuserlib_tests-2facd599bc602e2e.rmeta: crates/core/tests/userlib_tests.rs Cargo.toml
+
+crates/core/tests/userlib_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

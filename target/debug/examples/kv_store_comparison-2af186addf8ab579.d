@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kv_store_comparison-2af186addf8ab579.d: crates/bench/../../examples/kv_store_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkv_store_comparison-2af186addf8ab579.rmeta: crates/bench/../../examples/kv_store_comparison.rs Cargo.toml
+
+crates/bench/../../examples/kv_store_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store_comparison-e6bd23caa9395f3b.d: crates/bench/../../examples/kv_store_comparison.rs
+
+/root/repo/target/debug/examples/kv_store_comparison-e6bd23caa9395f3b: crates/bench/../../examples/kv_store_comparison.rs
+
+crates/bench/../../examples/kv_store_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c902584d86b4a900.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c902584d86b4a900: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

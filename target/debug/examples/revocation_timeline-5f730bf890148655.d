@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/revocation_timeline-5f730bf890148655.d: crates/bench/../../examples/revocation_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/librevocation_timeline-5f730bf890148655.rmeta: crates/bench/../../examples/revocation_timeline.rs Cargo.toml
+
+crates/bench/../../examples/revocation_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/revocation_timeline-ab63213d06aa1d89.d: crates/bench/../../examples/revocation_timeline.rs
+
+/root/repo/target/debug/examples/revocation_timeline-ab63213d06aa1d89: crates/bench/../../examples/revocation_timeline.rs
+
+crates/bench/../../examples/revocation_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shared_ssd-066b685ced727911.d: crates/bench/../../examples/shared_ssd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshared_ssd-066b685ced727911.rmeta: crates/bench/../../examples/shared_ssd.rs Cargo.toml
+
+crates/bench/../../examples/shared_ssd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_ssd-4f9447e8cbc4a611.d: crates/bench/../../examples/shared_ssd.rs
+
+/root/repo/target/debug/examples/shared_ssd-4f9447e8cbc4a611: crates/bench/../../examples/shared_ssd.rs
+
+crates/bench/../../examples/shared_ssd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-085cd17baed5aafb.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-085cd17baed5aafb: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bypassd-b28b12d10eaaacad.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/libbypassd-b28b12d10eaaacad.rlib: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/libbypassd-b28b12d10eaaacad.rmeta: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd-d725058a99b074d6.d: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+/root/repo/target/release/deps/bypassd-d725058a99b074d6: crates/core/src/lib.rs crates/core/src/system.rs crates/core/src/userlib.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+crates/core/src/userlib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bypassd_backends-adc4aaa2a770f5e5.d: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/release/deps/libbypassd_backends-adc4aaa2a770f5e5.rlib: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/release/deps/libbypassd_backends-adc4aaa2a770f5e5.rmeta: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+crates/backends/src/lib.rs:
+crates/backends/src/aio_backend.rs:
+crates/backends/src/bypassd_backend.rs:
+crates/backends/src/spdk.rs:
+crates/backends/src/sync_backend.rs:
+crates/backends/src/traits.rs:
+crates/backends/src/uring_backend.rs:
+crates/backends/src/xrp_backend.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bypassd_backends-f407b9da0401df87.d: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+/root/repo/target/release/deps/bypassd_backends-f407b9da0401df87: crates/backends/src/lib.rs crates/backends/src/aio_backend.rs crates/backends/src/bypassd_backend.rs crates/backends/src/spdk.rs crates/backends/src/sync_backend.rs crates/backends/src/traits.rs crates/backends/src/uring_backend.rs crates/backends/src/xrp_backend.rs
+
+crates/backends/src/lib.rs:
+crates/backends/src/aio_backend.rs:
+crates/backends/src/bypassd_backend.rs:
+crates/backends/src/spdk.rs:
+crates/backends/src/sync_backend.rs:
+crates/backends/src/traits.rs:
+crates/backends/src/uring_backend.rs:
+crates/backends/src/xrp_backend.rs:

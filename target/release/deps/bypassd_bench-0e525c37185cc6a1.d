@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd_bench-0e525c37185cc6a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_bench-0e525c37185cc6a1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_bench-0e525c37185cc6a1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

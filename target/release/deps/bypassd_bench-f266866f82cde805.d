@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bypassd_bench-f266866f82cde805.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bypassd_bench-f266866f82cde805: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bypassd_ext4-65272cd1309a2761.d: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+/root/repo/target/release/deps/bypassd_ext4-65272cd1309a2761: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+crates/ext4/src/lib.rs:
+crates/ext4/src/alloc.rs:
+crates/ext4/src/dir.rs:
+crates/ext4/src/extent.rs:
+crates/ext4/src/fmap.rs:
+crates/ext4/src/fs.rs:
+crates/ext4/src/journal.rs:
+crates/ext4/src/layout.rs:

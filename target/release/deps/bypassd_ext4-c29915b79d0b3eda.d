@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bypassd_ext4-c29915b79d0b3eda.d: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+/root/repo/target/release/deps/libbypassd_ext4-c29915b79d0b3eda.rlib: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+/root/repo/target/release/deps/libbypassd_ext4-c29915b79d0b3eda.rmeta: crates/ext4/src/lib.rs crates/ext4/src/alloc.rs crates/ext4/src/dir.rs crates/ext4/src/extent.rs crates/ext4/src/fmap.rs crates/ext4/src/fs.rs crates/ext4/src/journal.rs crates/ext4/src/layout.rs
+
+crates/ext4/src/lib.rs:
+crates/ext4/src/alloc.rs:
+crates/ext4/src/dir.rs:
+crates/ext4/src/extent.rs:
+crates/ext4/src/fmap.rs:
+crates/ext4/src/fs.rs:
+crates/ext4/src/journal.rs:
+crates/ext4/src/layout.rs:

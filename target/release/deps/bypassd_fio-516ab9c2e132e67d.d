@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bypassd_fio-516ab9c2e132e67d.d: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/bypassd_fio-516ab9c2e132e67d: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bypassd_fio-aa391fdd98b6aad6.d: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_fio-aa391fdd98b6aad6.rlib: crates/fio/src/lib.rs
+
+/root/repo/target/release/deps/libbypassd_fio-aa391fdd98b6aad6.rmeta: crates/fio/src/lib.rs
+
+crates/fio/src/lib.rs:

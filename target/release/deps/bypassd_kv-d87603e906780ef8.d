@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bypassd_kv-d87603e906780ef8.d: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+/root/repo/target/release/deps/bypassd_kv-d87603e906780ef8: crates/kv/src/lib.rs crates/kv/src/bpfkv.rs crates/kv/src/btree.rs crates/kv/src/kvell.rs crates/kv/src/util.rs crates/kv/src/ycsb.rs
+
+crates/kv/src/lib.rs:
+crates/kv/src/bpfkv.rs:
+crates/kv/src/btree.rs:
+crates/kv/src/kvell.rs:
+crates/kv/src/util.rs:
+crates/kv/src/ycsb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bypassd_os-fbc5461ec6eafe93.d: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+/root/repo/target/release/deps/libbypassd_os-fbc5461ec6eafe93.rlib: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+/root/repo/target/release/deps/libbypassd_os-fbc5461ec6eafe93.rmeta: crates/os/src/lib.rs crates/os/src/aio.rs crates/os/src/cost.rs crates/os/src/kernel.rs crates/os/src/pagecache.rs crates/os/src/process.rs crates/os/src/uring.rs crates/os/src/xrp.rs
+
+crates/os/src/lib.rs:
+crates/os/src/aio.rs:
+crates/os/src/cost.rs:
+crates/os/src/kernel.rs:
+crates/os/src/pagecache.rs:
+crates/os/src/process.rs:
+crates/os/src/uring.rs:
+crates/os/src/xrp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bypassd_qos-7985495a63291a6d.d: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+/root/repo/target/release/deps/libbypassd_qos-7985495a63291a6d.rlib: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+/root/repo/target/release/deps/libbypassd_qos-7985495a63291a6d.rmeta: crates/qos/src/lib.rs crates/qos/src/arbiter.rs crates/qos/src/bucket.rs crates/qos/src/config.rs crates/qos/src/drr.rs crates/qos/src/stats.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/arbiter.rs:
+crates/qos/src/bucket.rs:
+crates/qos/src/config.rs:
+crates/qos/src/drr.rs:
+crates/qos/src/stats.rs:

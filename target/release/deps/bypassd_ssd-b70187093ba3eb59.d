@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bypassd_ssd-b70187093ba3eb59.d: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+/root/repo/target/release/deps/bypassd_ssd-b70187093ba3eb59: crates/ssd/src/lib.rs crates/ssd/src/atc.rs crates/ssd/src/device.rs crates/ssd/src/dma.rs crates/ssd/src/queue.rs crates/ssd/src/store.rs crates/ssd/src/timing.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/atc.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/dma.rs:
+crates/ssd/src/queue.rs:
+crates/ssd/src/store.rs:
+crates/ssd/src/timing.rs:

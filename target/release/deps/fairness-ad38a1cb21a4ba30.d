@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fairness-ad38a1cb21a4ba30.d: crates/bench/benches/fairness.rs
+
+/root/repo/target/release/deps/fairness-ad38a1cb21a4ba30: crates/bench/benches/fairness.rs
+
+crates/bench/benches/fairness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastpath-422120534bdf827e.d: crates/bench/benches/fastpath.rs
+
+/root/repo/target/release/deps/fastpath-422120534bdf827e: crates/bench/benches/fastpath.rs
+
+crates/bench/benches/fastpath.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-1afdf1530958a789.d: crates/bench/benches/fig10.rs
+
+/root/repo/target/release/deps/fig10-1afdf1530958a789: crates/bench/benches/fig10.rs
+
+crates/bench/benches/fig10.rs:

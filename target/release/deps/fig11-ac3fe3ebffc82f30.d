@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-ac3fe3ebffc82f30.d: crates/bench/benches/fig11.rs
+
+/root/repo/target/release/deps/fig11-ac3fe3ebffc82f30: crates/bench/benches/fig11.rs
+
+crates/bench/benches/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-585f3a415629997b.d: crates/bench/benches/fig12.rs
+
+/root/repo/target/release/deps/fig12-585f3a415629997b: crates/bench/benches/fig12.rs
+
+crates/bench/benches/fig12.rs:

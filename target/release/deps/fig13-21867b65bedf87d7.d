@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-21867b65bedf87d7.d: crates/bench/benches/fig13.rs
+
+/root/repo/target/release/deps/fig13-21867b65bedf87d7: crates/bench/benches/fig13.rs
+
+crates/bench/benches/fig13.rs:

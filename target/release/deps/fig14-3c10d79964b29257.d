@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-3c10d79964b29257.d: crates/bench/benches/fig14.rs
+
+/root/repo/target/release/deps/fig14-3c10d79964b29257: crates/bench/benches/fig14.rs
+
+crates/bench/benches/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-969e9aca2a063006.d: crates/bench/benches/fig15.rs
+
+/root/repo/target/release/deps/fig15-969e9aca2a063006: crates/bench/benches/fig15.rs
+
+crates/bench/benches/fig15.rs:

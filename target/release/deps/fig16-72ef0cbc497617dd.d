@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-72ef0cbc497617dd.d: crates/bench/benches/fig16.rs
+
+/root/repo/target/release/deps/fig16-72ef0cbc497617dd: crates/bench/benches/fig16.rs
+
+crates/bench/benches/fig16.rs:

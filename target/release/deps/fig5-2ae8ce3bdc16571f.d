@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-2ae8ce3bdc16571f.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/release/deps/fig5-2ae8ce3bdc16571f: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-7727c1dd83d54806.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/release/deps/fig6-7727c1dd83d54806: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-fda811aaa1e21d89.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/release/deps/fig7-fda811aaa1e21d89: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-fa9c6a7166fee474.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/release/deps/fig8-fa9c6a7166fee474: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

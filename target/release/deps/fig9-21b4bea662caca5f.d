@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-21b4bea662caca5f.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/release/deps/fig9-21b4bea662caca5f: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

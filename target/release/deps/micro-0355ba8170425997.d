@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-0355ba8170425997.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-0355ba8170425997: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

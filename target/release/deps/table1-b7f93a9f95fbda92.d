@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b7f93a9f95fbda92.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-b7f93a9f95fbda92: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

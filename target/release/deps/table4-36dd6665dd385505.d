@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-36dd6665dd385505.d: crates/bench/benches/table4.rs
+
+/root/repo/target/release/deps/table4-36dd6665dd385505: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

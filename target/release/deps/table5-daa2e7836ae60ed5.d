@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-daa2e7836ae60ed5.d: crates/bench/benches/table5.rs
+
+/root/repo/target/release/deps/table5-daa2e7836ae60ed5: crates/bench/benches/table5.rs
+
+crates/bench/benches/table5.rs:

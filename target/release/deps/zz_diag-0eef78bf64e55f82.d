@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zz_diag-0eef78bf64e55f82.d: crates/bench/benches/zz_diag.rs
+
+/root/repo/target/release/deps/zz_diag-0eef78bf64e55f82: crates/bench/benches/zz_diag.rs
+
+crates/bench/benches/zz_diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shared_ssd-8edcc447c9c1d6c3.d: crates/bench/../../examples/shared_ssd.rs
+
+/root/repo/target/release/examples/shared_ssd-8edcc447c9c1d6c3: crates/bench/../../examples/shared_ssd.rs
+
+crates/bench/../../examples/shared_ssd.rs:
