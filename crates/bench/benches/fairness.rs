@@ -11,7 +11,9 @@
 //!
 //! Run with `--smoke` for a CI-sized sweep.
 
-use bypassd::{QosConfig, RateLimit, System, TenantShare};
+use bypassd::{
+    write_chrome_trace, Breakdown, QosConfig, RateLimit, System, TenantShare, TraceConfig,
+};
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_fio::{run_jobs, JobSpec, RwMode};
 use bypassd_sim::report::{f, Table};
@@ -30,8 +32,11 @@ struct Outcome {
     throttled: u64,
 }
 
-fn run_scenario(qos: Option<QosConfig>, fg_ops: u64) -> Outcome {
-    let mut builder = System::builder();
+fn run_scenario(qos: Option<QosConfig>, fg_ops: u64) -> (Outcome, System) {
+    // The flight recorder rides along on every scenario: tracing is
+    // passive (it never advances the clock), so the measured latencies
+    // are identical to an untraced run.
+    let mut builder = System::builder().trace(TraceConfig::on());
     if let Some(config) = qos {
         builder = builder.qos(config);
     }
@@ -98,13 +103,14 @@ fn run_scenario(qos: Option<QosConfig>, fg_ops: u64) -> Outcome {
         "tenant counters ({total_completed}) must cover all measured ops ({measured})"
     );
 
-    Outcome {
+    let outcome = Outcome {
         fg_p50: fg.latency.percentile(0.50),
         fg_p99: fg.latency.percentile(0.99),
         fg_mean: fg.mean_latency(),
         bg_kiops: bg.kiops(),
         throttled: system.device().stats().qos_throttled,
-    }
+    };
+    (outcome, system)
 }
 
 fn main() {
@@ -141,8 +147,9 @@ fn main() {
         ],
     );
     let mut outcomes = Vec::new();
+    let mut fair_system = None;
     for (label, qos) in configs {
-        let o = run_scenario(qos, fg_ops);
+        let (o, system) = run_scenario(qos, fg_ops);
         t.row_owned(vec![
             label.to_string(),
             f(o.fg_p50.0 as f64 / 1000.0, 2),
@@ -151,9 +158,24 @@ fn main() {
             f(o.bg_kiops, 0),
             o.throttled.to_string(),
         ]);
+        if label == "qos fair" {
+            fair_system = Some(system);
+        }
         outcomes.push((label, o));
     }
     t.print();
+
+    // Observability: export the fair-share scenario's flight-recorder
+    // contents — the QoS admission stage is visible per command here.
+    let fair_sys = fair_system.expect("fair scenario ran");
+    let device = fair_sys.recorder().take_device();
+    let op_recs = fair_sys.recorder().take_ops();
+    let breakdown = Breakdown::build(&device, &op_recs);
+    println!("{}", breakdown.render());
+    let trace_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/trace/fairness_trace.json");
+    write_chrome_trace(&trace_path, &device, &op_recs).expect("write chrome trace");
+    println!("chrome trace: {}", trace_path.display());
 
     let no_qos = &outcomes[0].1;
     let fair = &outcomes[1].1;

@@ -3,6 +3,7 @@
 //! device. BypassD relies on the device's round-robin across queues
 //! instead of a kernel I/O scheduler, and still beats the baseline.
 
+use bypassd::{direct_read_check, write_chrome_trace, Breakdown, System, TraceConfig};
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_bench::{ops, std_system, us};
 use bypassd_fio::{run_jobs, JobSpec, RwMode};
@@ -152,5 +153,56 @@ fn main() {
         contended.as_nanos() as f64 >= 1.8 * solo.as_nanos() as f64,
         "a deep-queue tenant must visibly hurt the no-QoS foreground: {contended} vs {solo}"
     );
+
+    // Observability addendum (bypassd-trace): repeat the uncontended
+    // bypassd point with the flight recorder on and attribute the
+    // latency to pipeline stages. Tracing is passive — it never advances
+    // the simulation clock — so the per-stage means must close to the
+    // measured end-to-end direct-read latency within 10%.
+    let system = System::builder().trace(TraceConfig::on()).build();
+    run_jobs(
+        &system,
+        vec![(
+            make_factory(BackendKind::Bypassd, &system, 1000, 1000),
+            JobSpec {
+                name: "fg".into(),
+                mode: RwMode::RandRead,
+                block_size: 4096,
+                file: "/fg".into(),
+                file_size: 128 << 20,
+                threads: 1,
+                ops_per_thread: n_ops,
+                warmup_ops: 16,
+                per_thread_files: false,
+                seed: 31,
+                start_at: Nanos::ZERO,
+            },
+        )],
+    );
+    let device = system.recorder().take_device();
+    let op_recs = system.recorder().take_ops();
+    println!("{}", Breakdown::build(&device, &op_recs).render());
+    let check = direct_read_check(&device, &op_recs);
+    assert!(
+        check.ops > 0 && check.commands > 0,
+        "recorder captured nothing"
+    );
+    let err = check.relative_error();
+    println!(
+        "trace closure: e2e mean {} vs stage sum {} over {} ops / {} cmds ({:.2}% error)",
+        check.e2e_mean,
+        check.stage_sum,
+        check.ops,
+        check.commands,
+        err * 100.0,
+    );
+    assert!(
+        err <= 0.10,
+        "stage attribution must close within 10% of end-to-end latency: {err:.3}"
+    );
+    let trace_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/trace/fig11_trace.json");
+    write_chrome_trace(&trace_path, &device, &op_recs).expect("write chrome trace");
+    println!("chrome trace: {}", trace_path.display());
     println!("OK: Figure 11 shape reproduced (bypassd < sync at every load)");
 }

@@ -9,9 +9,9 @@ use bypassd_backends::{make_factory, BackendKind};
 use bypassd_bench::{ops, std_system, us};
 use bypassd_kv::{BpfKv, BpfKvConfig, YcsbGen, YcsbOp, YcsbWorkload};
 use bypassd_sim::report::Table;
-use bypassd_sim::stats::Histogram;
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
+use bypassd_trace::Histogram;
 use parking_lot::Mutex;
 
 fn main() {

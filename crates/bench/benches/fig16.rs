@@ -10,9 +10,10 @@ use bypassd_backends::{make_factory, BackendFactory, BackendKind, LibaioFactory}
 use bypassd_bench::{f1, ops, std_system, us};
 use bypassd_kv::{Kvell, KvellConfig, YcsbGen, YcsbWorkload};
 use bypassd_sim::report::Table;
-use bypassd_sim::stats::{Histogram, Throughput};
+use bypassd_sim::stats::Throughput;
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
+use bypassd_trace::Histogram;
 use parking_lot::Mutex;
 
 #[allow(clippy::too_many_arguments)]

@@ -13,8 +13,8 @@ use bypassd_hw::pte::Pte;
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, VirtAddr, PAGE_SIZE};
 use bypassd_hw::{Iommu, PhysMem};
 use bypassd_sim::rng::{Rng, Zipfian};
-use bypassd_sim::stats::Histogram;
 use bypassd_sim::time::Nanos;
+use bypassd_trace::Histogram;
 
 fn bench_page_walk(c: &mut Criterion) {
     let mem = PhysMem::new();

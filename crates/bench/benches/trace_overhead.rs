@@ -1,0 +1,176 @@
+//! Tracing overhead: proves the flight recorder honors its contract.
+//!
+//! Three claims, checked on the UserLib 4 KB random-read path:
+//!
+//! 1. **Disabled is near-free.** Every stamp site costs one relaxed
+//!    atomic load when tracing is off; the aggregate per-op cost must
+//!    stay under 5% of the per-op simulator wall time.
+//! 2. **Enabled never perturbs the model.** Recording is passive — the
+//!    virtual end time of the traced and sampled runs must be
+//!    bit-identical to the untraced run.
+//! 3. **Sampling bounds the cost.** Full and 1-in-16 sampled tracing
+//!    slow the simulator by a bounded wall-clock factor.
+//!
+//! Writes `BENCH_trace_overhead.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use bypassd::{Recorder, System, TraceConfig, UserProcess};
+use bypassd_sim::rng::Rng;
+use bypassd_sim::{Nanos, Simulation};
+
+const OPS: u64 = 30_000;
+const FILE: u64 = 64 << 20;
+
+struct Run {
+    wall_iops: f64,
+    virtual_end: Nanos,
+    records: u64,
+}
+
+/// One single-threaded 4 KB random-read run under the given trace
+/// config. Returns simulator speed (wall), the virtual end time (model)
+/// and how many records the recorder captured.
+fn run(config: TraceConfig) -> Run {
+    let sys = System::builder().capacity(256 << 20).trace(config).build();
+    sys.fs().populate("/hot", FILE, 0x5a).unwrap();
+    let start = Instant::now();
+    let sim = Simulation::new();
+    let s2 = sys.clone();
+    let end = Arc::new(Mutex::new(Nanos::ZERO));
+    let e2 = Arc::clone(&end);
+    sim.spawn("reader", move |ctx| {
+        let proc = UserProcess::start(&s2, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/hot", false).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut rng = Rng::new(99);
+        for _ in 0..OPS {
+            let off = rng.gen_range(FILE / 4096) * 4096;
+            let n = t.pread(ctx, fd, &mut buf, off).unwrap();
+            assert_eq!(n, 4096);
+        }
+        *e2.lock() = ctx.now();
+    });
+    sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let counts = sys.recorder().counts();
+    let virtual_end = *end.lock();
+    Run {
+        wall_iops: OPS as f64 / wall,
+        virtual_end,
+        records: counts.device + counts.ops,
+    }
+}
+
+/// Wall-clock cost of one stamp site with the recorder disabled (the
+/// default-build cost): one relaxed load, closure never built.
+fn disabled_stamp_cost_ns() -> f64 {
+    const N: u64 = 20_000_000;
+    let rec = Recorder::disabled();
+    let start = Instant::now();
+    for _ in 0..N {
+        rec.record_device(|| unreachable!("disabled recorder must not build records"));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / N as f64
+}
+
+fn main() {
+    // The CI trace job exports BYPASSD_TRACE=1 for the test suite; this
+    // bench compares explicit configs, so the env override must not
+    // silently turn the "off" run on.
+    std::env::remove_var("BYPASSD_TRACE");
+    std::env::remove_var("BYPASSD_TRACE_SAMPLE");
+    std::env::remove_var("BYPASSD_TRACE_RING");
+
+    let off = run(TraceConfig::default());
+    let on = run(TraceConfig::on());
+    let sampled = run({
+        let mut c = TraceConfig::on();
+        c.sample_every = 16;
+        c
+    });
+
+    assert_eq!(off.records, 0, "off run must record nothing");
+    assert!(on.records > 0, "traced run captured nothing");
+    assert!(
+        sampled.records > 0 && sampled.records < on.records,
+        "sampling must keep a strict subset: {} vs {}",
+        sampled.records,
+        on.records
+    );
+
+    // Claim 2: recording is passive. Virtual time must not move at all.
+    assert_eq!(
+        off.virtual_end, on.virtual_end,
+        "tracing perturbed the model: {} vs {}",
+        off.virtual_end, on.virtual_end
+    );
+    assert_eq!(
+        off.virtual_end, sampled.virtual_end,
+        "sampled tracing perturbed the model: {} vs {}",
+        off.virtual_end, sampled.virtual_end
+    );
+
+    // Claim 1: the default build pays one relaxed load per stamp site.
+    // A 4 KB direct read crosses two sites (device record + op record).
+    let stamp_ns = disabled_stamp_cost_ns();
+    let per_op_ns = 1e9 / off.wall_iops;
+    let stamps_per_op = 2.0;
+    let disabled_overhead = stamp_ns * stamps_per_op / per_op_ns;
+    assert!(
+        disabled_overhead < 0.05,
+        "disabled tracing must cost <5% per op: {:.4} ({stamp_ns:.1}ns/stamp vs {per_op_ns:.0}ns/op)",
+        disabled_overhead
+    );
+
+    // Claim 3: wall-clock overhead of recording stays bounded. The
+    // bounds are deliberately loose — shared CI machines are noisy —
+    // but catch pathological regressions (e.g. a lock on the off path).
+    let slowdown_on = off.wall_iops / on.wall_iops;
+    let slowdown_sampled = off.wall_iops / sampled.wall_iops;
+    assert!(
+        slowdown_on < 10.0,
+        "full tracing slowdown out of bounds: {slowdown_on:.2}x"
+    );
+    assert!(
+        slowdown_sampled < 5.0,
+        "sampled tracing slowdown out of bounds: {slowdown_sampled:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"UserLib 4KB random reads, {OPS} ops, single thread\",\n  \
+         \"disabled\": {{\n    \"wall_iops\": {:.0},\n    \"stamp_cost_ns\": {:.2},\n    \
+         \"stamps_per_op\": {stamps_per_op},\n    \"overhead_fraction\": {:.5},\n    \
+         \"budget_fraction\": 0.05\n  }},\n  \
+         \"enabled\": {{\n    \"wall_iops\": {:.0},\n    \"records\": {},\n    \
+         \"slowdown_vs_off\": {:.3}\n  }},\n  \
+         \"sampled_1_in_16\": {{\n    \"wall_iops\": {:.0},\n    \"records\": {},\n    \
+         \"slowdown_vs_off\": {:.3}\n  }},\n  \
+         \"virtual_time_bit_identical\": true,\n  \"virtual_end_ns\": {}\n}}\n",
+        off.wall_iops,
+        stamp_ns,
+        disabled_overhead,
+        on.wall_iops,
+        on.records,
+        slowdown_on,
+        sampled.wall_iops,
+        sampled.records,
+        slowdown_sampled,
+        off.virtual_end.as_nanos(),
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trace_overhead.json");
+    std::fs::write(&path, &json).expect("write BENCH_trace_overhead.json");
+    println!("{json}");
+    println!(
+        "OK: tracing contract holds (disabled {:.3}% per op, on {:.2}x, sampled {:.2}x, \
+         virtual time identical)",
+        disabled_overhead * 100.0,
+        slowdown_on,
+        slowdown_sampled
+    );
+}

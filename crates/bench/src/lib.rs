@@ -17,9 +17,10 @@ use parking_lot::Mutex;
 use bypassd::System;
 use bypassd_backends::{make_factory, BackendKind};
 use bypassd_kv::{BtreeStore, YcsbGen, YcsbWorkload};
-use bypassd_sim::stats::{Histogram, Throughput};
+use bypassd_sim::stats::Throughput;
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
+use bypassd_trace::Histogram;
 
 /// True when `BYPASSD_BENCH=full`.
 pub fn full_mode() -> bool {

@@ -44,5 +44,9 @@ pub mod system;
 pub mod userlib;
 
 pub use bypassd_qos::{QosConfig, RateLimit, Tenant, TenantShare};
+pub use bypassd_trace::{
+    chrome_trace, direct_read_check, write_chrome_trace, Breakdown, DirectReadCheck,
+    MetricsRegistry, Recorder, TraceConfig,
+};
 pub use system::{System, SystemBuilder};
 pub use userlib::{IoPolicy, UserProcess, UserThread};

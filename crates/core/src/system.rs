@@ -6,13 +6,14 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use bypassd_ext4::{Ext4, Ext4Options};
-use bypassd_hw::iommu::{Iommu, IommuTiming};
+use bypassd_hw::iommu::{Iommu, IommuMetrics, IommuTiming};
 use bypassd_hw::types::DevId;
 use bypassd_hw::PhysMem;
 use bypassd_os::{CostModel, Kernel};
 use bypassd_qos::QosConfig;
 use bypassd_ssd::device::NvmeDevice;
 use bypassd_ssd::timing::MediaTiming;
+use bypassd_trace::{MetricsRegistry, Recorder, TraceConfig};
 
 /// A fully wired simulated machine.
 ///
@@ -23,6 +24,8 @@ pub struct System {
     dev: Arc<NvmeDevice>,
     fs: Arc<Ext4>,
     kernel: Arc<Kernel>,
+    recorder: Arc<Recorder>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl System {
@@ -56,6 +59,18 @@ impl System {
         self.fs.iommu()
     }
 
+    /// The flight recorder (disabled unless [`SystemBuilder::trace`] or
+    /// `BYPASSD_TRACE=1` turned it on).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The unified metrics registry: device, IOMMU, kernel page cache,
+    /// per-tenant QoS, and recorder counters behind one interface.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Resets absolute-time state (the device contention ledger) so a
     /// fresh [`bypassd_sim::Simulation`] starting at t=0 does not inherit
     /// a previous run's backlog. Call between independent measurement
@@ -85,6 +100,7 @@ pub struct SystemBuilder {
     fs_opts: Ext4Options,
     page_cache_blocks: usize,
     dev_id: DevId,
+    trace: TraceConfig,
 }
 
 impl Default for SystemBuilder {
@@ -101,6 +117,7 @@ impl Default for SystemBuilder {
             fs_opts: Ext4Options::default(),
             page_cache_blocks: 64 * 1024, // 256 MB
             dev_id: DevId(1),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -174,6 +191,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Configures the flight recorder (stage-level I/O tracing). The
+    /// default is off: stamp sites cost one relaxed atomic load and
+    /// virtual times are bit-identical either way — recording never
+    /// advances the simulation clock. `BYPASSD_TRACE=1` forces it on.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = config;
+        self
+    }
+
     /// Builds the machine: memory, IOMMU, device, freshly formatted
     /// ext4, kernel.
     pub fn build(self) -> System {
@@ -200,11 +226,23 @@ impl SystemBuilder {
         for (uid, share) in &qos.uid_shares {
             kernel.set_qos_policy(*uid, *share);
         }
+        // Observability: flight recorder (env-forceable, like the other
+        // coverage overrides) + the unified metrics registry.
+        let recorder = Recorder::new(self.trace.apply_env());
+        dev.set_recorder(Arc::clone(&recorder));
+        kernel.set_recorder(Arc::clone(&recorder));
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register("device", &dev);
+        registry.register("kernel", &kernel);
+        registry.register("trace", &recorder);
+        registry.register_owned("iommu", Box::new(IommuMetrics(Arc::downgrade(fs.iommu()))));
         System {
             mem,
             dev,
             fs,
             kernel,
+            recorder,
+            registry,
         }
     }
 }
@@ -260,6 +298,25 @@ mod tests {
         let pasid = sys.kernel().pasid_of(pid);
         let stats = sys.device().tenant_stats(bypassd_qos::Tenant::User(pasid));
         assert!(stats.is_some(), "bind must register the tenant");
+    }
+
+    #[test]
+    fn trace_knob_wires_through() {
+        if env_force("BYPASSD_TRACE") {
+            return; // the override deliberately flips the default
+        }
+        let sys = System::builder().build();
+        assert!(!sys.recorder().on(), "tracing must default off");
+        let sys = System::builder().trace(TraceConfig::on()).build();
+        assert!(sys.recorder().on());
+        // The registry sees the wired sources.
+        let names: Vec<String> = sys.metrics().gather().into_iter().map(|m| m.name).collect();
+        for prefix in ["device.", "kernel.", "iommu.", "trace."] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no {prefix} metrics in {names:?}"
+            );
+        }
     }
 
     #[test]

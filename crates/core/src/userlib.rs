@@ -28,6 +28,7 @@ use bypassd_sim::time::Nanos;
 use bypassd_ssd::device::{BlockAddr, Command};
 use bypassd_ssd::dma::DmaBuffer;
 use bypassd_ssd::queue::{NvmeStatus, QueueId};
+use bypassd_trace::{IoPath, OpRecord, Recorder};
 
 use crate::system::System;
 
@@ -111,6 +112,41 @@ impl FileEntry {
     }
 }
 
+/// Per-operation stage accumulator threaded through the data path, so
+/// one `pread`/`pwrite` — however many device round trips, retries and
+/// kernel excursions it takes — yields a single attributed
+/// [`OpRecord`].
+#[derive(Clone, Copy)]
+struct OpScratch {
+    userlib: Nanos,
+    device_span: Nanos,
+    user_copy: Nanos,
+    kernel: Nanos,
+    path: IoPath,
+    faults: u32,
+}
+
+impl OpScratch {
+    fn new() -> OpScratch {
+        OpScratch {
+            userlib: Nanos::ZERO,
+            device_span: Nanos::ZERO,
+            user_copy: Nanos::ZERO,
+            kernel: Nanos::ZERO,
+            path: IoPath::Direct,
+            faults: 0,
+        }
+    }
+
+    /// Marks the op as kernel-fallback unless a revocation already
+    /// claimed it (revocation is the more specific cause).
+    fn fall_back(&mut self) {
+        if self.path == IoPath::Direct {
+            self.path = IoPath::Fallback;
+        }
+    }
+}
+
 /// Process-wide UserLib state, shared between threads.
 pub struct UserProcess {
     system: System,
@@ -121,20 +157,24 @@ pub struct UserProcess {
     io_policy: Mutex<IoPolicy>,
     direct_ops: AtomicU64,
     fallback_ops: AtomicU64,
+    recorder: Arc<Recorder>,
 }
 
 impl UserProcess {
     /// Starts a process with the given credentials.
     pub fn start(system: &System, uid: u32, gid: u32) -> Arc<UserProcess> {
         let pid = system.kernel().spawn_process(uid, gid);
-        Arc::new(UserProcess {
+        let proc = Arc::new(UserProcess {
             system: system.clone(),
             pid,
             files: RwLock::new(HashMap::new()),
             io_policy: Mutex::new(IoPolicy::default()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
-        })
+            recorder: Arc::clone(system.recorder()),
+        });
+        system.metrics().register(&format!("proc.{pid}"), &proc);
+        proc
     }
 
     /// Starts a process inside a container (mount namespace rooted at
@@ -151,14 +191,17 @@ impl UserProcess {
         root: &str,
     ) -> SysResult<Arc<UserProcess>> {
         let pid = system.kernel().spawn_process_in(uid, gid, root)?;
-        Ok(Arc::new(UserProcess {
+        let proc = Arc::new(UserProcess {
             system: system.clone(),
             pid,
             files: RwLock::new(HashMap::new()),
             io_policy: Mutex::new(IoPolicy::default()),
             direct_ops: AtomicU64::new(0),
             fallback_ops: AtomicU64::new(0),
-        }))
+            recorder: Arc::clone(system.recorder()),
+        });
+        system.metrics().register(&format!("proc.{pid}"), &proc);
+        Ok(proc)
     }
 
     /// The process id.
@@ -223,6 +266,21 @@ impl UserProcess {
     /// Shared handle to `fd`'s entry: one read lock + one `Arc` clone.
     fn entry(&self, fd: Fd) -> SysResult<Arc<FileEntry>> {
         self.files.read().get(&fd).cloned().ok_or(Errno::BadF)
+    }
+}
+
+impl bypassd_trace::MetricSource for UserProcess {
+    fn collect(&self, out: &mut Vec<bypassd_trace::Metric>) {
+        use bypassd_trace::Metric;
+        out.push(Metric::counter(
+            "direct_ops",
+            self.direct_ops.load(Ordering::Relaxed),
+        ));
+        out.push(Metric::counter(
+            "fallback_ops",
+            self.fallback_ops.load(Ordering::Relaxed),
+        ));
+        out.push(Metric::gauge("open_files", self.files.read().len() as i64));
     }
 }
 
@@ -410,6 +468,7 @@ impl UserThread {
     /// One direct device round trip over `span` bytes starting at `vba`
     /// (the file's base VBA already offset to the target sector), reading
     /// into / writing from the thread DMA buffer at offset 0.
+    #[allow(clippy::too_many_arguments)]
     fn direct_io(
         &mut self,
         ctx: &mut ActorCtx,
@@ -418,9 +477,11 @@ impl UserThread {
         vba: Vba,
         span: u64,
         write: bool,
+        scratch: &mut OpScratch,
     ) -> SysResult<DirectIo> {
         debug_assert!(span.is_multiple_of(SECTOR_SIZE) && span > 0);
         ctx.delay(self.cost().userlib_overhead);
+        scratch.userlib += self.cost().userlib_overhead;
         let addr = BlockAddr::Vba(vba);
         let sectors = (span / SECTOR_SIZE) as u32;
         let cmd = if write {
@@ -428,20 +489,25 @@ impl UserThread {
         } else {
             Command::read(addr, sectors, &self.dma)
         };
+        let submit = ctx.now();
         let comp = self
             .proc
             .system
             .device()
-            .execute_full(self.qid, cmd, ctx.now());
+            .execute_full(self.qid, cmd, submit);
         self.note_pressure(comp.pressure);
         ctx.wait_until(comp.ready_at);
+        scratch.device_span += comp.ready_at.saturating_sub(submit);
         match comp.status {
             NvmeStatus::Success => Ok(DirectIo::Done),
             NvmeStatus::TranslationFault(_) => {
+                scratch.faults += 1;
                 // Revocation or growth race: re-fmap (§3.6).
                 let kernel = Arc::clone(self.kernel());
                 let writable = entry.state.lock().writable;
+                let fmap_start = ctx.now();
                 let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
+                scratch.kernel += ctx.now().saturating_sub(fmap_start);
                 let revoked = {
                     let mut st = entry.state.lock();
                     if vba.is_null() {
@@ -455,6 +521,7 @@ impl UserThread {
                 };
                 if revoked {
                     kernel.mark_kernel_fallback(self.proc.pid, fd)?;
+                    scratch.path = IoPath::Revoked;
                     Ok(DirectIo::Revoked)
                 } else {
                     Ok(DirectIo::Fault)
@@ -462,6 +529,69 @@ impl UserThread {
             }
             _ => Err(Errno::Inval),
         }
+    }
+
+    /// Emits the attributed [`OpRecord`] for one finished top-level op.
+    /// Purely passive: never advances the clock, costs one relaxed
+    /// atomic load when tracing is off.
+    fn record_op(
+        &self,
+        ctx: &ActorCtx,
+        write: bool,
+        result: &SysResult<usize>,
+        start: Nanos,
+        scratch: &OpScratch,
+    ) {
+        let end = ctx.now();
+        self.proc.recorder.record_op(|| OpRecord {
+            pid: self.proc.pid,
+            path: scratch.path,
+            write,
+            bytes: result.as_ref().map_or(0, |n| *n as u64),
+            start,
+            end,
+            userlib: scratch.userlib,
+            device_span: scratch.device_span,
+            user_copy: scratch.user_copy,
+            kernel: scratch.kernel,
+            faults: scratch.faults,
+        });
+    }
+
+    /// Kernel-path pread, timed into the scratch's kernel stage.
+    fn kernel_pread(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        buf: &mut [u8],
+        offset: u64,
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
+        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+        scratch.fall_back();
+        let kernel = Arc::clone(self.kernel());
+        let start = ctx.now();
+        let result = kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+        scratch.kernel += ctx.now().saturating_sub(start);
+        result
+    }
+
+    /// Kernel-path pwrite, timed into the scratch's kernel stage.
+    fn kernel_pwrite(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
+        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
+        scratch.fall_back();
+        let kernel = Arc::clone(self.kernel());
+        let start = ctx.now();
+        let result = kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+        scratch.kernel += ctx.now().saturating_sub(start);
+        result
     }
 
     /// `pread()`: issued directly from userspace (§4.2); falls back to
@@ -476,19 +606,35 @@ impl UserThread {
         buf: &mut [u8],
         offset: u64,
     ) -> SysResult<usize> {
+        let op_start = ctx.now();
+        let mut scratch = OpScratch::new();
+        let result = self.pread_inner(ctx, fd, buf, offset, &mut scratch);
+        self.record_op(ctx, false, &result, op_start, &scratch);
+        result
+    }
+
+    fn pread_inner(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        buf: &mut [u8],
+        offset: u64,
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
         let entry = self.proc.entry(fd)?;
         let mut st = *entry.state.lock();
         if st.fallback {
-            self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-            let kernel = Arc::clone(self.kernel());
-            return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+            return self.kernel_pread(ctx, fd, buf, offset, scratch);
         }
         if offset >= st.size {
             // Another process may have grown the file (its new FTEs are
             // already visible through the shared fragments, §4.1) — the
             // size, however, is kernel metadata: refresh it.
             let kernel = Arc::clone(self.kernel());
-            let size = kernel.sys_fstat(ctx, self.proc.pid, fd)?.size;
+            let stat_start = ctx.now();
+            let stat = kernel.sys_fstat(ctx, self.proc.pid, fd);
+            scratch.kernel += ctx.now().saturating_sub(stat_start);
+            let size = stat?.size;
             {
                 let mut s = entry.state.lock();
                 s.size = s.size.max(size);
@@ -512,9 +658,11 @@ impl UserThread {
             let mut ok = true;
             while pos < end {
                 let span = (end - pos).min(self.dma.len() as u64);
-                match self.direct_io(ctx, fd, &entry, vba.offset(pos), span, false)? {
+                match self.direct_io(ctx, fd, &entry, vba.offset(pos), span, false, scratch)? {
                     DirectIo::Done => {
-                        ctx.delay(self.cost().user_copy(span.min(len)));
+                        let copy = self.cost().user_copy(span.min(len));
+                        ctx.delay(copy);
+                        scratch.user_copy += copy;
                         let lo = offset.max(pos);
                         let hi = (offset + len).min(pos + span);
                         let mut tmp = vec![0u8; (hi - lo) as usize];
@@ -523,9 +671,7 @@ impl UserThread {
                         pos += span;
                     }
                     DirectIo::Revoked => {
-                        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                        let kernel = Arc::clone(self.kernel());
-                        return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+                        return self.kernel_pread(ctx, fd, buf, offset, scratch);
                     }
                     DirectIo::Fault => {
                         ok = false;
@@ -545,9 +691,7 @@ impl UserThread {
             if attempts >= policy.max_attempts {
                 // Persistent fault (e.g. a hole): let the kernel path
                 // handle this one op.
-                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                let kernel = Arc::clone(self.kernel());
-                return kernel.sys_pread(ctx, self.proc.pid, fd, buf, offset);
+                return self.kernel_pread(ctx, fd, buf, offset, scratch);
             }
             if policy.retry_backoff > Nanos::ZERO {
                 ctx.delay(policy.retry_backoff);
@@ -569,25 +713,38 @@ impl UserThread {
         data: &[u8],
         offset: u64,
     ) -> SysResult<usize> {
+        let op_start = ctx.now();
+        let mut scratch = OpScratch::new();
+        let result = self.pwrite_inner(ctx, fd, data, offset, &mut scratch);
+        self.record_op(ctx, true, &result, op_start, &scratch);
+        result
+    }
+
+    fn pwrite_inner(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
         let entry = self.proc.entry(fd)?;
         let st = *entry.state.lock();
         if !st.writable {
             return Err(Errno::Perm);
         }
         if st.fallback {
-            self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-            let kernel = Arc::clone(self.kernel());
-            return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+            return self.kernel_pwrite(ctx, fd, data, offset, scratch);
         }
         let len = data.len() as u64;
         let end = offset + len;
         if end > st.size {
-            return self.append_path(ctx, fd, &entry, data, offset, st);
+            return self.append_path(ctx, fd, &entry, data, offset, st, scratch);
         }
         if !offset.is_multiple_of(SECTOR_SIZE) || !len.is_multiple_of(SECTOR_SIZE) {
-            return self.partial_write(ctx, fd, &entry, data, offset);
+            return self.partial_write(ctx, fd, &entry, data, offset, scratch);
         }
-        self.overwrite(ctx, fd, &entry, data, offset)
+        self.overwrite(ctx, fd, &entry, data, offset, scratch)
     }
 
     /// Aligned overwrite of existing blocks.
@@ -598,6 +755,7 @@ impl UserThread {
         entry: &FileEntry,
         data: &[u8],
         offset: u64,
+        scratch: &mut OpScratch,
     ) -> SysResult<usize> {
         let Some(vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
@@ -609,15 +767,23 @@ impl UserThread {
             let mut ok = true;
             while pos < data.len() as u64 {
                 let span = (data.len() as u64 - pos).min(self.dma.len() as u64);
-                ctx.delay(self.cost().user_copy(span));
+                let copy = self.cost().user_copy(span);
+                ctx.delay(copy);
+                scratch.user_copy += copy;
                 self.dma
                     .write(0, &data[pos as usize..(pos + span) as usize]);
-                match self.direct_io(ctx, fd, entry, vba.offset(offset + pos), span, true)? {
+                match self.direct_io(
+                    ctx,
+                    fd,
+                    entry,
+                    vba.offset(offset + pos),
+                    span,
+                    true,
+                    scratch,
+                )? {
                     DirectIo::Done => pos += span,
                     DirectIo::Revoked => {
-                        self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                        let kernel = Arc::clone(self.kernel());
-                        return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+                        return self.kernel_pwrite(ctx, fd, data, offset, scratch);
                     }
                     DirectIo::Fault => {
                         ok = false;
@@ -631,9 +797,7 @@ impl UserThread {
             }
             attempts += 1;
             if attempts >= policy.max_attempts {
-                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                let kernel = Arc::clone(self.kernel());
-                return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+                return self.kernel_pwrite(ctx, fd, data, offset, scratch);
             }
             if policy.retry_backoff > Nanos::ZERO {
                 ctx.delay(policy.retry_backoff);
@@ -643,6 +807,7 @@ impl UserThread {
 
     /// Append handling: kernel route, or direct overwrite of
     /// preallocated blocks when optimized append is on.
+    #[allow(clippy::too_many_arguments)]
     fn append_path(
         &mut self,
         ctx: &mut ActorCtx,
@@ -651,6 +816,7 @@ impl UserThread {
         data: &[u8],
         offset: u64,
         st: FileState,
+        scratch: &mut OpScratch,
     ) -> SysResult<usize> {
         let kernel = Arc::clone(self.kernel());
         let len = data.len() as u64;
@@ -663,13 +829,18 @@ impl UserThread {
             // directly; size flushed at fsync/close (§5.1).
             if end > st.prealloc_end {
                 let grow = (end - st.prealloc_end).max(st.append_chunk);
-                kernel.sys_fallocate_keep(ctx, self.proc.pid, fd, st.prealloc_end, grow)?;
+                let t0 = ctx.now();
+                let r = kernel.sys_fallocate_keep(ctx, self.proc.pid, fd, st.prealloc_end, grow);
+                scratch.kernel += ctx.now().saturating_sub(t0);
+                r?;
                 entry.state.lock().prealloc_end = st.prealloc_end + grow;
             }
             let vba = st.vba.ok_or(Errno::Inval)?;
-            ctx.delay(self.cost().user_copy(len));
+            let copy = self.cost().user_copy(len);
+            ctx.delay(copy);
+            scratch.user_copy += copy;
             self.dma.write(0, data);
-            match self.direct_io(ctx, fd, entry, vba.offset(offset), len, true)? {
+            match self.direct_io(ctx, fd, entry, vba.offset(offset), len, true, scratch)? {
                 DirectIo::Done => {
                     {
                         let mut s = entry.state.lock();
@@ -684,33 +855,43 @@ impl UserThread {
                 }
             }
         }
+        scratch.fall_back();
+        let kernel_start = ctx.now();
         let n = if offset == st.size {
             // Tail append: the kernel path handles any alignment.
-            kernel.sys_append(ctx, self.proc.pid, fd, data)?
+            let r = kernel.sys_append(ctx, self.proc.pid, fd, data);
+            scratch.kernel += ctx.now().saturating_sub(kernel_start);
+            r?
         } else if offset > st.size {
             // Write past a gap: materialise the hole with fallocate
             // (zeroed blocks + size extension), then retry as an
             // in-place write (aligned or serialised RMW).
-            kernel.sys_fallocate(ctx, self.proc.pid, fd, st.size, end - st.size)?;
+            let r = kernel.sys_fallocate(ctx, self.proc.pid, fd, st.size, end - st.size);
+            scratch.kernel += ctx.now().saturating_sub(kernel_start);
+            r?;
             {
                 let mut s = entry.state.lock();
                 s.size = s.size.max(end);
                 s.prealloc_end = s.prealloc_end.max(s.size);
             }
             self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-            return self.pwrite(ctx, fd, data, offset);
+            return self.pwrite_inner(ctx, fd, data, offset, scratch);
         } else if aligned_tail
             || offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE)
         {
-            kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset)?
+            let r = kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+            scratch.kernel += ctx.now().saturating_sub(kernel_start);
+            r?
         } else {
             // Unaligned write straddling EOF: split into the in-place
             // head (RMW path) and an appended tail (kernel path).
             let head = (st.size - offset) as usize;
-            self.pwrite(ctx, fd, &data[..head], offset)?;
+            self.pwrite_inner(ctx, fd, &data[..head], offset, scratch)?;
             let kernel = Arc::clone(self.kernel());
-            let tail = kernel.sys_append(ctx, self.proc.pid, fd, &data[head..])?;
-            head + tail
+            let t0 = ctx.now();
+            let r = kernel.sys_append(ctx, self.proc.pid, fd, &data[head..]);
+            scratch.kernel += ctx.now().saturating_sub(t0);
+            head + r?
         };
         {
             let mut s = entry.state.lock();
@@ -729,6 +910,7 @@ impl UserThread {
         entry: &FileEntry,
         data: &[u8],
         offset: u64,
+        scratch: &mut OpScratch,
     ) -> SysResult<usize> {
         let len = data.len() as u64;
         let start = offset - offset % SECTOR_SIZE;
@@ -744,7 +926,7 @@ impl UserThread {
             drop(partials);
             ctx.delay(Nanos(200));
         }
-        let result = self.partial_write_inner(ctx, fd, entry, data, offset);
+        let result = self.partial_write_inner(ctx, fd, entry, data, offset, scratch);
         // Always deregister.
         entry.partials.lock().retain(|r| *r != (start, end));
         result
@@ -757,6 +939,7 @@ impl UserThread {
         entry: &FileEntry,
         data: &[u8],
         offset: u64,
+        scratch: &mut OpScratch,
     ) -> SysResult<usize> {
         let Some(vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
@@ -764,28 +947,24 @@ impl UserThread {
         let start = offset - offset % SECTOR_SIZE;
         let span = (offset + data.len() as u64).div_ceil(SECTOR_SIZE) * SECTOR_SIZE - start;
         // Read old sectors.
-        match self.direct_io(ctx, fd, entry, vba.offset(start), span, false)? {
+        match self.direct_io(ctx, fd, entry, vba.offset(start), span, false, scratch)? {
             DirectIo::Done => {}
             _ => {
-                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                let kernel = Arc::clone(self.kernel());
-                return kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset);
+                return self.kernel_pwrite(ctx, fd, data, offset, scratch);
             }
         }
         // Modify.
-        ctx.delay(self.cost().user_copy(data.len() as u64));
+        let copy = self.cost().user_copy(data.len() as u64);
+        ctx.delay(copy);
+        scratch.user_copy += copy;
         self.dma.write((offset - start) as usize, data);
         // Write back.
-        match self.direct_io(ctx, fd, entry, vba.offset(start), span, true)? {
+        match self.direct_io(ctx, fd, entry, vba.offset(start), span, true, scratch)? {
             DirectIo::Done => {
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 Ok(data.len())
             }
-            _ => {
-                self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
-                let kernel = Arc::clone(self.kernel());
-                kernel.sys_pwrite(ctx, self.proc.pid, fd, data, offset)
-            }
+            _ => self.kernel_pwrite(ctx, fd, data, offset, scratch),
         }
     }
 
@@ -809,6 +988,21 @@ impl UserThread {
         data: &[u8],
         offset: u64,
     ) -> SysResult<usize> {
+        let op_start = ctx.now();
+        let mut scratch = OpScratch::new();
+        let result = self.pwrite_async_inner(ctx, fd, data, offset, &mut scratch);
+        self.record_op(ctx, true, &result, op_start, &scratch);
+        result
+    }
+
+    fn pwrite_async_inner(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
         let entry = self.proc.entry(fd)?;
         let st = *entry.state.lock();
         if !st.writable {
@@ -819,7 +1013,7 @@ impl UserThread {
             offset.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE) && len > 0;
         let in_place = offset + len <= st.size;
         if st.fallback || !aligned || !in_place || st.vba.is_none() || len > 256 * 1024 {
-            return self.pwrite(ctx, fd, data, offset);
+            return self.pwrite_inner(ctx, fd, data, offset, scratch);
         }
         let vba = st.vba.unwrap();
         // Serialise against overlapping pending writes (same-file
@@ -843,7 +1037,10 @@ impl UserThread {
         {
             self.flush_writes(ctx, fd)?;
         }
-        ctx.delay(self.cost().userlib_overhead + self.cost().user_copy(len));
+        let copy = self.cost().user_copy(len);
+        ctx.delay(self.cost().userlib_overhead + copy);
+        scratch.userlib += self.cost().userlib_overhead;
+        scratch.user_copy += copy;
         // Each async write stages through its own small DMA buffer so the
         // thread buffer stays free for subsequent operations.
         let dma = DmaBuffer::alloc(self.proc.system.mem(), data.len());
@@ -873,7 +1070,7 @@ impl UserThread {
                 };
                 match retry {
                     Ok(c) => c,
-                    Err(_) => return self.pwrite(ctx, fd, data, offset),
+                    Err(_) => return self.pwrite_inner(ctx, fd, data, offset, scratch),
                 }
             }
         };
@@ -885,9 +1082,11 @@ impl UserThread {
             .reap_at(self.qid, cid, ready)
             .expect("completion not posted");
         self.note_pressure(comp.pressure);
+        scratch.device_span += ready.saturating_sub(ctx.now());
         if !comp.status.is_ok() {
             // Translation fault (revocation mid-flight): fall back.
-            return self.pwrite(ctx, fd, data, offset);
+            scratch.faults += 1;
+            return self.pwrite_inner(ctx, fd, data, offset, scratch);
         }
         entry.pending.lock().push(PendingWrite {
             offset,

@@ -397,7 +397,8 @@ fn multithreaded_distinct_fds_smoke() {
     }
     // Phase 1: one setup actor opens all files so fds are known.
     let sim = Simulation::new();
-    let holder: Arc<Mutex<Option<(Arc<UserProcess>, Vec<i32>)>>> = Arc::new(Mutex::new(None));
+    type Held = Option<(Arc<UserProcess>, Vec<i32>)>;
+    let holder: Arc<Mutex<Held>> = Arc::new(Mutex::new(None));
     {
         let sys2 = sys.clone();
         let h = Arc::clone(&holder);

@@ -14,9 +14,10 @@ use parking_lot::Mutex;
 use bypassd::System;
 use bypassd_backends::BackendFactory;
 use bypassd_sim::rng::Rng;
-use bypassd_sim::stats::{Histogram, Throughput};
+use bypassd_sim::stats::Throughput;
 use bypassd_sim::time::Nanos;
 use bypassd_sim::Simulation;
+use bypassd_trace::Histogram;
 
 /// Access pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -93,6 +93,10 @@ pub struct Translation {
     pub extents: Vec<(Lba, u32)>,
     /// Modelled translation latency for this ATS request.
     pub cost: Nanos,
+    /// Pages whose leaf lookup missed the IOTLB (0 = pure IOTLB hit).
+    pub walks: u64,
+    /// Whether the page-walk cache covered the request's 2 MB prefix.
+    pub pwc_hit: bool,
 }
 
 /// One page's worth of translation, as exported to a device-side ATC:
@@ -455,7 +459,12 @@ impl Iommu {
             len
         );
         let cost = self.request_cost(n_pages, walks, pwc_hit);
-        Ok(Translation { extents, cost })
+        Ok(Translation {
+            extents,
+            cost,
+            walks,
+            pwc_hit,
+        })
     }
 
     /// Translates a regular IOVA (DMA buffer address) to a physical
@@ -531,6 +540,37 @@ impl Iommu {
     /// debugging.
     pub fn cache_occupancy(&self) -> (usize, usize) {
         (self.iotlb.len(), self.pwc.len())
+    }
+}
+
+/// Metrics adapter for the system's shared `Arc<Mutex<Iommu>>` handle
+/// (the orphan rule blocks implementing the registry trait on the
+/// mutex wrapper itself). Holds a weak handle, so registering it never
+/// extends the IOMMU's lifetime; once the IOMMU is gone it emits
+/// nothing.
+pub struct IommuMetrics(pub std::sync::Weak<parking_lot::Mutex<Iommu>>);
+
+impl bypassd_trace::MetricSource for IommuMetrics {
+    fn collect(&self, out: &mut Vec<bypassd_trace::Metric>) {
+        let Some(iommu) = self.0.upgrade() else {
+            return;
+        };
+        let g = iommu.lock();
+        let (ats, pages, faults) = g.stats();
+        let (ih, im, ph, pm) = g.cache_stats();
+        let (iotlb_occ, pwc_occ) = g.cache_occupancy();
+        out.push(bypassd_trace::Metric::counter("ats_requests", ats));
+        out.push(bypassd_trace::Metric::counter("pages_translated", pages));
+        out.push(bypassd_trace::Metric::counter("faults", faults));
+        out.push(bypassd_trace::Metric::counter("iotlb_hits", ih));
+        out.push(bypassd_trace::Metric::counter("iotlb_misses", im));
+        out.push(bypassd_trace::Metric::counter("pwc_hits", ph));
+        out.push(bypassd_trace::Metric::counter("pwc_misses", pm));
+        out.push(bypassd_trace::Metric::gauge(
+            "iotlb_entries",
+            iotlb_occ as i64,
+        ));
+        out.push(bypassd_trace::Metric::gauge("pwc_entries", pwc_occ as i64));
     }
 }
 

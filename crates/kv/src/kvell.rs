@@ -14,8 +14,9 @@ use bypassd::System;
 use bypassd_backends::traits::{Handle, StorageBackend};
 use bypassd_os::{Errno, SysResult};
 use bypassd_sim::engine::ActorCtx;
-use bypassd_sim::stats::{Histogram, Throughput};
+use bypassd_sim::stats::Throughput;
 use bypassd_sim::time::Nanos;
+use bypassd_trace::Histogram;
 
 use crate::util::FileWriter;
 use crate::ycsb::{YcsbGen, YcsbOp};

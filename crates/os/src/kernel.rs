@@ -6,7 +6,7 @@
 //! (device sectors, page cache blocks, caller buffers).
 
 use std::sync::atomic::AtomicU32;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -22,6 +22,7 @@ use bypassd_sim::time::Nanos;
 use bypassd_ssd::device::{BlockAddr, Command, NvmeDevice};
 use bypassd_ssd::dma::DmaBuffer;
 use bypassd_ssd::queue::QueueId;
+use bypassd_trace::{IoPath, Metric, MetricSource, OpRecord, Recorder};
 
 use crate::cost::CostModel;
 use crate::pagecache::PageCache;
@@ -165,6 +166,9 @@ pub struct Kernel {
     /// at bind time. Uids absent here get the device's default share.
     qos_shares: Mutex<std::collections::HashMap<u32, TenantShare>>,
     pub(crate) uring_jobs: Arc<AtomicU32>,
+    /// Flight recorder, wired once by the system builder. Syscall-layer
+    /// reads/writes stamp an [`OpRecord`] with `path = Kernel`.
+    recorder: OnceLock<Arc<Recorder>>,
 }
 
 impl Kernel {
@@ -186,7 +190,42 @@ impl Kernel {
             kq,
             qos_shares: Mutex::new(std::collections::HashMap::new()),
             uring_jobs: Arc::new(AtomicU32::new(0)),
+            recorder: OnceLock::new(),
         })
+    }
+
+    /// Attaches the flight recorder. Only the first call takes effect;
+    /// the system builder wires this at boot.
+    pub fn set_recorder(&self, recorder: Arc<Recorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// Stamps one syscall-layer I/O into the flight recorder.
+    fn record_syscall(
+        &self,
+        ctx: &ActorCtx,
+        pid: Pid,
+        write: bool,
+        result: &SysResult<usize>,
+        start: Nanos,
+    ) {
+        let Some(rec) = self.recorder.get() else {
+            return;
+        };
+        let end = ctx.now();
+        rec.record_op(|| OpRecord {
+            pid,
+            path: IoPath::Kernel,
+            write,
+            bytes: result.as_ref().map_or(0, |n| *n as u64),
+            start,
+            end,
+            userlib: Nanos::ZERO,
+            device_span: Nanos::ZERO,
+            user_copy: Nanos::ZERO,
+            kernel: end.saturating_sub(start),
+            faults: 0,
+        });
     }
 
     /// The cost model in force.
@@ -571,6 +610,20 @@ impl Kernel {
         buf: &mut [u8],
         offset: u64,
     ) -> SysResult<usize> {
+        let start = ctx.now();
+        let result = self.pread_body(ctx, pid, fd, buf, offset);
+        self.record_syscall(ctx, pid, false, &result, start);
+        result
+    }
+
+    fn pread_body(
+        &self,
+        ctx: &mut ActorCtx,
+        pid: Pid,
+        fd: Fd,
+        buf: &mut [u8],
+        offset: u64,
+    ) -> SysResult<usize> {
         ctx.delay(self.cost.user_to_kernel);
         let of = self.fd_info(pid, fd)?;
         if !of.read {
@@ -622,6 +675,20 @@ impl Kernel {
     /// # Errors
     /// `BadF`, `Perm`, `Inval`, `NoSpc`.
     pub fn sys_pwrite(
+        &self,
+        ctx: &mut ActorCtx,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+        offset: u64,
+    ) -> SysResult<usize> {
+        let start = ctx.now();
+        let result = self.pwrite_body(ctx, pid, fd, data, offset);
+        self.record_syscall(ctx, pid, true, &result, start);
+        result
+    }
+
+    fn pwrite_body(
         &self,
         ctx: &mut ActorCtx,
         pid: Pid,
@@ -984,6 +1051,18 @@ impl Kernel {
     /// Page cache (hits, misses).
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.lock().stats()
+    }
+}
+
+impl MetricSource for Kernel {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let (hits, misses) = self.cache_stats();
+        out.push(Metric::counter("pagecache_hits", hits));
+        out.push(Metric::counter("pagecache_misses", misses));
+        out.push(Metric::gauge(
+            "processes",
+            self.state.lock().procs.len() as i64,
+        ));
     }
 }
 

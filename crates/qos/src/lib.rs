@@ -33,6 +33,7 @@ pub mod stats;
 
 pub use arbiter::{Admission, QosArbiter, Tenant};
 pub use bucket::{RateLimiter, TokenBucket};
+pub use bypassd_trace::Histogram;
 pub use config::{QosConfig, RateLimit, TenantShare};
 pub use drr::DrrScheduler;
 pub use stats::TenantStats;

@@ -1,7 +1,7 @@
 //! Per-tenant observability counters and latency histograms.
 
-use bypassd_sim::stats::Histogram;
 use bypassd_sim::time::Nanos;
+use bypassd_trace::Histogram;
 
 /// One tenant's I/O accounting. Recording never moves virtual time, so
 /// these stay on even with QoS pacing disabled.

@@ -25,6 +25,7 @@ use bypassd_hw::iommu::{AccessKind, Iommu};
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
 use bypassd_qos::{QosArbiter, QosConfig, Tenant, TenantShare, TenantStats};
 use bypassd_sim::time::Nanos;
+use bypassd_trace::{DeviceRecord, Metric, MetricSource, Recorder, TraceOp, WalkLevel};
 
 use crate::atc::{AtcStats, AtsCache, DEFAULT_ATC_CAPACITY};
 use crate::dma::DmaBuffer;
@@ -172,6 +173,25 @@ struct DevState {
     /// (it never moves virtual time); pacing only when the config
     /// enables it, so the default data path stays bit-identical.
     qos: QosArbiter,
+    /// Flight recorder, when the system wired one in. Recording is
+    /// passive: it never touches `timer`, so traced runs keep identical
+    /// virtual times.
+    recorder: Option<Arc<Recorder>>,
+}
+
+/// Per-command stage latencies, filled in by `process_inner` as the
+/// command crosses each pipeline step and flushed to the recorder by
+/// `process` — including on early-return error paths, which leave the
+/// later stages at zero.
+#[derive(Default, Clone, Copy)]
+struct StageScratch {
+    qos_delay: Nanos,
+    throttled: bool,
+    deferred: bool,
+    walk: Option<WalkLevel>,
+    translate: Nanos,
+    channel_wait: Nanos,
+    service: Nanos,
 }
 
 /// A simulated NVMe SSD.
@@ -213,6 +233,7 @@ impl NvmeDevice {
                 queues: std::collections::HashMap::new(),
                 stats: DeviceStats::default(),
                 qos: QosArbiter::new(QosConfig::default(), timing.channels),
+                recorder: None,
             }),
             next_qid: AtomicU32::new(1),
         })
@@ -252,6 +273,13 @@ impl NvmeDevice {
         let mut state = self.state.lock();
         let channels = state.timer.timing().channels;
         state.qos = QosArbiter::new(config, channels);
+    }
+
+    /// Attaches the flight recorder; every subsequent command emits a
+    /// [`DeviceRecord`] with its exact stage decomposition (when the
+    /// recorder is enabled).
+    pub fn set_recorder(&self, recorder: Arc<Recorder>) {
+        self.state.lock().recorder = Some(recorder);
     }
 
     /// Whether QoS pacing/throttling is in force.
@@ -330,7 +358,7 @@ impl NvmeDevice {
                 return Err(SubmitError::QueueFull);
             }
         };
-        let mut completion = self.process(&mut state, tenant, pasid, cmd, now);
+        let mut completion = self.process(&mut state, qid, tenant, pasid, cmd, now);
         // Depth pressure: with QoS on, flag completions once the queue
         // pair runs at ≥ 3/4 of its depth so UserLib backs off before
         // hitting hard QueueFull rejections.
@@ -366,10 +394,11 @@ impl NvmeDevice {
     }
 
     /// Processes one claimed command: per-tenant accounting around the
-    /// actual execution.
+    /// actual execution, plus the flight-recorder stamp.
     fn process(
         &self,
         state: &mut DevState,
+        qid: QueueId,
         tenant: Tenant,
         pasid: Option<Pasid>,
         cmd: Command<'_>,
@@ -377,7 +406,8 @@ impl NvmeDevice {
     ) -> Completion {
         state.qos.record_submit(tenant);
         let (opcode, sectors) = (cmd.opcode, cmd.sectors);
-        let completion = self.process_inner(state, tenant, pasid, cmd, now);
+        let mut scratch = StageScratch::default();
+        let completion = self.process_inner(state, tenant, pasid, cmd, now, &mut scratch);
         let ok = completion.status.is_ok();
         let bytes = if ok { sectors as u64 * SECTOR_SIZE } else { 0 };
         let (read_bytes, written_bytes) = match opcode {
@@ -392,6 +422,31 @@ impl NvmeDevice {
             read_bytes,
             written_bytes,
         );
+        if let Some(rec) = &state.recorder {
+            rec.record_device(|| DeviceRecord {
+                queue: qid.0,
+                tenant: match tenant {
+                    Tenant::Kernel => 0,
+                    Tenant::User(p) => u64::from(p.0) + 1,
+                },
+                op: match opcode {
+                    Opcode::Read => TraceOp::Read,
+                    Opcode::Write | Opcode::WriteZeroes => TraceOp::Write,
+                    Opcode::Flush => TraceOp::Flush,
+                },
+                bytes: sectors as u64 * SECTOR_SIZE,
+                submit: now,
+                qos_delay: scratch.qos_delay,
+                throttled: scratch.throttled,
+                deferred: scratch.deferred,
+                walk: scratch.walk,
+                translate: scratch.translate,
+                channel_wait: scratch.channel_wait,
+                service: scratch.service,
+                complete: completion.ready_at,
+                ok,
+            });
+        }
         completion
     }
 
@@ -402,6 +457,7 @@ impl NvmeDevice {
         pasid: Option<Pasid>,
         cmd: Command<'_>,
         now: Nanos,
+        scratch: &mut StageScratch,
     ) -> Completion {
         if cmd.opcode == Opcode::Flush {
             state.stats.flushes += 1;
@@ -414,6 +470,7 @@ impl NvmeDevice {
                 now
             };
             let ready = state.timer.schedule_flush(drain_from);
+            scratch.service = ready.saturating_sub(now);
             return Completion {
                 cid: 0,
                 status: NvmeStatus::Success,
@@ -446,6 +503,9 @@ impl NvmeDevice {
                 timing.service(is_write, total_bytes)
             };
             let adm = state.qos.admit(tenant, now, service_est, total_bytes);
+            scratch.qos_delay = adm.arrival.saturating_sub(now);
+            scratch.throttled = adm.throttled;
+            scratch.deferred = adm.deferred;
             (adm.arrival, adm.throttled || adm.deferred)
         } else {
             (now, false)
@@ -487,6 +547,8 @@ impl NvmeDevice {
                 // off by default, in which case this is always None.
                 if let Some((extents, cost)) = self.atc.translate(pasid, vba, len, kind) {
                     let cost = if is_write { Nanos::ZERO } else { cost };
+                    scratch.walk = Some(WalkLevel::AtcHit);
+                    scratch.translate = cost;
                     (extents, cost)
                 } else {
                     let mut pages = if self.atc.enabled() {
@@ -510,10 +572,20 @@ impl NvmeDevice {
                             // Reads serialise translation; writes overlap it
                             // with the data transfer (§4.3).
                             let cost = if is_write { Nanos::ZERO } else { t.cost };
+                            scratch.walk = Some(if t.walks == 0 {
+                                WalkLevel::IotlbHit
+                            } else if t.pwc_hit {
+                                WalkLevel::PwcHit
+                            } else {
+                                WalkLevel::FullWalk
+                            });
+                            scratch.translate = cost;
                             (t.extents, cost)
                         }
                         Err((fault, cost)) => {
                             state.stats.translation_faults += 1;
+                            scratch.walk = Some(WalkLevel::Fault);
+                            scratch.translate = cost;
                             return Completion {
                                 cid: 0,
                                 status: NvmeStatus::TranslationFault(fault),
@@ -586,6 +658,7 @@ impl NvmeDevice {
         // shared channel ledger as before.
         let ready = if matches!(cmd.opcode, Opcode::WriteZeroes) {
             let cost = state.timer.timing().write_zeroes_cost;
+            scratch.service = cost;
             if qos_paced {
                 now + trans_cost + cost
             } else {
@@ -596,14 +669,21 @@ impl NvmeDevice {
                 Tenant::Kernel => 0,
                 Tenant::User(p) => u64::from(p.0) + 1,
             };
+            scratch.service = state.timer.timing().service(is_write, total_bytes);
             state
                 .timer
                 .schedule_paced(now + trans_cost, is_write, total_bytes, tenant_key)
         } else {
+            scratch.service = state.timer.timing().service(is_write, total_bytes);
             state
                 .timer
                 .schedule(now + trans_cost, is_write, total_bytes)
         };
+        // Whatever the scheduler charged beyond raw service is queueing
+        // for channels/bus slots; exact under the eager-completion model.
+        scratch.channel_wait = ready
+            .saturating_sub(now + trans_cost)
+            .saturating_sub(scratch.service);
         Completion {
             cid: 0,
             status: NvmeStatus::Success,
@@ -689,6 +769,50 @@ impl NvmeDevice {
     /// Materialised media blocks (memory accounting).
     pub fn resident_blocks(&self) -> usize {
         self.state.lock().store.resident_blocks()
+    }
+}
+
+impl MetricSource for NvmeDevice {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let s = self.stats();
+        out.push(Metric::counter("reads", s.reads));
+        out.push(Metric::counter("writes", s.writes));
+        out.push(Metric::counter("read_bytes", s.read_bytes));
+        out.push(Metric::counter("written_bytes", s.written_bytes));
+        out.push(Metric::counter("flushes", s.flushes));
+        out.push(Metric::counter("translation_faults", s.translation_faults));
+        out.push(Metric::counter("atc_hits", s.atc_hits));
+        out.push(Metric::counter("atc_misses", s.atc_misses));
+        out.push(Metric::counter("atc_shootdowns", s.atc_shootdowns));
+        out.push(Metric::counter("qos_throttled", s.qos_throttled));
+        out.push(Metric::counter("qos_deferred", s.qos_deferred));
+        for (tenant, ts) in self.qos_snapshot() {
+            let name = match tenant {
+                Tenant::Kernel => "kernel".to_string(),
+                Tenant::User(p) => format!("pasid_{}", p.0),
+            };
+            out.push(Metric::counter(
+                format!("tenant.{name}.submitted"),
+                ts.submitted,
+            ));
+            out.push(Metric::counter(
+                format!("tenant.{name}.completed"),
+                ts.completed,
+            ));
+            out.push(Metric::counter(format!("tenant.{name}.failed"), ts.failed));
+            out.push(Metric::counter(
+                format!("tenant.{name}.read_bytes"),
+                ts.read_bytes,
+            ));
+            out.push(Metric::counter(
+                format!("tenant.{name}.written_bytes"),
+                ts.written_bytes,
+            ));
+            out.push(Metric::histogram(
+                format!("tenant.{name}.latency"),
+                ts.latency.clone(),
+            ));
+        }
     }
 }
 

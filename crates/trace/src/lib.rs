@@ -1,0 +1,38 @@
+//! End-to-end I/O tracing and unified metrics for the BypassD
+//! reproduction.
+//!
+//! BypassD's argument is a latency decomposition (paper §2 Fig. 3,
+//! §6 Fig. 11): every microsecond of a 4 KB access is attributed to
+//! software stack, address translation, or device time. This crate
+//! gives the reproduction the same lens:
+//!
+//! * [`Recorder`] — a lock-light, sharded ring-buffer flight recorder.
+//!   Each I/O is stamped as it crosses stages (UserLib submit, QoS
+//!   admission, IOMMU/ATS walk with hit level, channel wait, device
+//!   service, completion poll, user copy, kernel fallback). Default-off
+//!   costs one relaxed atomic load per stamp site, and recording never
+//!   advances simulated time, so traced runs are timing-identical.
+//! * [`MetricsRegistry`] — one typed interface (counters / gauges /
+//!   histograms) absorbing `DeviceStats`, IOMMU/ATC hit rates,
+//!   per-tenant QoS stats, and page-cache counters.
+//! * Exporters — [`chrome_trace`] JSON for chrome://tracing / Perfetto
+//!   and the [`Breakdown`] p50/p99 per-stage report, split by I/O path
+//!   (direct vs. fallback vs. revoked vs. kernel).
+//! * [`Histogram`] — the workspace's single log-bucketed histogram
+//!   (re-exported by `bypassd_qos`).
+//!
+//! Enable with `SystemBuilder::trace(TraceConfig::on())` or
+//! `BYPASSD_TRACE=1`; tune with `BYPASSD_TRACE_SAMPLE` /
+//! `BYPASSD_TRACE_RING`.
+
+pub mod export;
+pub mod hist;
+pub mod record;
+pub mod recorder;
+pub mod registry;
+
+pub use export::{chrome_trace, direct_read_check, write_chrome_trace, Breakdown, DirectReadCheck};
+pub use hist::Histogram;
+pub use record::{DeviceRecord, IoPath, OpRecord, Stage, TraceOp, WalkLevel};
+pub use recorder::{Recorder, RecorderCounts, TraceConfig};
+pub use registry::{Metric, MetricSource, MetricValue, MetricsRegistry};

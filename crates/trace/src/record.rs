@@ -1,0 +1,246 @@
+//! Trace record types: one fixed-size record per I/O at each of the two
+//! observation points (device submission path, process syscall layer).
+//!
+//! Records are plain `Copy` structs so the recorder's ring buffers never
+//! allocate on the hot path. Timestamps are virtual [`Nanos`]; stamping
+//! an I/O never advances simulated time, so a trace-enabled run is
+//! timing-identical to a trace-off run.
+
+use bypassd_sim::time::Nanos;
+
+/// How deep the address-translation machinery had to go for a command.
+///
+/// Ordered from cheapest to most expensive, mirroring the paper's Fig. 3
+/// translation breakdown: an ATC hit skips the PCIe ATS round trip
+/// entirely; an IOTLB hit pays only the IOMMU lookup; a PWC hit walks
+/// the final page-table level; a full walk misses every cache; a fault
+/// aborts the command and pushes the I/O onto the kernel fallback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WalkLevel {
+    /// Device-side ATS translation cache hit (no PCIe round trip).
+    AtcHit,
+    /// IOMMU IOTLB hit.
+    IotlbHit,
+    /// IOTLB miss, page-walk cache hit.
+    PwcHit,
+    /// Full page-table walk.
+    FullWalk,
+    /// Translation fault (revoked/unmapped FTE); command fails.
+    Fault,
+}
+
+impl WalkLevel {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalkLevel::AtcHit => "atc_hit",
+            WalkLevel::IotlbHit => "iotlb_hit",
+            WalkLevel::PwcHit => "pwc_hit",
+            WalkLevel::FullWalk => "full_walk",
+            WalkLevel::Fault => "fault",
+        }
+    }
+
+    /// All levels, in cost order.
+    pub const ALL: [WalkLevel; 5] = [
+        WalkLevel::AtcHit,
+        WalkLevel::IotlbHit,
+        WalkLevel::PwcHit,
+        WalkLevel::FullWalk,
+        WalkLevel::Fault,
+    ];
+}
+
+/// Which path an application-level operation ultimately took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoPath {
+    /// UserLib direct path: shadow doorbell to the device, no kernel.
+    Direct,
+    /// UserLib fell back to the kernel (unmapped extent, misaligned
+    /// span, page-cache requirement, or persistent fault).
+    Fallback,
+    /// The mapping was revoked mid-flight; the I/O completed through the
+    /// kernel after a `TranslationFault`.
+    Revoked,
+    /// A plain kernel syscall (no UserLib involved).
+    Kernel,
+}
+
+impl IoPath {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoPath::Direct => "direct",
+            IoPath::Fallback => "fallback",
+            IoPath::Revoked => "revoked",
+            IoPath::Kernel => "kernel",
+        }
+    }
+
+    /// All paths, in report order.
+    pub const ALL: [IoPath; 4] = [
+        IoPath::Direct,
+        IoPath::Fallback,
+        IoPath::Revoked,
+        IoPath::Kernel,
+    ];
+}
+
+/// Command kind as seen by the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// NVMe read.
+    Read,
+    /// NVMe write (including write-zeroes).
+    Write,
+    /// NVMe flush.
+    Flush,
+}
+
+impl TraceOp {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceOp::Read => "read",
+            TraceOp::Write => "write",
+            TraceOp::Flush => "flush",
+        }
+    }
+}
+
+/// A pipeline stage an I/O passes through. The taxonomy covers both
+/// observation points: `UserlibSubmit`/`CompletionPoll`/`UserCopy`/
+/// `KernelFallback` are stamped at the syscall layer, the rest inside
+/// the device submission path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// UserLib software overhead before the doorbell write.
+    UserlibSubmit,
+    /// QoS arbiter admission delay (pacing + rate-limit throttle).
+    QosAdmission,
+    /// IOMMU/ATS address translation (ATC, IOTLB, PWC, or full walk).
+    Translate,
+    /// Queueing delay waiting for media channels / bus slots.
+    ChannelWait,
+    /// Raw media + bus service time.
+    DeviceService,
+    /// Time the submitting thread spends waiting on the completion
+    /// queue (device span as seen from userspace).
+    CompletionPoll,
+    /// Copy between the DMA buffer and the caller's buffer.
+    UserCopy,
+    /// Time spent inside kernel syscalls (fallback or plain kernel I/O).
+    KernelFallback,
+}
+
+impl Stage {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::UserlibSubmit => "userlib_submit",
+            Stage::QosAdmission => "qos_admission",
+            Stage::Translate => "translate",
+            Stage::ChannelWait => "channel_wait",
+            Stage::DeviceService => "device_service",
+            Stage::CompletionPoll => "completion_poll",
+            Stage::UserCopy => "user_copy",
+            Stage::KernelFallback => "kernel_fallback",
+        }
+    }
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::UserlibSubmit,
+        Stage::QosAdmission,
+        Stage::Translate,
+        Stage::ChannelWait,
+        Stage::DeviceService,
+        Stage::CompletionPoll,
+        Stage::UserCopy,
+        Stage::KernelFallback,
+    ];
+}
+
+/// One NVMe command as decomposed by the device submission path.
+///
+/// Invariant (eager completion model): for a successful command,
+/// `complete - submit == qos_delay + translate + channel_wait +
+/// service`; the decomposition is exact, not sampled.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceRecord {
+    /// Submission queue the command arrived on.
+    pub queue: u32,
+    /// Tenant key: 0 for the kernel, `pasid + 1` for user queues.
+    pub tenant: u64,
+    /// Command kind.
+    pub op: TraceOp,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Virtual time the command hit the submission queue.
+    pub submit: Nanos,
+    /// QoS admission delay (zero when QoS is off).
+    pub qos_delay: Nanos,
+    /// Rate-limiter throttling applied.
+    pub throttled: bool,
+    /// Fair-share pacing deferred the command.
+    pub deferred: bool,
+    /// Translation depth, when the command carried a virtual address.
+    pub walk: Option<WalkLevel>,
+    /// Translation latency actually charged to the command.
+    pub translate: Nanos,
+    /// Queueing delay for media channels/bus beyond raw service.
+    pub channel_wait: Nanos,
+    /// Raw media + bus service time.
+    pub service: Nanos,
+    /// Virtual time the completion is ready to be polled.
+    pub complete: Nanos,
+    /// Whether the command completed successfully.
+    pub ok: bool,
+}
+
+/// One application-level I/O operation as seen at the syscall layer
+/// (UserLib `pread`/`pwrite` or kernel `sys_pread`/`sys_pwrite`).
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// Issuing process.
+    pub pid: u64,
+    /// Path the operation took.
+    pub path: IoPath,
+    /// Write (vs. read).
+    pub write: bool,
+    /// Bytes transferred (0 on error).
+    pub bytes: u64,
+    /// Virtual start time.
+    pub start: Nanos,
+    /// Virtual end time.
+    pub end: Nanos,
+    /// UserLib software overhead (submission bookkeeping).
+    pub userlib: Nanos,
+    /// Time spent waiting on device completions (all chunks).
+    pub device_span: Nanos,
+    /// DMA-buffer ↔ caller-buffer copy time.
+    pub user_copy: Nanos,
+    /// Time spent inside kernel syscalls.
+    pub kernel: Nanos,
+    /// Translation faults absorbed (retries + fallbacks).
+    pub faults: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Stage::ALL {
+            assert!(seen.insert(s.label()), "duplicate stage label");
+        }
+        for w in WalkLevel::ALL {
+            assert!(seen.insert(w.label()), "duplicate walk label");
+        }
+        for p in IoPath::ALL {
+            assert!(seen.insert(p.label()), "duplicate path label");
+        }
+    }
+}

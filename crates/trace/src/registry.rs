@@ -1,0 +1,231 @@
+//! The unified metrics registry.
+//!
+//! Before this crate, counters lived wherever they grew: `DeviceStats`
+//! on the device, hit/miss pairs inside the IOMMU, per-tenant QoS
+//! stats in the arbiter, page-cache counters in the kernel. The
+//! registry absorbs them behind one interface: each component
+//! implements [`MetricSource`] and registers under a prefix; a single
+//! [`MetricsRegistry::gather`] call produces a flat, typed snapshot
+//! (`device.reads`, `iommu.iotlb_hits`, `qos.tenant.5.bytes`, …).
+//!
+//! Sources are held as `Weak` references so the registry never extends
+//! component lifetimes and dead sources silently drop out.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::hist::Histogram;
+
+/// A typed metric value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Latency distribution.
+    Histo(Histogram),
+}
+
+/// A named metric sample.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Dotted name, e.g. `device.translation_faults`.
+    pub name: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A counter sample.
+    pub fn counter(name: impl Into<String>, value: u64) -> Metric {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// A gauge sample.
+    pub fn gauge(name: impl Into<String>, value: i64) -> Metric {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// A histogram sample.
+    pub fn histogram(name: impl Into<String>, value: Histogram) -> Metric {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Histo(value),
+        }
+    }
+}
+
+/// A component that can snapshot its counters into the registry.
+pub trait MetricSource: Send + Sync {
+    /// Appends this source's current metrics to `out`. Names are
+    /// relative; the registry prepends the registration prefix.
+    fn collect(&self, out: &mut Vec<Metric>);
+}
+
+enum SourceRef {
+    /// The registry does not extend the component's lifetime; the
+    /// source drops out when its last strong handle dies.
+    Weak(Weak<dyn MetricSource>),
+    /// An adapter the registry owns outright (adapters hold weak
+    /// handles internally, so this still extends no component
+    /// lifetime).
+    Owned(Box<dyn MetricSource>),
+}
+
+/// Registry of weakly-held metric sources.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<(String, SourceRef)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `source` under `prefix`. The registry keeps only a
+    /// weak reference.
+    pub fn register<S: MetricSource + 'static>(&self, prefix: &str, source: &Arc<S>) {
+        let dyn_arc: Arc<dyn MetricSource> = Arc::clone(source) as Arc<dyn MetricSource>;
+        self.sources.lock().push((
+            prefix.to_string(),
+            SourceRef::Weak(Arc::downgrade(&dyn_arc)),
+        ));
+    }
+
+    /// Registers an owned adapter under `prefix` — for components the
+    /// orphan rule keeps from implementing [`MetricSource`] directly
+    /// (e.g. `Mutex`-wrapped state). Adapters should capture weak
+    /// handles and emit nothing once their target is gone.
+    pub fn register_owned(&self, prefix: &str, source: Box<dyn MetricSource>) {
+        self.sources
+            .lock()
+            .push((prefix.to_string(), SourceRef::Owned(source)));
+    }
+
+    /// Snapshots all live sources, pruning dead weak ones. Names come
+    /// back prefixed (`<prefix>.<name>`) and sorted.
+    pub fn gather(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        let mut sources = self.sources.lock();
+        sources.retain(|(prefix, source)| {
+            let mut local = Vec::new();
+            match source {
+                SourceRef::Weak(weak) => match weak.upgrade() {
+                    Some(src) => src.collect(&mut local),
+                    None => return false,
+                },
+                SourceRef::Owned(src) => src.collect(&mut local),
+            }
+            for mut m in local {
+                m.name = format!("{prefix}.{}", m.name);
+                out.push(m);
+            }
+            true
+        });
+        drop(sources);
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Renders a human-readable snapshot table.
+    pub fn render(&self) -> String {
+        let metrics = self.gather();
+        let mut s = String::from("metric                                    value\n");
+        for m in &metrics {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    s.push_str(&format!("{:<41} {v}\n", m.name));
+                }
+                MetricValue::Gauge(v) => {
+                    s.push_str(&format!("{:<41} {v}\n", m.name));
+                }
+                MetricValue::Histo(h) => {
+                    s.push_str(&format!(
+                        "{:<41} n={} mean={}ns p50={}ns p99={}ns\n",
+                        m.name,
+                        h.count(),
+                        h.mean().as_nanos(),
+                        h.percentile(0.5).as_nanos(),
+                        h.percentile(0.99).as_nanos(),
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("sources", &self.sources.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+
+    impl MetricSource for Fixed {
+        fn collect(&self, out: &mut Vec<Metric>) {
+            out.push(Metric::counter("hits", self.0));
+            out.push(Metric::gauge("level", -3));
+        }
+    }
+
+    #[test]
+    fn gather_prefixes_and_sorts() {
+        let reg = MetricsRegistry::new();
+        let b = Arc::new(Fixed(2));
+        let a = Arc::new(Fixed(1));
+        reg.register("zeta", &b);
+        reg.register("alpha", &a);
+        let metrics = reg.gather();
+        assert_eq!(metrics.len(), 4);
+        assert_eq!(metrics[0].name, "alpha.hits");
+        assert!(matches!(metrics[0].value, MetricValue::Counter(1)));
+        assert_eq!(metrics[3].name, "zeta.level");
+    }
+
+    #[test]
+    fn dead_sources_are_pruned() {
+        let reg = MetricsRegistry::new();
+        let src = Arc::new(Fixed(9));
+        reg.register("gone", &src);
+        drop(src);
+        assert!(reg.gather().is_empty());
+        // Pruned, not just skipped.
+        assert_eq!(reg.sources.lock().len(), 0);
+    }
+
+    #[test]
+    fn render_includes_histograms() {
+        struct H;
+        impl MetricSource for H {
+            fn collect(&self, out: &mut Vec<Metric>) {
+                let mut h = Histogram::new();
+                h.record(bypassd_sim::time::Nanos(1000));
+                out.push(Metric::histogram("lat", h));
+            }
+        }
+        let reg = MetricsRegistry::new();
+        let src = Arc::new(H);
+        reg.register("x", &src);
+        let rendered = reg.render();
+        assert!(rendered.contains("x.lat"), "{rendered}");
+        assert!(rendered.contains("n=1"), "{rendered}");
+    }
+}

@@ -92,6 +92,24 @@ fn main() {
         stats.reads, stats.writes
     );
 
+    // With `BYPASSD_TRACE=1` the flight recorder was live the whole
+    // time: dump the per-stage latency attribution, a chrome://tracing
+    // artifact, and the unified metrics snapshot.
+    if system.recorder().on() {
+        let device = system.recorder().take_device();
+        let ops = system.recorder().take_ops();
+        println!("\n--- flight recorder (BYPASSD_TRACE=1) ---");
+        print!("{}", bypassd::Breakdown::build(&device, &ops).render());
+        let path = std::path::Path::new("target/trace/shared_ssd_trace.json");
+        bypassd::write_chrome_trace(path, &device, &ops).expect("write chrome trace");
+        println!(
+            "chrome trace: {} ({} events) — load at chrome://tracing or ui.perfetto.dev",
+            path.display(),
+            device.len() + ops.len()
+        );
+        print!("{}", system.metrics().render());
+    }
+
     noisy_neighbor_demo();
 }
 

@@ -8,9 +8,9 @@ use bypassd_ext4::layout::{DiskInode, Extent, Superblock, BLOCK_SIZE, SB_MAGIC};
 use bypassd_hw::pte::Pte;
 use bypassd_hw::types::{DevId, Lba, SECTORS_PER_PAGE};
 use bypassd_sim::rng::{Rng, Zipfian};
-use bypassd_sim::stats::Histogram;
 use bypassd_sim::time::Nanos;
 use bypassd_ssd::store::SectorStore;
+use bypassd_trace::Histogram;
 
 proptest! {
     /// FTE encode/decode roundtrips for every LBA/DevID/permission combo.

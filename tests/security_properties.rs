@@ -364,3 +364,109 @@ fn revocation_under_load_with_qos_throttling() {
     }
     assert!(saw_flooder, "flooder tenant missing from the snapshot");
 }
+
+#[test]
+fn revocation_is_fully_visible_in_the_trace() {
+    // Observability of the security mechanism (§3.6 + bypassd-trace):
+    // when the kernel revokes a file's direct mappings, the flight
+    // recorder must show (a) the in-flight command dying with a
+    // translation fault at the device, (b) the victim op re-routing
+    // through the kernel (path = revoked, kernel time > 0), and (c) no
+    // direct-path stamps from that process leaking after the
+    // revocation — every later op is kernel-path only.
+    let sys = System::builder()
+        .capacity(2 << 30)
+        .trace(bypassd::TraceConfig::on())
+        .build();
+    sys.fs().populate("/secret", 1 << 20, 0x3C).unwrap();
+    let revoke_at = Nanos(400_000);
+
+    let sim = Simulation::new();
+    let pid_cell = Arc::new(parking_lot::Mutex::new(0u64));
+    let s = sys.clone();
+    let pc = Arc::clone(&pid_cell);
+    sim.spawn("reader", move |ctx| {
+        let proc = UserProcess::start(&s, 1000, 1000);
+        *pc.lock() = proc.pid();
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/secret", false).unwrap();
+        let mut buf = vec![0u8; 4096];
+        for i in 0..200u64 {
+            let off = (i % 256) * 4096;
+            let n = t.pread(ctx, fd, &mut buf, off).unwrap();
+            assert_eq!(n, 4096);
+            // Data stays correct across the transparent fallback.
+            assert!(buf.iter().all(|&b| b == 0x3C), "corrupt read at op {i}");
+        }
+        assert!(t.is_fallback(fd), "revocation never reached the reader");
+        t.close(ctx, fd).unwrap();
+    });
+    let s = sys.clone();
+    sim.spawn_at(revoke_at, "revoker", move |_ctx| {
+        let revoked = s.kernel().revoke_path("/secret").unwrap();
+        assert!(!revoked.is_empty(), "revocation found no direct openers");
+    });
+    sim.run();
+
+    use bypassd_trace::{IoPath, WalkLevel};
+    let pid = *pid_cell.lock();
+    let tenant = u64::from(sys.kernel().pasid_of(pid).0) + 1;
+    let device = sys.recorder().take_device();
+    let ops = sys.recorder().take_ops();
+
+    // (a) The revoked mapping's in-flight command faulted at the device.
+    let faults: Vec<_> = device
+        .iter()
+        .filter(|r| r.tenant == tenant && r.walk == Some(WalkLevel::Fault))
+        .collect();
+    assert!(!faults.is_empty(), "revocation fault never traced");
+    assert!(
+        faults.iter().all(|r| !r.ok),
+        "a faulted command must not complete ok"
+    );
+    let fault_at = faults.iter().map(|r| r.submit).min().unwrap();
+    assert!(
+        fault_at >= revoke_at,
+        "fault traced before the revocation: {fault_at} < {revoke_at}"
+    );
+
+    // (b) Exactly one op caught the revocation mid-flight and shows the
+    // kernel completing it.
+    let revoked_ops: Vec<_> = ops
+        .iter()
+        .filter(|r| r.pid == pid && r.path == IoPath::Revoked)
+        .collect();
+    assert_eq!(revoked_ops.len(), 1, "expected exactly one revoked op");
+    let caught = revoked_ops[0];
+    assert!(caught.faults >= 1, "revoked op lost its fault count");
+    assert!(
+        caught.kernel > Nanos::ZERO,
+        "revoked op shows no kernel-fallback time"
+    );
+
+    // (c) Direct-path traffic existed before the revocation and none
+    // leaked after it: no later direct op records from this process, no
+    // later user-tenant commands on its queue.
+    assert!(
+        ops.iter()
+            .any(|r| r.pid == pid && r.path == IoPath::Direct && r.start < revoke_at),
+        "no direct traffic before the revocation — test is vacuous"
+    );
+    for op in ops
+        .iter()
+        .filter(|r| r.pid == pid && r.start > caught.start)
+    {
+        assert_ne!(
+            op.path,
+            IoPath::Direct,
+            "direct-path op record leaked after revocation at {}",
+            op.start
+        );
+    }
+    assert!(
+        !device
+            .iter()
+            .any(|r| r.tenant == tenant && r.submit > fault_at),
+        "user-queue command traced after the revocation fault"
+    );
+}

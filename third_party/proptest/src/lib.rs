@@ -237,6 +237,7 @@ mod tests {
         }
 
         #[test]
+        #[allow(clippy::overly_complex_bool_expr)]
         fn shorthand_and_vec(flag: bool, v in prop::collection::vec(0u64..10, 1..4)) {
             prop_assert!(flag || !flag);
             prop_assert!(!v.is_empty() && v.len() < 4);
