@@ -124,7 +124,7 @@ impl StorageBackend for LibaioBackend {
             }],
         )?;
         let ev = self.kernel.io_getevents(ctx, aio, 1, 1);
-        Ok(ev.first().map(|e| e.len).unwrap_or(0))
+        Ok(ev.first().map_or(0, |e| e.len))
     }
 
     fn fsync(&mut self, ctx: &mut ActorCtx, h: Handle) -> SysResult<()> {

@@ -30,8 +30,8 @@ fn bench_page_walk(c: &mut Criterion) {
     c.bench_function("page_table_walk", |b| {
         b.iter(|| {
             i = (i + 1) % 512;
-            black_box(walk_raw(&mem, root, VirtAddr(0x4000_0000 + i * PAGE_SIZE)))
-        })
+            black_box(walk_raw(&mem, root, VirtAddr(0x4000_0000 + i * PAGE_SIZE)));
+        });
     });
 }
 
@@ -61,8 +61,8 @@ fn bench_iommu_translate(c: &mut Criterion) {
                         DevId(1),
                     )
                     .unwrap(),
-            )
-        })
+            );
+        });
     });
 }
 
@@ -79,8 +79,8 @@ fn bench_extent_resolve(c: &mut Criterion) {
     c.bench_function("extent_resolve_16k", |b| {
         b.iter(|| {
             i = (i + 13) % 3900;
-            black_box(tree.resolve_bytes(i * 4096, 16 * 1024))
-        })
+            black_box(tree.resolve_bytes(i * 4096, 16 * 1024));
+        });
     });
 }
 
@@ -90,8 +90,8 @@ fn bench_allocator(c: &mut Criterion) {
         b.iter(|| {
             let run = a.alloc(64).unwrap();
             a.free_run(run.start, run.len);
-            black_box(run)
-        })
+            black_box(run);
+        });
     });
 }
 
@@ -102,7 +102,7 @@ fn bench_histogram(c: &mut Criterion) {
         b.iter(|| {
             v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
             h.record(Nanos(v % 100_000_000));
-        })
+        });
     });
 }
 
@@ -110,7 +110,9 @@ fn bench_zipfian(c: &mut Criterion) {
     let z = Zipfian::new(1_000_000_000, 0.99);
     let mut rng = Rng::new(7);
     c.bench_function("zipfian_sample_1e9", |b| {
-        b.iter(|| black_box(z.next(&mut rng)))
+        b.iter(|| {
+            black_box(z.next(&mut rng));
+        });
     });
 }
 

@@ -24,9 +24,7 @@ use bypassd_trace::Histogram;
 
 /// True when `BYPASSD_BENCH=full`.
 pub fn full_mode() -> bool {
-    std::env::var("BYPASSD_BENCH")
-        .map(|v| v == "full")
-        .unwrap_or(false)
+    std::env::var("BYPASSD_BENCH").is_ok_and(|v| v == "full")
 }
 
 /// Scales an op count by mode.

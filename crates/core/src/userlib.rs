@@ -247,6 +247,7 @@ impl UserProcess {
     /// (direct I/Os, kernel-fallback I/Os) completed so far.
     pub fn op_counts(&self) -> (u64, u64) {
         (
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             self.direct_ops.load(Ordering::Relaxed),
             self.fallback_ops.load(Ordering::Relaxed),
         )
@@ -274,10 +275,12 @@ impl bypassd_trace::MetricSource for UserProcess {
         use bypassd_trace::Metric;
         out.push(Metric::counter(
             "direct_ops",
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             self.direct_ops.load(Ordering::Relaxed),
         ));
         out.push(Metric::counter(
             "fallback_ops",
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             self.fallback_ops.load(Ordering::Relaxed),
         ));
         out.push(Metric::gauge("open_files", self.files.read().len() as i64));
@@ -567,6 +570,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
+        // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
         self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
         scratch.fall_back();
         let kernel = Arc::clone(self.kernel());
@@ -585,6 +589,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
+        // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
         self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
         scratch.fall_back();
         let kernel = Arc::clone(self.kernel());
@@ -680,6 +685,7 @@ impl UserThread {
                 }
             }
             if ok {
+                // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 // Read-after-write consistency for non-blocking writes:
                 // overlay any unconfirmed data (§5.1).
@@ -792,6 +798,7 @@ impl UserThread {
                 }
             }
             if ok {
+                // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 return Ok(data.len());
             }
@@ -847,6 +854,7 @@ impl UserThread {
                         s.size = s.size.max(end);
                         s.size_dirty = true;
                     }
+                    // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
                     self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                     return Ok(data.len());
                 }
@@ -874,6 +882,7 @@ impl UserThread {
                 s.size = s.size.max(end);
                 s.prealloc_end = s.prealloc_end.max(s.size);
             }
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
             return self.pwrite_inner(ctx, fd, data, offset, scratch);
         } else if aligned_tail
@@ -898,6 +907,7 @@ impl UserThread {
             s.size = s.size.max(end);
             s.prealloc_end = s.prealloc_end.max(s.size);
         }
+        // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
         self.proc.fallback_ops.fetch_add(1, Ordering::Relaxed);
         Ok(n)
     }
@@ -961,6 +971,7 @@ impl UserThread {
         // Write back.
         match self.direct_io(ctx, fd, entry, vba.offset(start), span, true, scratch)? {
             DirectIo::Done => {
+                // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 Ok(data.len())
             }
@@ -1093,6 +1104,7 @@ impl UserThread {
             data: data.to_vec(),
             ready,
         });
+        // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
         self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
         Ok(data.len())
     }
@@ -1121,10 +1133,7 @@ impl UserThread {
 
     /// Outstanding non-blocking writes on `fd`.
     pub fn pending_write_count(&self, fd: Fd) -> usize {
-        self.proc
-            .entry(fd)
-            .map(|e| e.pending.lock().len())
-            .unwrap_or(0)
+        self.proc.entry(fd).map_or(0, |e| e.pending.lock().len())
     }
 
     /// Drops completed entries from the pending-write overlay (called by
@@ -1218,9 +1227,6 @@ impl UserThread {
 
     /// True if this fd has fallen back to the kernel interface.
     pub fn is_fallback(&self, fd: Fd) -> bool {
-        self.proc
-            .entry(fd)
-            .map(|e| e.state.lock().fallback)
-            .unwrap_or(false)
+        self.proc.entry(fd).is_ok_and(|e| e.state.lock().fallback)
     }
 }

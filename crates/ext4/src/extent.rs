@@ -55,7 +55,7 @@ impl ExtentTree {
 
     /// One past the last mapped file block.
     pub fn end_block(&self) -> u64 {
-        self.map.values().next_back().map(|e| e.end()).unwrap_or(0)
+        self.map.values().next_back().map_or(0, |e| e.end())
     }
 
     /// Inserts an extent, merging with a physically-contiguous

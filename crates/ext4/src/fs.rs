@@ -755,8 +755,7 @@ impl Ext4 {
                 .unwrap()
                 .extents
                 .as_ref()
-                .map(|t| t.iter().map(|e| e.len as u64).sum())
-                .unwrap_or(0)
+                .map_or(0, |t| t.iter().map(|e| e.len as u64).sum())
         };
         let d = &inner.icache.get(&ino.0).unwrap().disk;
         Ok(Stat {
@@ -903,8 +902,7 @@ impl Ext4 {
                 .unwrap()
                 .range(fb, last_fb + 1)
                 .first()
-                .map(|e| e.file_block)
-                .unwrap_or(last_fb + 1);
+                .map_or(last_fb + 1, |e| e.file_block);
             let want = next_mapped - fb;
             let run = inner.alloc.alloc(want).ok_or(Ext4Error::NoSpace)?;
             inner

@@ -1,0 +1,247 @@
+//! `lint.toml` parsing: scan roots, per-rule path exemptions and the
+//! allowlist. The build environment has no crates.io access (no `serde`
+//! / `toml`), so this module parses the small TOML subset the config
+//! actually uses: `[section]` tables, `[[allow]]` array-of-tables, and
+//! `key = "string" | ["array", "of", "strings"]` pairs.
+
+use std::path::Path;
+
+/// One allowlist entry. An entry suppresses a diagnostic when the rule
+/// matches, the diagnostic's path starts with `path`, and — if given —
+/// the flagged source line contains `pattern` (for R2, `pattern` matches
+/// the `from -> to` edge label instead). `reason` is mandatory: the
+/// allowlist is documentation, not an escape hatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub pattern: Option<String>,
+    pub reason: String,
+    /// Populated by the engine: entries that never fired are reported,
+    /// so the allowlist cannot silently rot.
+    pub line_no: usize,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to scan.
+    pub scan_roots: Vec<String>,
+    /// Path substrings to skip entirely (fixtures, target, ...).
+    pub skip: Vec<String>,
+    /// Per-rule path-prefix exemptions, e.g. R1 → `crates/bench/`.
+    pub exempt: Vec<(String, String)>,
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Built-in defaults used when `lint.toml` is missing (fixture tests
+    /// run the rules directly and don't need one).
+    pub fn default_roots() -> Config {
+        Config {
+            scan_roots: vec![
+                "crates".to_string(),
+                "tests".to_string(),
+                "examples".to_string(),
+            ],
+            skip: vec!["/fixtures/".to_string(), "/target/".to_string()],
+            exempt: Vec::new(),
+            allow: Vec::new(),
+        }
+    }
+
+    /// True when `rule` is exempt for `path` by a config `exempt` prefix.
+    pub fn is_exempt(&self, rule: &str, path: &str) -> bool {
+        self.exempt
+            .iter()
+            .any(|(r, prefix)| r == rule && path.starts_with(prefix.as_str()))
+    }
+
+    /// Loads `lint.toml` from `root`, falling back to defaults.
+    pub fn load(root: &Path) -> Result<Config, String> {
+        let path = root.join("lint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text),
+            Err(_) => Ok(Config::default_roots()),
+        }
+    }
+}
+
+/// Parses the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config {
+        scan_roots: Vec::new(),
+        skip: Vec::new(),
+        exempt: Vec::new(),
+        allow: Vec::new(),
+    };
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Lint,
+        Allow,
+        Other,
+    }
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            cfg.allow.push(AllowEntry {
+                line_no,
+                ..Default::default()
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = if name == "lint" {
+                Section::Lint
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint.toml:{line_no}: expected `key = value`"))?;
+        let key = key.trim();
+        let value = value.trim();
+        match section {
+            Section::Lint => match key {
+                "scan_roots" => cfg.scan_roots = parse_string_array(value, line_no)?,
+                "skip" => cfg.skip = parse_string_array(value, line_no)?,
+                "exempt" => {
+                    // exempt = ["R1:crates/bench/", ...]
+                    for item in parse_string_array(value, line_no)? {
+                        let (rule, prefix) = item.split_once(':').ok_or_else(|| {
+                            format!("lint.toml:{line_no}: exempt items are `RULE:path-prefix`")
+                        })?;
+                        cfg.exempt.push((rule.to_string(), prefix.to_string()));
+                    }
+                }
+                _ => return Err(format!("lint.toml:{line_no}: unknown [lint] key `{key}`")),
+            },
+            Section::Allow => {
+                let entry = cfg
+                    .allow
+                    .last_mut()
+                    .expect("section Allow implies an entry");
+                match key {
+                    "rule" => entry.rule = parse_string(value, line_no)?,
+                    "path" => entry.path = parse_string(value, line_no)?,
+                    "pattern" => entry.pattern = Some(parse_string(value, line_no)?),
+                    "reason" => entry.reason = parse_string(value, line_no)?,
+                    _ => {
+                        return Err(format!(
+                            "lint.toml:{line_no}: unknown [[allow]] key `{key}`"
+                        ))
+                    }
+                }
+            }
+            Section::None | Section::Other => {
+                return Err(format!(
+                    "lint.toml:{line_no}: key `{key}` outside a recognized section"
+                ))
+            }
+        }
+    }
+
+    if cfg.scan_roots.is_empty() {
+        cfg.scan_roots = Config::default_roots().scan_roots;
+    }
+    if cfg.skip.is_empty() {
+        cfg.skip = Config::default_roots().skip;
+    }
+    for entry in &cfg.allow {
+        if entry.rule.is_empty() || entry.reason.is_empty() {
+            return Err(format!(
+                "lint.toml:{}: [[allow]] entries need both `rule` and `reason`",
+                entry.line_no
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside a quoted string starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("lint.toml:{line_no}: expected a quoted string, got `{value}`"))
+}
+
+fn parse_string_array(value: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml:{line_no}: expected `[\"a\", \"b\"]`, got `{value}`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, line_no))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+            # workspace lint configuration
+            [lint]
+            scan_roots = ["crates", "tests"]
+            skip = ["/fixtures/"]
+            exempt = ["R1:crates/bench/"]
+
+            [[allow]]
+            rule = "R2"
+            path = "crates/kv/src/btree.rs"
+            pattern = "node -> node"
+            reason = "hand-over-hand locking, ordered by depth"
+        "#;
+        let cfg = parse(text).unwrap();
+        assert_eq!(cfg.scan_roots, vec!["crates", "tests"]);
+        assert_eq!(
+            cfg.exempt,
+            vec![("R1".to_string(), "crates/bench/".to_string())]
+        );
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].rule, "R2");
+        assert_eq!(cfg.allow[0].pattern.as_deref(), Some("node -> node"));
+        assert!(cfg.is_exempt("R1", "crates/bench/benches/fig5.rs"));
+        assert!(!cfg.is_exempt("R1", "crates/core/src/userlib.rs"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let text = "[[allow]]\nrule = \"R1\"\npath = \"x\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(parse("[lint]\nbogus = \"x\"\n").is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! A minimal Rust lexer sufficient for the workspace lint rules.
+//!
+//! The build environment has no crates.io access, so `syn` is not
+//! available; this scanner produces the small token stream the rules in
+//! [`crate::rules`] need: identifiers, punctuation, bracket structure and
+//! per-line comment text. String/char/raw-string literals are consumed
+//! (so their contents can never fake a match) and numeric literals are
+//! skipped. Nested block comments and raw strings with `#` fences are
+//! handled; anything fancier (macros are scanned as plain tokens) is out
+//! of scope for the rules we enforce.
+
+use std::collections::HashMap;
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// The token categories the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `lock`, ...).
+    Ident(String),
+    /// Lifetime such as `'a` (kept distinct so it never looks like an ident).
+    Lifetime(String),
+    /// A single punctuation character (`.`, `:`, `;`, `#`, `=`, ...).
+    Punct(char),
+    /// `(`, `[` or `{`.
+    Open(char),
+    /// `)`, `]` or `}`.
+    Close(char),
+    /// A string/char/byte literal (contents dropped).
+    Literal,
+}
+
+/// Lexer output: the token stream plus a map from line number to the
+/// comment text present on that line (line comments and the first line of
+/// block comments; multi-line block comments contribute to every line
+/// they span so "comment on the same line" checks behave intuitively).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: HashMap<usize, String>,
+}
+
+impl Lexed {
+    /// True when `line` carries a comment containing `needle`.
+    pub fn comment_on_line_contains(&self, line: usize, needle: &str) -> bool {
+        self.comments.get(&line).is_some_and(|c| c.contains(needle))
+    }
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes are skipped, which is
+/// fine for linting (rules only ever assert on token sequences that *do*
+/// appear).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): record text, eat to EOL.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.comments.entry(line).or_default().push_str(text);
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested; attribute its text to
+                // every line it spans.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i.min(src.len())];
+                for l in start_line..=line {
+                    out.comments.entry(l).or_default().push_str(text);
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                push!(TokenKind::Literal);
+            }
+            'r' | 'b' | 'c' if starts_string_prefix(bytes, i) => {
+                i = skip_prefixed_string(bytes, i, &mut line);
+                push!(TokenKind::Literal);
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'ident` NOT
+                // followed by a closing quote.
+                let (next, kind) = lex_quote(src, bytes, i, &mut line);
+                i = next;
+                push!(kind);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push!(TokenKind::Ident(src[start..i].to_string()));
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: consume digits and any alphanumeric
+                // suffix/exponent chars plus `.` in floats. `1.method()`
+                // can't appear on the paths we lint, so greedily eating a
+                // single trailing `.` followed by a digit is safe.
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    let float_dot = b == '.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| (*n as char).is_ascii_digit());
+                    if b.is_ascii_alphanumeric() || b == '_' || float_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Literal);
+            }
+            '(' | '[' | '{' => {
+                push!(TokenKind::Open(c));
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                push!(TokenKind::Close(c));
+                i += 1;
+            }
+            _ => {
+                push!(TokenKind::Punct(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // r" r#" b" br" b' c" etc. — any of r/b/c immediately introducing a
+    // (possibly fenced) string or byte literal.
+    let mut j = i;
+    while j < bytes.len() && matches!(bytes[j], b'r' | b'b' | b'c') && j - i < 3 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < bytes.len() && bytes[k] == b'#' {
+        k += 1;
+    }
+    k < bytes.len() && (bytes[k] == b'"' || (j > i && bytes[j - 1] == b'b' && bytes[k] == b'\''))
+}
+
+fn skip_prefixed_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    while i < bytes.len() && matches!(bytes[i], b'r' | b'b' | b'c') {
+        raw |= bytes[i] == b'r';
+        i += 1;
+    }
+    let mut fences = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        fences += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        // b'x' byte char
+        return skip_char(bytes, i, line);
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i;
+    }
+    i += 1;
+    if raw || fences > 0 {
+        // Raw string: ends at `"` followed by `fences` hashes; no escapes.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            if bytes[i] == b'"'
+                && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= fences
+            {
+                return i + 1 + fences;
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(bytes, i - 1, line)
+    }
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char(bytes: &[u8], mut i: usize, _line: &mut usize) -> usize {
+    debug_assert_eq!(bytes[i], b'\'');
+    i += 1;
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+fn lex_quote(src: &str, bytes: &[u8], i: usize, line: &mut usize) -> (usize, TokenKind) {
+    // `'a` lifetime vs `'a'`/`'\n'`/`'"'` char. Only identifier-ish
+    // characters can start a lifetime; anything else after the quote is a
+    // char literal, which must be consumed so its payload (possibly a `"`)
+    // never desyncs string scanning.
+    let mut j = i + 1;
+    if j < bytes.len() && bytes[j] == b'\\' {
+        return (skip_char(bytes, i, line), TokenKind::Literal);
+    }
+    if j < bytes.len() && !((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
+        // Char literal with a non-identifier payload (`'"'`, `'('`, `'é'`,
+        // ...): scan to the closing quote (chars are short; bound the scan).
+        while j < bytes.len() && bytes[j] != b'\'' && j - i < 8 {
+            if bytes[j] == b'\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        return ((j + 1).min(bytes.len()), TokenKind::Literal);
+    }
+    while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        (j + 1, TokenKind::Literal)
+    } else {
+        (j, TokenKind::Lifetime(src[i..j].to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_idents() {
+        let src = r##"
+            // Instant::now in a comment
+            let s = "Instant::now in a string";
+            let r = r#"thread::sleep raw"#;
+            /* block SystemTime */
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comment_text_is_recorded_per_line() {
+        let src = "let a = 1; // ordering: counter only\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed.comment_on_line_contains(1, "ordering:"));
+        assert!(!lexed.comment_on_line_contains(2, "ordering:"));
+    }
+
+    #[test]
+    fn multiline_block_comment_covers_all_lines() {
+        let src = "/* ordering:\n spans\n lines */ x";
+        let lexed = lex(src);
+        for l in 1..=3 {
+            assert!(lexed.comment_on_line_contains(l, "ordering:"), "line {l}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) {}").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime("'a".into())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"one\ntwo\";\nInstant";
+        let lexed = lex(src);
+        let inst = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("Instant".into()))
+            .unwrap();
+        assert_eq!(inst.line, 3);
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_desync_strings() {
+        // A `'"'` char literal must not open a string: everything after
+        // it would flip between code and string context.
+        let src = "match c { '\"' => f(), _ => g() } let s = \"SystemTime\"; real";
+        let ids = idents(src);
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* a /* b */ c */ real");
+        assert_eq!(ids, vec!["real".to_string()]);
+    }
+}

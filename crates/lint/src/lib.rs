@@ -1,0 +1,181 @@
+//! `bypassd-lint`: the workspace invariant checker behind
+//! `cargo xtask lint`.
+//!
+//! BypassD's safety story rests on properties the compiler cannot see:
+//! the simulator's virtual clock must stay deterministic (bit-identical
+//! traces), the lock-light hot paths must be deadlock-free, and every
+//! weakened atomic ordering must be justified. This crate enforces them
+//! as machine-checked rules with `file:line` diagnostics:
+//!
+//! | rule | property | scope |
+//! |------|----------|-------|
+//! | R1 | virtual-time determinism (no wall clock / OS randomness) | all scanned files, minus `lint.toml` exemptions |
+//! | R2 | lock-order discipline (no acquisition-graph cycles) | `crates/*/src` |
+//! | R3 | atomic-ordering justification (`// ordering:` comments) | `crates/*/src`, non-test code |
+//! | R4 | no `.unwrap()` on lock results (poisoning policy) | `crates/*/src`, non-test code |
+//!
+//! Exemptions live in `lint.toml` at the workspace root; every entry
+//! carries a mandatory `reason`, so the allowlist doubles as the audit
+//! log of every place the rules are deliberately bent. Unused entries
+//! are reported so the file cannot rot.
+//!
+//! `syn` is unavailable offline, so the pass runs on a purpose-built
+//! lexer ([`lexer`]) plus a light structural model ([`model`]) — see
+//! DESIGN.md §11 for the trade-offs.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lockgraph;
+pub mod model;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use diag::Diagnostic;
+use lockgraph::LockGraph;
+use rules::SourceFile;
+
+/// Outcome of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that fail the run.
+    pub active: Vec<Diagnostic>,
+    /// Diagnostics suppressed by `lint.toml` (entry line attached).
+    pub suppressed: Vec<(Diagnostic, usize)>,
+    /// Allow entries that never matched anything.
+    pub unused_allows: Vec<config::AllowEntry>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean.
+    pub fn ok(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+/// Lints the workspace rooted at `root` (the directory holding
+/// `lint.toml` and `Cargo.toml`).
+pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
+    let cfg = Config::load(root)?;
+    let files = collect_files(root, &cfg)?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut graph = LockGraph::default();
+    let mut n = 0;
+
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        let file = SourceFile::new(rel, &text);
+        n += 1;
+
+        if !cfg.is_exempt("R1", rel) {
+            diags.extend(rules::r1(&file));
+        }
+        if let Some(crate_name) = library_crate(rel) {
+            if !cfg.is_exempt("R2", rel) {
+                graph.scan_file(&file, crate_name);
+            }
+            if !cfg.is_exempt("R3", rel) {
+                diags.extend(rules::r3(&file));
+            }
+            if !cfg.is_exempt("R4", rel) {
+                diags.extend(rules::r4(&file));
+            }
+        }
+    }
+
+    // R2: apply edge allowlist entries to the graph, then look for cycles.
+    let mut r2_used = vec![false; cfg.allow.len()];
+    for (i, entry) in cfg.allow.iter().enumerate() {
+        if entry.rule == "R2" {
+            if let Some(pattern) = &entry.pattern {
+                r2_used[i] = graph.allow_edge(pattern, &entry.path);
+            }
+        }
+    }
+    diags.extend(graph.cycles());
+
+    let mut filtered = diag::filter(diags, &cfg);
+    filtered
+        .unused_allows
+        .retain(|e| !cfg.allow.iter().zip(&r2_used).any(|(o, u)| *u && o == e));
+
+    Ok(LintReport {
+        active: filtered.active,
+        suppressed: filtered.suppressed,
+        unused_allows: filtered.unused_allows,
+        files_scanned: n,
+    })
+}
+
+/// `crates/<name>/src/...` → `<name>` with any `bypassd-` prefix dropped;
+/// everything else (tests, benches, examples) is not library code.
+fn library_crate(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    if tail.starts_with("src/") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// All `.rs` files under the configured scan roots, workspace-relative
+/// with `/` separators, sorted for deterministic output.
+fn collect_files(root: &Path, cfg: &Config) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for sr in &cfg.scan_roots {
+        let dir = root.join(sr);
+        if dir.is_dir() {
+            visit(&dir, root, cfg, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path: PathBuf = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg
+            .skip
+            .iter()
+            .any(|s| format!("/{rel}/").contains(s.as_str()))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            visit(&path, root, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_crate_classifies_paths() {
+        assert_eq!(library_crate("crates/qos/src/arbiter.rs"), Some("qos"));
+        assert_eq!(library_crate("crates/qos/tests/t.rs"), None);
+        assert_eq!(library_crate("tests/end_to_end.rs"), None);
+        assert_eq!(library_crate("examples/quickstart.rs"), None);
+        assert_eq!(library_crate("crates/bench/benches/fig5.rs"), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! A light structural view over the token stream: bracket depths,
+//! `#[cfg(test)]` / `#[test]` regions, and function spans. This is the
+//! shared substrate the per-rule passes walk.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Token-index span (half-open) of a `{ ... }` block, inclusive of the
+/// braces themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+/// One `fn` item: its name and the token span of its body block.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    pub body: Span,
+    pub line: usize,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug)]
+pub struct FileModel {
+    pub lexed: Lexed,
+    /// Brace/bracket/paren depth *before* each token.
+    pub depth: Vec<usize>,
+    /// Spans of test-only code (`#[cfg(test)]` items, `#[test]` fns).
+    pub test_regions: Vec<Span>,
+    /// Every function body, in source order (nested fns both appear).
+    pub functions: Vec<Function>,
+}
+
+impl FileModel {
+    pub fn build(lexed: Lexed) -> FileModel {
+        let toks = &lexed.tokens;
+        let depth = depths(toks);
+        let test_regions = find_test_regions(toks);
+        let functions = find_functions(toks);
+        FileModel {
+            lexed,
+            depth,
+            test_regions,
+            functions,
+        }
+    }
+
+    /// True when token `idx` lies inside test-only code.
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(idx))
+    }
+}
+
+fn depths(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut d = 0usize;
+    for t in toks {
+        match t.kind {
+            TokenKind::Open(_) => {
+                out.push(d);
+                d += 1;
+            }
+            TokenKind::Close(_) => {
+                d = d.saturating_sub(1);
+                out.push(d);
+            }
+            _ => out.push(d),
+        }
+    }
+    out
+}
+
+/// Finds the matching close for the open bracket at `open`, returning the
+/// index one past it.
+pub fn matching_close(toks: &[Token], open: usize) -> usize {
+    let mut d = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Open(_) => d += 1,
+            TokenKind::Close(_) => {
+                d -= 1;
+                if d == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Is `toks[i..]` the start of an attribute whose contents mark test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[tokio::test]`)?
+/// Returns the index one past the closing `]` when it is.
+fn test_attr_end(toks: &[Token], i: usize) -> Option<usize> {
+    if toks[i].kind != TokenKind::Punct('#') {
+        return None;
+    }
+    let open = i + 1;
+    if toks.get(open).map(|t| &t.kind) != Some(&TokenKind::Open('[')) {
+        return None;
+    }
+    let end = matching_close(toks, open);
+    // `#[test]` alone, or `test` appearing inside a cfg list, marks test
+    // code; `#[cfg(not(test))]` is decidedly NOT test code.
+    let mut is_test = false;
+    for t in &toks[open..end] {
+        if let TokenKind::Ident(s) = &t.kind {
+            match s.as_str() {
+                "test" => is_test = true,
+                "not" => return None,
+                _ => {}
+            }
+        }
+    }
+    if is_test {
+        Some(end)
+    } else {
+        None
+    }
+}
+
+fn find_test_regions(toks: &[Token]) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(mut after) = test_attr_end(toks, i) {
+            // Skip any further attributes stacked on the same item.
+            while after < toks.len() && toks[after].kind == TokenKind::Punct('#') {
+                let open = after + 1;
+                if toks.get(open).map(|t| &t.kind) == Some(&TokenKind::Open('[')) {
+                    after = matching_close(toks, open);
+                } else {
+                    break;
+                }
+            }
+            // The item's body is the next top-level `{ ... }` before a `;`
+            // (a `#[cfg(test)] use ...;` has no body — skip it).
+            let mut j = after;
+            let mut found = None;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokenKind::Open('{') => {
+                        found = Some(Span {
+                            start: i,
+                            end: matching_close(toks, j),
+                        });
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    TokenKind::Open(_) => j = matching_close(toks, j),
+                    _ => j += 1,
+                }
+            }
+            if let Some(span) = found {
+                i = span.end;
+                out.push(span);
+                continue;
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn find_functions(toks: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident("fn".into()) {
+            if let Some(TokenKind::Ident(name)) = toks.get(i + 1).map(|t| t.kind.clone()) {
+                // Find the body `{`, skipping the parameter list, return
+                // type and where clause. A `;` first means a trait method
+                // declaration — no body.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokenKind::Open('{') => {
+                            body = Some(Span {
+                                start: j,
+                                end: matching_close(toks, j),
+                            });
+                            break;
+                        }
+                        TokenKind::Punct(';') => break,
+                        TokenKind::Open(_) => j = matching_close(toks, j),
+                        _ => j += 1,
+                    }
+                }
+                if let Some(body) = body {
+                    out.push(Function {
+                        name,
+                        body,
+                        line: toks[i].line,
+                    });
+                    // Continue *inside* the body too so nested fns and
+                    // closures' locks are attributed (to the outer fn is
+                    // fine; nested fns also get their own entry).
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = r#"
+            fn prod() { work(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { check(); }
+            }
+        "#;
+        let m = model(src);
+        assert_eq!(m.test_regions.len(), 1);
+        let work = m
+            .lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident("work".into()))
+            .unwrap();
+        let check = m
+            .lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident("check".into()))
+            .unwrap();
+        assert!(!m.in_test_code(work));
+        assert!(m.in_test_code(check));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let m = model("#[cfg(not(test))] mod prod { fn f() { x(); } }");
+        assert!(m.test_regions.is_empty());
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let m = model("#[test]\n#[ignore]\nfn t() { y(); }");
+        assert_eq!(m.test_regions.len(), 1);
+    }
+
+    #[test]
+    fn functions_found_with_generics_and_where() {
+        let src = "fn f<T: Clone>(x: T) -> Vec<T> where T: Send { body() }";
+        let m = model(src);
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "f");
+    }
+
+    #[test]
+    fn trait_method_decl_has_no_body() {
+        let m = model("trait T { fn a(&self); fn b(&self) { real(); } }");
+        let names: Vec<_> = m.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

@@ -1,0 +1,10 @@
+// R1 fixture (positive): wall-clock and OS randomness in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u128 {
+    let start = Instant::now(); // line 5: Instant::now
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 6: thread::sleep
+    let _stamp = SystemTime::now(); // line 7: SystemTime
+    let _r = rand::thread_rng(); // line 8: thread_rng
+    start.elapsed().as_nanos()
+}

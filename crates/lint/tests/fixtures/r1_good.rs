@@ -1,0 +1,14 @@
+// R1 fixture (negative): virtual time and seeded randomness only.
+use bypassd_sim::rng::Rng;
+use bypassd_sim::time::Nanos;
+
+pub fn measure(ctx: &mut ActorCtx) -> Nanos {
+    let start = ctx.now();
+    ctx.delay(Nanos(500));
+    // Mentioning Instant::now in a comment or "thread::sleep" in a
+    // string is fine; only real token uses count.
+    let _docs = "SystemTime::now";
+    let mut rng = Rng::new(42);
+    let _ = rng.gen_range(10);
+    ctx.now().saturating_sub(start)
+}

@@ -1,0 +1,19 @@
+// R2 fixture (positive): a two-lock order inversion across functions.
+pub struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) {
+        let a = self.alpha.lock(); // alpha held ...
+        let b = self.beta.lock(); // line 10: ... while acquiring beta
+        use_both(a, b);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock(); // beta held ...
+        let a = self.alpha.lock(); // line 16: ... while acquiring alpha
+        use_both(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+// R2 fixture (negative): consistent order, scoped guards, explicit drop.
+pub struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        use_both(a, b);
+    }
+
+    pub fn also_forward(&self) {
+        // Same alpha -> beta order: an edge, but no cycle.
+        let a = self.alpha.lock();
+        drop(a);
+        let b = self.beta.lock();
+        use_one(b);
+    }
+
+    pub fn sequential(&self) {
+        // Temporary guards die at each statement: no nesting at all.
+        *self.beta.lock() += 1;
+        *self.alpha.lock() += 1;
+    }
+}

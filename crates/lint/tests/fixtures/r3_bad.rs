@@ -1,0 +1,7 @@
+// R3 fixture (positive): weakened orderings without justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed); // line 5: no comment
+    c.load(Ordering::Acquire) // line 6: no comment
+}

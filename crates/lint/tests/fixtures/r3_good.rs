@@ -1,0 +1,24 @@
+// R3 fixture (negative): justified weak orderings, exempt SeqCst, tests.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — pure counter, read only for stats.
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::SeqCst)
+}
+
+pub fn same_line(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // ordering: stats snapshot, no sync needed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let c = AtomicU64::new(0);
+        c.store(7, Ordering::Relaxed);
+        assert_eq!(bump(&c), 8);
+    }
+}

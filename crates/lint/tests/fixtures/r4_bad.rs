@@ -1,0 +1,9 @@
+// R4 fixture (positive): unwrap on lock results in library code.
+use std::sync::{Mutex, RwLock};
+
+pub fn poisonable(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap(); // line 5: lock().unwrap()
+    let b = *rw.read().unwrap(); // line 6: read().unwrap()
+    *rw.write().unwrap() = a + b; // line 7: write().unwrap()
+    a + b
+}

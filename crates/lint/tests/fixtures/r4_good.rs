@@ -1,0 +1,30 @@
+// R4 fixture (negative): poison-recovery, expect with invariant, tests.
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn recovered(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    // Recover the guard: these counters stay consistent even if a
+    // panicking thread poisoned the lock.
+    let a = *m.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = *rw.read().unwrap_or_else(PoisonError::into_inner);
+    a + b
+}
+
+pub fn with_invariant(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("metadata lock: holders never panic mid-update")
+}
+
+pub fn io_read_is_not_a_lock(r: &mut impl std::io::Read, buf: &mut [u8]) {
+    // `.read(&mut buf)` takes arguments: not a lock acquisition.
+    r.read(buf).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let m = Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

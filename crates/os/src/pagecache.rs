@@ -72,7 +72,7 @@ impl PageCache {
         dirty: bool,
     ) -> Vec<(u64, u64, Box<[u8]>, bool)> {
         let key = (ino.0, block);
-        let was_dirty = self.map.get(&key).map(|e| e.dirty).unwrap_or(false);
+        let was_dirty = self.map.get(&key).is_some_and(|e| e.dirty);
         self.map.insert(
             key,
             Entry {
@@ -108,7 +108,7 @@ impl PageCache {
     /// Takes all dirty blocks of `ino` (clearing their dirty bits).
     pub fn take_dirty(&mut self, ino: Ino) -> Vec<(u64, Vec<u8>)> {
         let mut out = Vec::new();
-        for (k, e) in self.map.iter_mut() {
+        for (k, e) in &mut self.map {
             if k.0 == ino.0 && e.dirty {
                 e.dirty = false;
                 out.push((k.1, e.data.to_vec()));

@@ -30,6 +30,7 @@ impl std::fmt::Debug for Uring {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Uring")
             .field("queue", &self.queue)
+            // ordering: Relaxed — gauge of in-flight jobs for Debug output only.
             .field("active_jobs", &self.jobs.load(Ordering::Relaxed))
             .finish()
     }
@@ -55,6 +56,7 @@ impl Kernel {
 
     /// Number of active SQPOLL jobs (drives the core-contention model).
     pub fn uring_active_jobs(&self) -> u32 {
+        // ordering: Relaxed — gauge of in-flight jobs; readers need no ordering with job state.
         self.uring_jobs.load(Ordering::Relaxed)
     }
 

@@ -76,7 +76,7 @@ impl Table {
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
             for (i, w) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 let _ = write!(line, "{cell:>w$}  ", w = w);
             }
             line.trim_end().to_string()

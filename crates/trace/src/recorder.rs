@@ -163,11 +163,13 @@ impl Recorder {
     /// stamp site when tracing is off: one relaxed load.
     #[inline]
     pub fn on(&self) -> bool {
+        // ordering: Relaxed — independent on/off flag; a stale read only delays observing a toggle, and all record data is published via the shard mutexes.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Flips the master switch at runtime.
     pub fn set_enabled(&self, on: bool) {
+        // ordering: Relaxed — independent on/off flag; a stale read only delays observing a toggle, and all record data is published via the shard mutexes.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -180,10 +182,12 @@ impl Recorder {
         if self.sample_every == 1 {
             return true;
         }
+        // ordering: Relaxed — sampling tick; only k-of-n decimation depends on it, no memory is published.
         let n = tick.fetch_add(1, Ordering::Relaxed);
         if n.is_multiple_of(u64::from(self.sample_every)) {
             true
         } else {
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             self.sampled_out.fetch_add(1, Ordering::Relaxed);
             false
         }
@@ -236,6 +240,7 @@ impl Recorder {
     /// Current buffer/drop/sampling counters.
     pub fn counts(&self) -> RecorderCounts {
         let mut c = RecorderCounts {
+            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
             sampled_out: self.sampled_out.load(Ordering::Relaxed),
             ..Default::default()
         };

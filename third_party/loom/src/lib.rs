@@ -1,0 +1,271 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the loom API surface the workspace's model tests use —
+//! `loom::model`, `loom::thread::{spawn, yield_now}`, `loom::sync::Arc`,
+//! `loom::sync::Mutex` and `loom::sync::atomic` — as a **seeded
+//! schedule-perturbation stress harness** rather than an exhaustive
+//! model checker:
+//!
+//! * [`model`] runs the test body many times (`LOOM_MAX_ITER`, default
+//!   32), each iteration under a different deterministic schedule seed.
+//! * Every wrapped primitive operation (lock, atomic access, spawn)
+//!   consults a per-thread xorshift stream derived from that seed and
+//!   sometimes yields or spins, steering the OS scheduler toward
+//!   different interleavings on every iteration.
+//!
+//! This explores far fewer interleavings than real loom, but it is
+//! dependency-free, deterministic in its *decision stream* (reruns
+//! perturb at the same points), and has caught the same class of bug the
+//! tests target: lost updates and index-desync races under concurrent
+//! touch/invalidate. When the real `loom` is available, the tests compile
+//! against it unchanged (they only use the shared API subset).
+//!
+//! Randomness here is an internal xorshift on a fixed seed — not
+//! `thread_rng` — so R1 (virtual-time determinism) stays intact; the
+//! yields/spins perturb only the *host* schedule of the test harness,
+//! never simulated time.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Global schedule seed for the current model iteration.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(1);
+/// Monotonic id handed to each spawned thread for stream separation.
+static THREAD_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread perturbation stream state.
+    static STREAM: Cell<u64> = const { Cell::new(0) };
+}
+
+fn perturb() {
+    let state = STREAM.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // First op on this thread: derive the stream from the seed
+            // and a fresh thread id.
+            x = SCHEDULE_SEED.load(StdOrdering::Relaxed)
+                ^ THREAD_IDS
+                    .fetch_add(1, StdOrdering::Relaxed)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    });
+    match state % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            for _ in 0..(state >> 8) % 256 {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Iterations per [`model`] call (`LOOM_MAX_ITER` env override).
+fn iterations() -> u64 {
+    std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(32)
+}
+
+/// Runs `f` repeatedly under varied deterministic schedule seeds. Panics
+/// (test failure) propagate from any iteration, with the seed printed so
+/// the failing schedule can be replayed.
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) {
+    for iter in 0..iterations() {
+        let seed = 0x5d58_8b65_6c07_8965u64.wrapping_mul(iter + 1) | 1;
+        SCHEDULE_SEED.store(seed, StdOrdering::Relaxed);
+        STREAM.with(|s| s.set(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            eprintln!("loom (stand-in): failure under schedule seed {seed:#x} (iteration {iter})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+pub mod thread {
+    //! `loom::thread`: spawn/yield with schedule perturbation.
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread, propagating panics like `std::thread`.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a thread participating in the perturbed schedule.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::perturb();
+        JoinHandle(std::thread::spawn(move || {
+            super::perturb();
+            f()
+        }))
+    }
+
+    /// An explicit interleaving point.
+    pub fn yield_now() {
+        super::perturb();
+        std::thread::yield_now();
+    }
+}
+
+pub mod hint {
+    //! `loom::hint`: spin-loop hint that is also an interleaving point.
+    pub fn spin_loop() {
+        super::perturb();
+        std::hint::spin_loop();
+    }
+}
+
+pub mod sync {
+    //! `loom::sync`: Arc, Mutex and atomics with interleaving points.
+
+    pub use std::sync::Arc;
+    use std::sync::{LockResult, MutexGuard};
+
+    /// `std::sync::Mutex` with a perturbation point before each lock.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            super::perturb();
+            self.0.lock()
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            super::perturb();
+            self.0.try_lock()
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics with a perturbation point before every access.
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! wrap_atomic {
+            ($($name:ident($std:ty, $val:ty)),* $(,)?) => {$(
+                /// Std atomic with schedule perturbation on each access.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::perturb();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::perturb();
+                        self.0.store(v, order);
+                    }
+
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::perturb();
+                        self.0.swap(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::perturb();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            )*};
+        }
+
+        wrap_atomic!(
+            AtomicBool(std::sync::atomic::AtomicBool, bool),
+            AtomicU32(std::sync::atomic::AtomicU32, u32),
+            AtomicU64(std::sync::atomic::AtomicU64, u64),
+            AtomicUsize(std::sync::atomic::AtomicUsize, usize),
+        );
+
+        macro_rules! wrap_fetch_add {
+            ($($name:ident($val:ty)),* $(,)?) => {$(
+                impl $name {
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        crate::perturb();
+                        self.0.fetch_add(v, order)
+                    }
+                }
+            )*};
+        }
+
+        wrap_fetch_add!(AtomicU32(u32), AtomicU64(u64), AtomicUsize(usize));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_joins_threads() {
+        std::env::set_var("LOOM_MAX_ITER", "4");
+        super::model(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            c.fetch_add(1, Ordering::SeqCst);
+                            super::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 30);
+        });
+    }
+
+    #[test]
+    fn mutex_mirrors_std_result_api() {
+        let m = Mutex::new(5u32);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "planted")]
+    fn failures_propagate_out_of_model() {
+        std::env::set_var("LOOM_MAX_ITER", "2");
+        super::model(|| panic!("planted"));
+    }
+}

@@ -11,8 +11,19 @@
 //! seeded xorshift generator, so failures are reproducible. There is no
 //! shrinking: a failing case reports its inputs via the assertion message.
 
-/// Number of cases each property is executed with.
+/// Default number of cases each property is executed with.
 pub const CASES: u32 = 64;
+
+/// Cases per property: `PROPTEST_CASES` env override (matching real
+/// proptest's knob), else [`CASES`]. Slow interpreters (Miri) set a small
+/// value so property suites finish inside the CI budget.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Deterministic case-generation RNG (xorshift64*).
 #[derive(Debug, Clone)]
@@ -208,14 +219,14 @@ macro_rules! __proptest_bind {
     };
 }
 
-/// Declares `#[test]` functions that run their body over [`CASES`]
+/// Declares `#[test]` functions that run their body over [`cases()`]
 /// deterministically generated inputs.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {$(
         $(#[$meta])*
         fn $name() {
-            for case in 0..$crate::CASES {
+            for case in 0..$crate::cases() {
                 let mut __rng = $crate::TestRng::new(stringify!($name), case);
                 $crate::__proptest_bind!(__rng; $($args)*);
                 $body
