@@ -241,6 +241,11 @@ impl<V: Default> PasidLru<V> {
     /// plus O(1) amortized per dropped entry — a single-range shootdown
     /// no longer scans the whole cache.
     pub fn invalidate_range(&mut self, pasid: Pasid, first: u64, last: u64) -> usize {
+        // An inverted bound means an empty shootdown, not a panic:
+        // BTreeSet::range aborts on start > end.
+        if first > last {
+            return 0;
+        }
         // BTreeSet::range + per-key remove keeps the cost proportional to
         // the entries actually dropped (plus one logarithmic range seek).
         let doomed: Vec<u64> = match self.by_pasid.get(&pasid) {
@@ -355,6 +360,21 @@ mod tests {
             assert_eq!(c.contains(P1, i), !(3..=6).contains(&i), "index {i}");
         }
         assert!(c.contains(P2, 5), "other PASID untouched");
+    }
+
+    #[test]
+    fn inverted_range_invalidation_is_an_empty_shootdown() {
+        // Regression: `invalidate_range(7, 3)` used to panic inside
+        // BTreeSet::range ("range start is greater than range end")
+        // instead of dropping nothing.
+        let mut c: PasidLru<u64> = PasidLru::new(8);
+        c.insert(P1, 5, 5);
+        assert_eq!(c.invalidate_range(P1, 7, 3), 0);
+        assert_eq!(c.invalidate_range(P1, u64::MAX, 0), 0);
+        assert!(c.contains(P1, 5), "empty shootdown must not drop entries");
+        // Degenerate single-point range still works.
+        assert_eq!(c.invalidate_range(P1, 5, 5), 1);
+        assert!(!c.contains(P1, 5));
     }
 
     #[test]
