@@ -1,20 +1,30 @@
 //! Wall-clock throughput microbench for the simulator's hot paths:
 //! IOMMU VBA translation (IOTLB/PWC churn + range invalidation), NVMe
-//! completion-queue polling, and the full UserLib 4 KB random-read path.
+//! completion-queue polling, the full UserLib 4 KB random-read path, and
+//! the batched-read path (`pread_batch`: one doorbell + one CQ drain per
+//! flight).
 //!
 //! Unlike the fig*/table* benches (which validate *modeled* time), this
 //! bench measures how fast the simulator itself executes — simulated
 //! operations per wall-clock second. It writes `BENCH_fastpath.json` at
-//! the repo root with the numbers measured on this run next to the
-//! pre-optimization baseline recorded from the seed tree, so the speedup
-//! of the fast-path overhaul is tracked in-repo.
+//! the repo root with the numbers measured on this run (plus host
+//! metadata) next to the pre-optimization baseline recorded from the
+//! seed tree, so the speedup of the fast-path overhaul is tracked
+//! in-repo.
+//!
+//! **CI perf contract:** `cargo bench --bench fastpath -- --smoke` runs
+//! a shortened sweep and compares it against the *committed*
+//! `BENCH_fastpath.json`, failing (non-zero exit) if any metric drops
+//! below `SMOKE_TOLERANCE` of its committed value. Smoke mode never
+//! rewrites the report.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use bypassd::{System, UserProcess};
+use bypassd::{ReadReq, System, UserProcess};
+use bypassd_bench::hostinfo;
 use bypassd_hw::iommu::AccessKind;
 use bypassd_hw::page_table::AddressSpace;
 use bypassd_hw::pte::Pte;
@@ -26,20 +36,28 @@ use bypassd_sim::Simulation;
 /// Baseline measured on the pre-overhaul tree (HashMap + `Vec` order
 /// lists with `Vec::remove(0)` eviction and full-`retain` invalidation;
 /// per-poll completion sort; mutex-per-op UserLib), same machine, same
-/// workload constants. Units: operations per wall-clock second.
-const BASELINE: [(&str, f64); 3] = [
+/// workload constants. Units: operations per wall-clock second. The
+/// pre-overhaul tree had no batch API, so the batched metric's reference
+/// point is the sequential read rate.
+const BASELINE: [(&str, f64); 4] = [
     ("translate_ops_per_sec", 772_421.0),
     ("queue_polls_per_sec", 3_162_656.0),
     ("userlib_read_iops_per_sec", 221_715.0),
+    ("userlib_batch_read_iops_per_sec", 221_715.0),
 ];
+
+/// A smoke-mode metric may land this far below its committed value
+/// before the contract fails — wide enough for shared-runner noise,
+/// tight enough to catch the 2x-class regressions this contract exists
+/// for.
+const SMOKE_TOLERANCE: f64 = 0.55;
 
 /// Translation-heavy loop: FTE caching on (ablation), working set twice
 /// the IOTLB capacity so every miss inserts-with-eviction, plus a
 /// periodic range invalidation — the three paths that were O(n) before
 /// the LRU rewrite.
-fn bench_translate() -> f64 {
+fn bench_translate(ops: u64) -> f64 {
     const PAGES: u64 = 32_768; // 8x the 4096-entry IOTLB: heavy eviction churn
-    const OPS: u64 = 400_000;
     let mem = PhysMem::new();
     let mut asid = AddressSpace::new(&mem);
     let vba = Vba(0x4000_0000);
@@ -65,7 +83,7 @@ fn bench_translate() -> f64 {
         );
     }
     let start = Instant::now();
-    for op in 0..OPS {
+    for op in 0..ops {
         let page = rng.gen_range(PAGES);
         let t = iommu.translate(
             Pasid(1),
@@ -81,19 +99,18 @@ fn bench_translate() -> f64 {
             iommu.invalidate_range(Pasid(1), vba.offset(base * PAGE_SIZE), 512 * PAGE_SIZE);
         }
     }
-    OPS as f64 / start.elapsed().as_secs_f64()
+    ops as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Completion-queue polling with a standing backlog: submissions keep a
 /// kernel queue ~full while a poller reaps a few completions at a time —
 /// the per-poll `sort_by_key` the heap swap removes.
-fn bench_queue_poll() -> f64 {
+fn bench_queue_poll(polls: u64) -> f64 {
     use bypassd_ssd::device::{BlockAddr, Command};
     use bypassd_ssd::dma::DmaBuffer;
     use bypassd_ssd::timing::MediaTiming;
     use bypassd_ssd::NvmeDevice;
     const DEPTH: usize = 512;
-    const POLLS: u64 = 200_000;
     let mem = PhysMem::new();
     let iommu = Arc::new(Mutex::new(Iommu::new(&mem)));
     let dev = NvmeDevice::new(DevId(1), 1 << 22, MediaTiming::default(), iommu);
@@ -102,8 +119,9 @@ fn bench_queue_poll() -> f64 {
     let mut now = bypassd_sim::Nanos(0);
     let mut inflight = 0usize;
     let mut rng = Rng::new(7);
+    let mut comps = Vec::with_capacity(4);
     let start = Instant::now();
-    for _ in 0..POLLS {
+    for _ in 0..polls {
         while inflight < DEPTH {
             let lba = Lba::from_block(rng.gen_range(1 << 10));
             dev.submit(q, Command::read(BlockAddr::Lba(lba), 8, &dma), now)
@@ -111,16 +129,16 @@ fn bench_queue_poll() -> f64 {
             inflight += 1;
         }
         now = bypassd_sim::Nanos(now.as_nanos() + 200);
-        inflight -= dev.reap_ready(q, now, 4).len();
+        comps.clear();
+        inflight -= dev.reap_ready_into(q, now, 4, &mut comps);
     }
-    POLLS as f64 / start.elapsed().as_secs_f64()
+    polls as f64 / start.elapsed().as_secs_f64()
 }
 
 /// The full simulated data path: one UserThread doing 4 KB random reads
 /// over a direct-mapped file. Reports simulated read IOPS executed per
 /// wall-clock second (simulator speed, not modeled latency).
-fn bench_userlib_iops() -> f64 {
-    const OPS: u64 = 50_000;
+fn bench_userlib_iops(ops: u64) -> f64 {
     const FILE: u64 = 64 << 20;
     let sys = System::builder().capacity(256 << 20).build();
     sys.fs().populate("/hot", FILE, 0x5a).unwrap();
@@ -133,26 +151,121 @@ fn bench_userlib_iops() -> f64 {
         let fd = t.open(ctx, "/hot", false).unwrap();
         let mut buf = vec![0u8; 4096];
         let mut rng = Rng::new(99);
-        for _ in 0..OPS {
+        for _ in 0..ops {
             let off = rng.gen_range(FILE / 4096) * 4096;
             let n = t.pread(ctx, fd, &mut buf, off).unwrap();
             assert_eq!(n, 4096);
         }
         let (direct, fallback) = proc.op_counts();
-        assert_eq!(direct, OPS);
+        assert_eq!(direct, ops);
         assert_eq!(fallback, 0);
     });
     sim.run();
-    OPS as f64 / start.elapsed().as_secs_f64()
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Same data path through `pread_batch`: flights of 32 reads share one
+/// userlib/doorbell charge, one wait and one CQ drain.
+fn bench_userlib_batch_iops(ops: u64) -> f64 {
+    const FILE: u64 = 64 << 20;
+    const BATCH: usize = 32;
+    let sys = System::builder().capacity(256 << 20).build();
+    sys.fs().populate("/hot", FILE, 0x5a).unwrap();
+    let start = Instant::now();
+    let sim = Simulation::new();
+    let s2 = sys.clone();
+    sim.spawn("reader", move |ctx| {
+        let proc = UserProcess::start(&s2, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/hot", false).unwrap();
+        let mut buf = vec![0u8; BATCH * 4096];
+        let mut rng = Rng::new(99);
+        let flights = ops / BATCH as u64;
+        for _ in 0..flights {
+            let mut reqs: Vec<ReadReq<'_>> = buf
+                .chunks_mut(4096)
+                .map(|b| ReadReq {
+                    offset: rng.gen_range(FILE / 4096) * 4096,
+                    buf: b,
+                })
+                .collect();
+            let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+            assert_eq!(n, BATCH * 4096);
+        }
+        let (direct, fallback) = proc.op_counts();
+        assert_eq!(direct, flights * BATCH as u64);
+        assert_eq!(fallback, 0);
+    });
+    sim.run();
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+fn measure(smoke: bool) -> [(&'static str, f64); 4] {
+    // Smoke mode trades statistical weight for CI latency; the e2e
+    // benches shrink less because their fixed setup (file populate,
+    // thread DMA pinning) is a larger fraction of short runs.
+    let (micro, e2e) = if smoke { (5, 2) } else { (1, 1) };
+    [
+        ("translate_ops_per_sec", bench_translate(400_000 / micro)),
+        ("queue_polls_per_sec", bench_queue_poll(200_000 / micro)),
+        (
+            "userlib_read_iops_per_sec",
+            bench_userlib_iops(50_000 / e2e),
+        ),
+        (
+            "userlib_batch_read_iops_per_sec",
+            bench_userlib_batch_iops(50_016 / e2e),
+        ),
+    ]
+}
+
+fn repo_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}"))
+}
+
+/// Smoke mode: compare a shortened run against the committed report;
+/// non-zero exit on regression — this is the CI perf contract.
+fn smoke() {
+    let committed = std::fs::read_to_string(repo_path("BENCH_fastpath.json"))
+        .expect("smoke mode needs the committed BENCH_fastpath.json");
+    let results = measure(true);
+    let mut failed = false;
+    for (name, measured) in results {
+        let reference = hostinfo::json_number(&committed, "current", name)
+            .unwrap_or_else(|| panic!("committed BENCH_fastpath.json lacks current.{name}"));
+        let floor = reference * SMOKE_TOLERANCE;
+        let ok = measured >= floor;
+        failed |= !ok;
+        println!(
+            "{} {name:<32} {measured:>12.0} /s  (committed {reference:.0}, floor {floor:.0})",
+            if ok { "PASS" } else { "FAIL" },
+        );
+    }
+    if failed {
+        eprintln!(
+            "perf contract violated: e2e throughput regressed below {SMOKE_TOLERANCE} of the \
+             committed BENCH_fastpath.json; if the slowdown is intended, regenerate the report \
+             with `cargo bench --bench fastpath`"
+        );
+        std::process::exit(1);
+    }
+    println!("perf contract holds (tolerance {SMOKE_TOLERANCE})");
 }
 
 fn main() {
-    let results = [
-        ("translate_ops_per_sec", bench_translate()),
-        ("queue_polls_per_sec", bench_queue_poll()),
-        ("userlib_read_iops_per_sec", bench_userlib_iops()),
-    ];
-    let mut json = String::from("{\n  \"workload\": \"fastpath microbench: translation churn (32768-page set, FTE caching, range shootdowns), CQ polling (depth 512, reap 4), UserLib 4KB random reads\",\n  \"units\": \"simulated ops per wall-clock second\",\n  \"baseline_pre_overhaul\": {\n");
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let results = measure(false);
+    let mut json = String::from(
+        "{\n  \"workload\": \"fastpath microbench: translation churn (32768-page set, FTE \
+         caching, range shootdowns), CQ polling (depth 512, reap 4), UserLib 4KB random reads \
+         (sequential + 32-deep batched)\",\n  \"units\": \"simulated ops per wall-clock \
+         second\",\n  ",
+    );
+    json.push_str(&hostinfo::host_json());
+    json.push_str(",\n  \"baseline_pre_overhaul\": {\n");
     for (i, (name, v)) in BASELINE.iter().enumerate() {
         let sep = if i + 1 < BASELINE.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {v:.0}{sep}\n"));
@@ -168,11 +281,9 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {:.2}{sep}\n", cur / base));
     }
     json.push_str("  }\n}\n");
-    // Benches run from the crate dir; place the report at the repo root.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fastpath.json");
-    std::fs::write(&path, &json).expect("write BENCH_fastpath.json");
+    std::fs::write(repo_path("BENCH_fastpath.json"), &json).expect("write BENCH_fastpath.json");
     println!("{json}");
     for ((name, cur), (_, base)) in results.iter().zip(BASELINE.iter()) {
-        println!("{name:<28} {cur:>12.0} /s  ({:.2}x baseline)", cur / base);
+        println!("{name:<32} {cur:>12.0} /s  ({:.2}x baseline)", cur / base);
     }
 }

@@ -10,6 +10,8 @@
 //! the 16 GB fmap point); the default quick mode finishes each figure in
 //! seconds.
 
+pub mod hostinfo;
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;

@@ -15,7 +15,7 @@
 //! process-wide lock and no `FileState` is cloned per operation.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -91,6 +91,27 @@ struct PendingWrite {
     ready: Nanos,
 }
 
+/// The unconfirmed-write overlay plus a bounded pool of recycled payload
+/// buffers, so steady-state non-blocking writes reuse heap capacity
+/// instead of cloning every payload into a fresh allocation.
+#[derive(Debug, Default)]
+struct PendingWrites {
+    writes: Vec<PendingWrite>,
+    /// Recycled payload `Vec`s from pruned entries (capped at
+    /// [`PendingWrites::SPARE_CAP`]).
+    spare: Vec<Vec<u8>>,
+}
+
+impl PendingWrites {
+    const SPARE_CAP: usize = 64;
+
+    fn recycle(&mut self, data: Vec<u8>) {
+        if self.spare.len() < Self::SPARE_CAP {
+            self.spare.push(data);
+        }
+    }
+}
+
 /// All per-fd state, behind its own locks so operations on different
 /// files never contend and the process-wide table lock stays read-mostly.
 #[derive(Debug)]
@@ -99,7 +120,13 @@ struct FileEntry {
     /// In-flight partial (read-modify-write) byte ranges on this file.
     partials: Mutex<Vec<(u64, u64)>>,
     /// Unconfirmed non-blocking writes (§5.1 enhancement).
-    pending: Mutex<Vec<PendingWrite>>,
+    pending: Mutex<PendingWrites>,
+    /// Mirrors `pending.writes.len()` so reads can skip the overlay
+    /// locks entirely when no non-blocking writes are outstanding.
+    pending_count: AtomicUsize,
+    /// Set when the fd is closed (or replaced), invalidating any
+    /// thread-local cached handle to this entry.
+    closed: AtomicBool,
 }
 
 impl FileEntry {
@@ -107,7 +134,9 @@ impl FileEntry {
         Arc::new(FileEntry {
             state: Mutex::new(state),
             partials: Mutex::new(Vec::new()),
-            pending: Mutex::new(Vec::new()),
+            pending: Mutex::new(PendingWrites::default()),
+            pending_count: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
         })
     }
 }
@@ -230,6 +259,9 @@ impl UserProcess {
             effective_depth: QUEUE_DEPTH,
             clean_streak: 0,
             pressure_events: 0,
+            cached_fd: None,
+            async_staging: None,
+            batch: BatchScratch::with_capacity(QUEUE_DEPTH),
         }
     }
 
@@ -296,6 +328,40 @@ impl std::fmt::Debug for UserProcess {
     }
 }
 
+/// One request in a [`UserThread::pread_batch`] call.
+pub struct ReadReq<'a> {
+    /// Absolute file offset to read from.
+    pub offset: u64,
+    /// Destination; its length is the read size.
+    pub buf: &'a mut [u8],
+}
+
+/// Preallocated SoA in-flight table for batched submission: one slot per
+/// hardware queue entry, reused across batches so the steady state never
+/// allocates. Parallel columns rather than a `Vec<struct>` so the reap
+/// loop scans only the columns it needs.
+struct BatchScratch {
+    /// Device command ids, in submission order.
+    cids: Vec<u16>,
+    /// Request index (into the caller's slice) per submission slot.
+    req_idx: Vec<usize>,
+    /// Completion visibility time per submission slot.
+    ready: Vec<Nanos>,
+    /// Reap staging, drained from the device in one locked pass.
+    comps: Vec<bypassd_ssd::queue::Completion>,
+}
+
+impl BatchScratch {
+    fn with_capacity(depth: usize) -> BatchScratch {
+        BatchScratch {
+            cids: Vec::with_capacity(depth),
+            req_idx: Vec::with_capacity(depth),
+            ready: Vec::with_capacity(depth),
+            comps: Vec::with_capacity(depth),
+        }
+    }
+}
+
 /// A thread's handle: private queue + DMA buffer.
 pub struct UserThread {
     proc: Arc<UserProcess>,
@@ -311,6 +377,15 @@ pub struct UserThread {
     clean_streak: u32,
     /// Total congestion signals observed on this queue.
     pressure_events: u64,
+    /// Last entry resolved by this thread: repeated ops on the same fd
+    /// skip the process-wide table lock and map lookup entirely.
+    cached_fd: Option<(Fd, Arc<FileEntry>)>,
+    /// Reusable staging buffer for non-blocking writes (the simulated
+    /// device consumes the data synchronously at submission, so the
+    /// buffer is free for reuse as soon as `submit` returns).
+    async_staging: Option<DmaBuffer>,
+    /// SoA in-flight table for [`UserThread::pread_batch`].
+    batch: BatchScratch,
 }
 
 impl std::fmt::Debug for UserThread {
@@ -337,6 +412,23 @@ impl UserThread {
 
     fn kernel(&self) -> &Arc<bypassd_os::Kernel> {
         self.proc.system.kernel()
+    }
+
+    /// Resolves `fd` to its entry, consulting the thread-local cache
+    /// first: the steady state (many ops on one fd) costs an fd compare
+    /// and one atomic load instead of a process-wide `RwLock` + map
+    /// lookup per op.
+    fn entry_cached(&mut self, fd: Fd) -> SysResult<Arc<FileEntry>> {
+        if let Some((cfd, entry)) = &self.cached_fd {
+            // ordering: Relaxed — the flag only revalidates an Arc this thread holds;
+            // close() publishes the removal via the conductor-handoff mutex.
+            if *cfd == fd && !entry.closed.load(Ordering::Relaxed) {
+                return Ok(Arc::clone(entry));
+            }
+        }
+        let entry = self.proc.entry(fd)?;
+        self.cached_fd = Some((fd, Arc::clone(&entry)));
+        Ok(entry)
     }
 
     fn cost(&self) -> bypassd_os::CostModel {
@@ -406,7 +498,7 @@ impl UserThread {
         if fallback {
             kernel.mark_kernel_fallback(self.proc.pid, fd)?;
         }
-        self.proc.files.write().insert(
+        let replaced = self.proc.files.write().insert(
             fd,
             FileEntry::new(FileState {
                 vba: (!fallback).then_some(vba),
@@ -419,6 +511,11 @@ impl UserThread {
                 size_dirty: false,
             }),
         );
+        if let Some(old) = replaced {
+            // ordering: Relaxed — invalidates cached handles; the map write above is
+            // published by the engine's conductor handoff, not by this flag.
+            old.closed.store(true, Ordering::Relaxed);
+        }
         Ok(fd)
     }
 
@@ -438,6 +535,9 @@ impl UserThread {
     pub fn close(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
         self.flush_writes(ctx, fd)?;
         let entry = self.proc.files.write().remove(&fd).ok_or(Errno::BadF)?;
+        // ordering: Relaxed — invalidates cached handles; the map removal above is
+        // published by the engine's conductor handoff, not by this flag.
+        entry.closed.store(true, Ordering::Relaxed);
         let size_dirty = {
             let st = entry.state.lock();
             st.size_dirty.then_some(st.size)
@@ -626,7 +726,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let mut st = *entry.state.lock();
         if st.fallback {
             return self.kernel_pread(ctx, fd, buf, offset, scratch);
@@ -650,7 +750,7 @@ impl UserThread {
             }
         }
         let len = (buf.len() as u64).min(st.size - offset);
-        let Some(vba) = st.vba else {
+        let Some(mut vba) = st.vba else {
             return Err(Errno::Inval);
         };
         let start = offset - offset % SECTOR_SIZE;
@@ -670,9 +770,10 @@ impl UserThread {
                         scratch.user_copy += copy;
                         let lo = offset.max(pos);
                         let hi = (offset + len).min(pos + span);
-                        let mut tmp = vec![0u8; (hi - lo) as usize];
-                        self.dma.read((lo - pos) as usize, &mut tmp);
-                        buf[(lo - offset) as usize..(hi - offset) as usize].copy_from_slice(&tmp);
+                        self.dma.read(
+                            (lo - pos) as usize,
+                            &mut buf[(lo - offset) as usize..(hi - offset) as usize],
+                        );
                         pos += span;
                     }
                     DirectIo::Revoked => {
@@ -688,9 +789,14 @@ impl UserThread {
                 // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
                 self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
                 // Read-after-write consistency for non-blocking writes:
-                // overlay any unconfirmed data (§5.1).
-                Self::prune_pending(&entry, ctx.now());
-                Self::overlay_pending(&entry, &mut buf[..len as usize], offset);
+                // overlay any unconfirmed data (§5.1). One relaxed load
+                // skips both overlay locks in the common no-async case.
+                // ordering: Relaxed — mirror of the pending length, written under the
+                // pending lock; racing pushes resolve via the actor schedule.
+                if entry.pending_count.load(Ordering::Relaxed) > 0 {
+                    Self::prune_pending(&entry, ctx.now());
+                    Self::overlay_pending(&entry, &mut buf[..len as usize], offset);
+                }
                 return Ok(len as usize);
             }
             attempts += 1;
@@ -699,10 +805,244 @@ impl UserThread {
                 // handle this one op.
                 return self.kernel_pread(ctx, fd, buf, offset, scratch);
             }
+            // The fault handler re-fmapped the file; a sibling thread's
+            // close() unmaps the whole per-process mapping, so the fresh
+            // map may live at a new VBA — retrying the stale one would
+            // fault forever.
+            match entry.state.lock().vba {
+                Some(v) => vba = v,
+                None => return self.kernel_pread(ctx, fd, buf, offset, scratch),
+            }
             if policy.retry_backoff > Nanos::ZERO {
                 ctx.delay(policy.retry_backoff);
             }
         }
+    }
+
+    /// Batched `pread` (§4.2 batching): submits up to a full submission
+    /// window of reads with one userlib/doorbell charge per flight
+    /// (doorbell coalescing), waits once for the latest completion, and
+    /// drains the completion queue in a single locked pass instead of
+    /// one device round trip per op.
+    ///
+    /// The fast path requires every request to be sector-aligned (offset
+    /// and length), non-empty, within the file, and no larger than the
+    /// per-slot DMA budget (`dma.len() / queue_depth`); otherwise — or on
+    /// a kernel-fallback fd — the whole batch is served by sequential
+    /// [`UserThread::pread`] calls with identical semantics. Individual
+    /// translation faults inside a flight are retried sequentially.
+    ///
+    /// Returns the total bytes read.
+    ///
+    /// # Errors
+    /// `BadF`, kernel-path errors after fallback.
+    pub fn pread_batch(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        reqs: &mut [ReadReq<'_>],
+    ) -> SysResult<usize> {
+        if reqs.is_empty() {
+            return Ok(0);
+        }
+        let entry = self.entry_cached(fd)?;
+        let st = *entry.state.lock();
+        let slot = self.dma.len() / self.queue_depth;
+        let direct_ok = !st.fallback
+            && st.vba.is_some()
+            && reqs.iter().all(|r| {
+                let len = r.buf.len() as u64;
+                r.offset.is_multiple_of(SECTOR_SIZE)
+                    && len.is_multiple_of(SECTOR_SIZE)
+                    && !r.buf.is_empty()
+                    && r.buf.len() <= slot
+                    && r.offset + len <= st.size
+            });
+        if !direct_ok {
+            let mut total = 0;
+            for r in reqs.iter_mut() {
+                total += self.pread(ctx, fd, r.buf, r.offset)?;
+            }
+            return Ok(total);
+        }
+        let vba = st.vba.expect("checked above");
+        let window = self.effective_depth.clamp(1, self.queue_depth);
+        let mut total = 0usize;
+        let mut base = 0usize;
+        while base < reqs.len() {
+            let n = window.min(reqs.len() - base);
+            let chunk = &mut reqs[base..base + n];
+            total += self.flight(ctx, fd, &entry, vba, slot, chunk)?;
+            base += n;
+        }
+        Ok(total)
+    }
+
+    /// One batched flight of up to `effective_depth` direct reads:
+    /// submit all, ring once, wait once, reap once.
+    #[allow(clippy::too_many_arguments)]
+    fn flight(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        entry: &Arc<FileEntry>,
+        vba: Vba,
+        slot: usize,
+        chunk: &mut [ReadReq<'_>],
+    ) -> SysResult<usize> {
+        let op_start = ctx.now();
+        // One userlib + doorbell charge for the whole flight.
+        ctx.delay(self.cost().userlib_overhead);
+        let submit_now = ctx.now();
+        self.batch.cids.clear();
+        self.batch.req_idx.clear();
+        self.batch.ready.clear();
+        let submitted = {
+            let dma = &self.dma;
+            let dev = self.proc.system.device();
+            let cmds = chunk.iter().enumerate().map(|(i, r)| {
+                let mut cmd = Command::read(
+                    BlockAddr::Vba(vba.offset(r.offset)),
+                    (r.buf.len() as u64 / SECTOR_SIZE) as u32,
+                    dma,
+                );
+                cmd.dma_offset = i * slot;
+                cmd
+            });
+            dev.submit_batch(self.qid, cmds, submit_now, &mut self.batch.cids)
+        };
+        if submitted.is_err() {
+            // The private queue was unexpectedly full: drain whatever was
+            // accepted, then serve the flight sequentially.
+            let mut latest = submit_now;
+            for k in 0..self.batch.cids.len() {
+                let cid = self.batch.cids[k];
+                if let Some(t) = self.proc.system.device().ready_time(self.qid, cid) {
+                    latest = latest.max(t);
+                }
+            }
+            ctx.wait_until(latest);
+            for k in 0..self.batch.cids.len() {
+                let cid = self.batch.cids[k];
+                if let Some(c) = self.proc.system.device().reap_at(self.qid, cid, ctx.now()) {
+                    self.note_pressure(c.pressure);
+                }
+            }
+            let mut total = 0;
+            for r in chunk.iter_mut() {
+                total += self.pread(ctx, fd, r.buf, r.offset)?;
+            }
+            return Ok(total);
+        }
+        // Completion batching: wait once for the latest ready time, then
+        // drain the CQ in one locked pass into reused scratch.
+        let mut latest = submit_now;
+        for k in 0..self.batch.cids.len() {
+            let cid = self.batch.cids[k];
+            let t = self
+                .proc
+                .system
+                .device()
+                .ready_time(self.qid, cid)
+                .expect("submitted read vanished");
+            self.batch.ready.push(t);
+            latest = latest.max(t);
+        }
+        ctx.wait_until(latest);
+        self.batch.comps.clear();
+        self.proc.system.device().reap_ready_into(
+            self.qid,
+            ctx.now(),
+            chunk.len(),
+            &mut self.batch.comps,
+        );
+        debug_assert_eq!(self.batch.comps.len(), chunk.len());
+        // Copy out, charging one coalesced user-copy delay for the flight.
+        let mut copy_total = Nanos::ZERO;
+        let mut ok_bytes = 0usize;
+        let mut ok_ops = 0u64;
+        let mut retry_bytes = 0usize;
+        for k in 0..self.batch.comps.len() {
+            let comp = self.batch.comps[k];
+            self.note_pressure(comp.pressure);
+            let i = self
+                .batch
+                .cids
+                .iter()
+                .position(|&c| c == comp.cid)
+                .expect("reaped a cid this flight never submitted");
+            if comp.status.is_ok() {
+                let req = &mut chunk[i];
+                let copy = self.cost().user_copy(req.buf.len() as u64);
+                copy_total += copy;
+                self.dma.read(i * slot, req.buf);
+                ok_bytes += req.buf.len();
+                ok_ops += 1;
+                self.record_flight_op(
+                    ctx,
+                    op_start,
+                    k == 0,
+                    submit_now,
+                    self.batch.ready[i],
+                    copy,
+                    req.buf.len(),
+                );
+            } else {
+                // Translation fault (revocation or growth race): retry
+                // this request on the sequential path, which re-fmaps.
+                retry_bytes += self.pread(ctx, fd, chunk[i].buf, chunk[i].offset)?;
+            }
+        }
+        if copy_total > Nanos::ZERO {
+            ctx.delay(copy_total);
+        }
+        // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
+        self.proc.direct_ops.fetch_add(ok_ops, Ordering::Relaxed);
+        // Read-after-write consistency, same gate as the sequential path.
+        // ordering: Relaxed — mirror of the pending length, written under the
+        // pending lock; races resolve via the serialised actor schedule.
+        if entry.pending_count.load(Ordering::Relaxed) > 0 {
+            Self::prune_pending(entry, ctx.now());
+            for r in chunk.iter_mut() {
+                Self::overlay_pending(entry, r.buf, r.offset);
+            }
+        }
+        Ok(ok_bytes + retry_bytes)
+    }
+
+    /// Emits the per-op record for one successful op inside a batched
+    /// flight. The flight's single userlib charge is attributed to its
+    /// first record so stage totals still sum to virtual time consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn record_flight_op(
+        &self,
+        ctx: &ActorCtx,
+        start: Nanos,
+        first: bool,
+        submit_now: Nanos,
+        ready: Nanos,
+        copy: Nanos,
+        bytes: usize,
+    ) {
+        let end = ctx.now();
+        let userlib = if first {
+            self.cost().userlib_overhead
+        } else {
+            Nanos::ZERO
+        };
+        self.proc.recorder.record_op(|| OpRecord {
+            pid: self.proc.pid,
+            path: IoPath::Direct,
+            write: false,
+            bytes: bytes as u64,
+            start,
+            end,
+            userlib,
+            device_span: ready.saturating_sub(submit_now),
+            user_copy: copy,
+            kernel: Nanos::ZERO,
+            faults: 0,
+        });
     }
 
     /// `pwrite()`: overwrites go directly to the device; appends are
@@ -734,7 +1074,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let st = *entry.state.lock();
         if !st.writable {
             return Err(Errno::Perm);
@@ -763,7 +1103,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
-        let Some(vba) = entry.state.lock().vba else {
+        let Some(mut vba) = entry.state.lock().vba else {
             return Err(Errno::Inval);
         };
         let policy = self.proc.io_policy();
@@ -805,6 +1145,12 @@ impl UserThread {
             attempts += 1;
             if attempts >= policy.max_attempts {
                 return self.kernel_pwrite(ctx, fd, data, offset, scratch);
+            }
+            // Pick up the VBA the fault handler re-fmapped (see
+            // pread_inner): the old mapping may be gone entirely.
+            match entry.state.lock().vba {
+                Some(v) => vba = v,
+                None => return self.kernel_pwrite(ctx, fd, data, offset, scratch),
             }
             if policy.retry_backoff > Nanos::ZERO {
                 ctx.delay(policy.retry_backoff);
@@ -1014,7 +1360,7 @@ impl UserThread {
         offset: u64,
         scratch: &mut OpScratch,
     ) -> SysResult<usize> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let st = *entry.state.lock();
         if !st.writable {
             return Err(Errno::Perm);
@@ -1033,6 +1379,7 @@ impl UserThread {
             let conflict = entry
                 .pending
                 .lock()
+                .writes
                 .iter()
                 .any(|p| p.offset < offset + len && offset < p.offset + p.data.len() as u64);
             if !conflict {
@@ -1052,16 +1399,29 @@ impl UserThread {
         ctx.delay(self.cost().userlib_overhead + copy);
         scratch.userlib += self.cost().userlib_overhead;
         scratch.user_copy += copy;
-        // Each async write stages through its own small DMA buffer so the
-        // thread buffer stays free for subsequent operations.
-        let dma = DmaBuffer::alloc(self.proc.system.mem(), data.len());
-        dma.write(0, data);
+        // Async writes stage through a reusable per-thread DMA buffer so
+        // the main thread buffer stays free for subsequent operations.
+        // The simulated device consumes the payload synchronously inside
+        // `submit`, so the staging buffer is free again as soon as the
+        // doorbell rings — no per-op allocation required.
+        if self
+            .async_staging
+            .as_ref()
+            .is_none_or(|d| d.len() < data.len())
+        {
+            self.async_staging = Some(DmaBuffer::alloc(self.proc.system.mem(), data.len()));
+        }
         let first_try = {
+            let dma = self
+                .async_staging
+                .as_ref()
+                .expect("staging buffer just ensured");
+            dma.write(0, data);
             let dev = self.proc.system.device();
             let cmd = Command::write(
                 BlockAddr::Vba(vba.offset(offset)),
                 (len / SECTOR_SIZE) as u32,
-                &dma,
+                dma,
             );
             dev.submit(self.qid, cmd, ctx.now())
         };
@@ -1071,11 +1431,15 @@ impl UserThread {
                 // Queue full: drain and retry once, then give up to sync.
                 self.flush_writes(ctx, fd)?;
                 let retry = {
+                    let dma = self
+                        .async_staging
+                        .as_ref()
+                        .expect("staging buffer just ensured");
                     let dev = self.proc.system.device();
                     let cmd = Command::write(
                         BlockAddr::Vba(vba.offset(offset)),
                         (len / SECTOR_SIZE) as u32,
-                        &dma,
+                        dma,
                     );
                     dev.submit(self.qid, cmd, ctx.now())
                 };
@@ -1099,11 +1463,21 @@ impl UserThread {
             scratch.faults += 1;
             return self.pwrite_inner(ctx, fd, data, offset, scratch);
         }
-        entry.pending.lock().push(PendingWrite {
-            offset,
-            data: data.to_vec(),
-            ready,
-        });
+        {
+            let mut pending = entry.pending.lock();
+            let mut payload = pending.spare.pop().unwrap_or_default();
+            payload.clear();
+            payload.extend_from_slice(data);
+            pending.writes.push(PendingWrite {
+                offset,
+                data: payload,
+                ready,
+            });
+            let n = pending.writes.len();
+            // ordering: Relaxed — mirror of the pending length, written under the
+            // pending lock; racing readers resolve via the actor schedule.
+            entry.pending_count.store(n, Ordering::Relaxed);
+        }
         // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
         self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
         Ok(data.len())
@@ -1114,11 +1488,12 @@ impl UserThread {
     /// # Errors
     /// `BadF`.
     pub fn flush_writes(&mut self, ctx: &mut ActorCtx, fd: Fd) -> SysResult<()> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let latest = {
             let pending = entry.pending.lock();
-            (!pending.is_empty()).then(|| {
+            (!pending.writes.is_empty()).then(|| {
                 pending
+                    .writes
                     .iter()
                     .map(|p| p.ready)
                     .fold(Nanos::ZERO, Nanos::max)
@@ -1133,13 +1508,30 @@ impl UserThread {
 
     /// Outstanding non-blocking writes on `fd`.
     pub fn pending_write_count(&self, fd: Fd) -> usize {
-        self.proc.entry(fd).map_or(0, |e| e.pending.lock().len())
+        self.proc
+            .entry(fd)
+            .map_or(0, |e| e.pending.lock().writes.len())
     }
 
     /// Drops completed entries from the pending-write overlay (called by
-    /// reads so the overlay stays small).
+    /// reads so the overlay stays small), recycling their payload
+    /// buffers. Pending writes never overlap (the submit path serialises
+    /// conflicting ranges), so the swap-remove reordering is unobservable.
     fn prune_pending(entry: &FileEntry, now: Nanos) {
-        entry.pending.lock().retain(|p| p.ready > now);
+        let mut pending = entry.pending.lock();
+        let mut i = 0;
+        while i < pending.writes.len() {
+            if pending.writes[i].ready <= now {
+                let p = pending.writes.swap_remove(i);
+                pending.recycle(p.data);
+            } else {
+                i += 1;
+            }
+        }
+        let n = pending.writes.len();
+        // ordering: Relaxed — mirror of the pending length, written under the
+        // pending lock; racing readers resolve via the actor schedule.
+        entry.pending_count.store(n, Ordering::Relaxed);
     }
 
     /// Overlays unconfirmed writes onto a freshly-read buffer
@@ -1147,7 +1539,7 @@ impl UserThread {
     fn overlay_pending(entry: &FileEntry, buf: &mut [u8], offset: u64) {
         let pending = entry.pending.lock();
         let end = offset + buf.len() as u64;
-        for p in pending.iter() {
+        for p in &pending.writes {
             let p_end = p.offset + p.data.len() as u64;
             if p.offset < end && offset < p_end {
                 let lo = offset.max(p.offset);
@@ -1163,7 +1555,7 @@ impl UserThread {
     /// # Errors
     /// As [`UserThread::pread`].
     pub fn read(&mut self, ctx: &mut ActorCtx, fd: Fd, buf: &mut [u8]) -> SysResult<usize> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let off = entry.state.lock().offset;
         let n = self.pread(ctx, fd, buf, off)?;
         entry.state.lock().offset += n as u64;
@@ -1175,7 +1567,7 @@ impl UserThread {
     /// # Errors
     /// As [`UserThread::pwrite`].
     pub fn write(&mut self, ctx: &mut ActorCtx, fd: Fd, data: &[u8]) -> SysResult<usize> {
-        let entry = self.proc.entry(fd)?;
+        let entry = self.entry_cached(fd)?;
         let off = entry.state.lock().offset;
         let n = self.pwrite(ctx, fd, data, off)?;
         entry.state.lock().offset += n as u64;

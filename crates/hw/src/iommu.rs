@@ -99,6 +99,18 @@ pub struct Translation {
     pub pwc_hit: bool,
 }
 
+/// Metadata of a successful translation whose extents were appended to a
+/// caller-provided buffer (see [`Iommu::translate_extents_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationInfo {
+    /// Modelled translation latency for this ATS request.
+    pub cost: Nanos,
+    /// Pages whose leaf lookup missed the IOTLB (0 = pure IOTLB hit).
+    pub walks: u64,
+    /// Whether the page-walk cache covered the request's 2 MB prefix.
+    pub pwc_hit: bool,
+}
+
 /// One page's worth of translation, as exported to a device-side ATC:
 /// the virtual page number, the LBA of the page's first sector, and
 /// whether the mapping is effectively writable.
@@ -187,6 +199,38 @@ pub struct Iommu {
     /// Device-side ATCs to notify on invalidation.
     sinks: Vec<Arc<dyn AtsSink>>,
     stats: IommuStats,
+    /// Inline repeat-translation memo consulted before the walk. A
+    /// request identical to the immediately-preceding one is a fixed
+    /// point of the IOTLB/PWC LRU state (re-touching the top-N MRU
+    /// entries in the same order leaves the recency order unchanged), so
+    /// its extents, cost and stats deltas can be replayed without
+    /// touching the caches. Any cache mutation (invalidation, PASID
+    /// churn, knob change, IOVA lookup) drops the memo, so results stay
+    /// bit-identical to the unmemoized path.
+    repeat: RepeatMemo,
+}
+
+/// State of the inline repeat-translation memo.
+#[derive(Debug, Default)]
+struct RepeatMemo {
+    /// The previous successful request, if nothing mutated caches since.
+    key: Option<(Pasid, u64, u64, AccessKind, DevId)>,
+    /// True once the same key has run twice consecutively (the second
+    /// run observed the fixed-point cache state its result describes).
+    armed: bool,
+    extents: Vec<(Lba, u32)>,
+    info: TranslationInfo,
+    n_pages: u64,
+}
+
+impl Default for TranslationInfo {
+    fn default() -> Self {
+        TranslationInfo {
+            cost: Nanos::ZERO,
+            walks: 0,
+            pwc_hit: false,
+        }
+    }
 }
 
 impl Iommu {
@@ -201,12 +245,21 @@ impl Iommu {
             cache_ftes: false,
             sinks: Vec::new(),
             stats: IommuStats::default(),
+            repeat: RepeatMemo::default(),
         }
+    }
+
+    /// Forgets the repeat-translation memo. Called by every operation
+    /// that can change cache contents, recency, or modelled costs.
+    fn memo_clear(&mut self) {
+        self.repeat.key = None;
+        self.repeat.armed = false;
     }
 
     /// Overrides the timing model.
     pub fn set_timing(&mut self, timing: IommuTiming) {
         self.timing = timing;
+        self.memo_clear();
     }
 
     /// Current timing model.
@@ -220,6 +273,7 @@ impl Iommu {
     /// Shrinking evicts least-recently-used prefixes, O(1) each.
     pub fn set_pwc_capacity(&mut self, entries: usize) {
         self.pwc.set_capacity(entries);
+        self.memo_clear();
     }
 
     /// Enables/disables caching FTEs in the IOTLB (ablation; the paper's
@@ -229,6 +283,7 @@ impl Iommu {
         if !enabled {
             self.iotlb.clear();
         }
+        self.memo_clear();
     }
 
     /// Registers a device-side ATS translation cache. The sink receives
@@ -241,6 +296,7 @@ impl Iommu {
     /// driver when creating user queues, §3.3).
     pub fn register(&mut self, pasid: Pasid, root_frame: u64) {
         self.context.insert(pasid, root_frame);
+        self.memo_clear();
     }
 
     /// Removes a PASID and all cached state for it (here and in every
@@ -255,6 +311,7 @@ impl Iommu {
     /// broadcasts the shootdown to registered device-side ATCs. Cost is
     /// proportional to the entries actually dropped.
     pub fn invalidate_pasid(&mut self, pasid: Pasid) {
+        self.memo_clear();
         self.iotlb.invalidate_pasid(pasid);
         self.pwc.invalidate_pasid(pasid);
         for sink in &self.sinks {
@@ -267,6 +324,7 @@ impl Iommu {
     /// the shootdown to registered device-side ATCs. Cost is proportional
     /// to the entries actually dropped, not the cache size.
     pub fn invalidate_range(&mut self, pasid: Pasid, vba: Vba, len: u64) {
+        self.memo_clear();
         let first = vba.0 / PAGE_SIZE;
         let last = (vba.0 + len.max(1) - 1) / PAGE_SIZE;
         self.iotlb.invalidate_range(pasid, first, last);
@@ -367,14 +425,63 @@ impl Iommu {
         len: u64,
         access: AccessKind,
         requester: DevId,
-        mut collect: Option<&mut Vec<PageTranslation>>,
+        collect: Option<&mut Vec<PageTranslation>>,
     ) -> Result<Translation, (TranslateError, Nanos)> {
+        let mut extents = Vec::new();
+        let info =
+            self.translate_extents_into(pasid, vba, len, access, requester, collect, &mut extents)?;
+        Ok(Translation {
+            extents,
+            cost: info.cost,
+            walks: info.walks,
+            pwc_hit: info.pwc_hit,
+        })
+    }
+
+    /// As [`Iommu::translate_collect`], but appends the coalesced extents
+    /// to a caller-provided buffer instead of allocating — the device's
+    /// steady-state path. Extents coalesce only within this request,
+    /// never with entries already in `extents`.
+    ///
+    /// # Errors
+    /// See [`TranslateError`].
+    ///
+    /// # Panics
+    /// Panics if `vba`/`len` are not sector aligned or `len` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn translate_extents_into(
+        &mut self,
+        pasid: Pasid,
+        vba: Vba,
+        len: u64,
+        access: AccessKind,
+        requester: DevId,
+        mut collect: Option<&mut Vec<PageTranslation>>,
+        extents: &mut Vec<(Lba, u32)>,
+    ) -> Result<TranslationInfo, (TranslateError, Nanos)> {
         assert!(len > 0, "zero-length translation");
         assert!(
             vba.0.is_multiple_of(SECTOR_SIZE) && len.is_multiple_of(SECTOR_SIZE),
             "translation must be sector aligned"
         );
+        let key = (pasid, vba.0, len, access, requester);
+        if collect.is_none() && self.repeat.armed && self.repeat.key == Some(key) {
+            // Inline repeat memo hit: replay the fixed-point result,
+            // including the exact stats deltas the real path would make.
+            self.stats.ats_requests += 1;
+            self.stats.pwc_hits += 1;
+            self.stats.pages_translated += self.repeat.n_pages;
+            self.stats.iotlb_misses += self.repeat.info.walks;
+            self.stats.iotlb_hits += self.repeat.n_pages - self.repeat.info.walks;
+            extents.extend_from_slice(&self.repeat.extents);
+            return Ok(self.repeat.info);
+        }
         self.stats.ats_requests += 1;
+
+        // The real path mutates cache recency; results from before it are
+        // no longer replayable. (Re-armed below on a consecutive repeat.)
+        let prev_key = self.repeat.key.take();
+        self.repeat.armed = false;
 
         let fault_cost = self.timing.pcie_rtt + self.timing.walk_miss;
         let root = match self.context.get(&pasid) {
@@ -399,7 +506,7 @@ impl Iommu {
         let last_page = (vba.0 + len - 1) / PAGE_SIZE;
         let n_pages = last_page - first_page + 1;
         let mut walks = 0u64;
-        let mut extents: Vec<(Lba, u32)> = Vec::new();
+        let base = extents.len();
 
         for page in first_page..=last_page {
             let va = VirtAddr(page * PAGE_SIZE);
@@ -443,11 +550,15 @@ impl Iommu {
             let sectors = ((hi - lo) / SECTOR_SIZE) as u32;
             let lba = pte.lba().advance(sector_off);
 
-            // Coalesce with the previous extent when physically contiguous.
-            if let Some(last) = extents.last_mut() {
-                if last.0.advance(last.1 as u64) == lba {
-                    last.1 += sectors;
-                    continue;
+            // Coalesce with the previous extent when physically
+            // contiguous (only within this request, never with entries
+            // the caller already had in the buffer).
+            if extents.len() > base {
+                if let Some(last) = extents.last_mut() {
+                    if last.0.advance(last.1 as u64) == lba {
+                        last.1 += sectors;
+                        continue;
+                    }
                 }
             }
             extents.push((lba, sectors));
@@ -455,16 +566,29 @@ impl Iommu {
 
         self.pwc.insert(pasid, pwc_pfx, ());
         debug_assert_eq!(
-            extents.iter().map(|e| e.1 as u64).sum::<u64>() * SECTOR_SIZE,
+            extents[base..].iter().map(|e| e.1 as u64).sum::<u64>() * SECTOR_SIZE,
             len
         );
         let cost = self.request_cost(n_pages, walks, pwc_hit);
-        Ok(Translation {
-            extents,
+        let info = TranslationInfo {
             cost,
             walks,
             pwc_hit,
-        })
+        };
+        if collect.is_none() {
+            // Arm the memo only on the second consecutive identical
+            // request: that run observed the fixed-point cache state, so
+            // its result (and stats deltas) replay exactly.
+            if prev_key == Some(key) {
+                self.repeat.armed = true;
+                self.repeat.extents.clear();
+                self.repeat.extents.extend_from_slice(&extents[base..]);
+                self.repeat.info = info;
+                self.repeat.n_pages = n_pages;
+            }
+            self.repeat.key = Some(key);
+        }
+        Ok(info)
     }
 
     /// Translates a regular IOVA (DMA buffer address) to a physical
@@ -479,6 +603,8 @@ impl Iommu {
         va: VirtAddr,
         write: bool,
     ) -> Result<PhysAddr, TranslateError> {
+        // Touches IOTLB contents/recency, so the repeat memo is stale.
+        self.memo_clear();
         let root = *self
             .context
             .get(&pasid)

@@ -77,12 +77,14 @@ impl Inner {
         state.waiting.push(Reverse((t.max(state.now), seq, id)));
     }
 
-    /// Block the calling actor until it holds the run token.
-    fn wait_for_token(&self, id: ActorId) {
+    /// Block the calling actor until it holds the run token; returns the
+    /// virtual time at which it resumes (so the actor can cache it).
+    fn wait_for_token(&self, id: ActorId) -> Nanos {
         let mut state = self.state.lock();
         while state.current != Some(id) {
             self.cond.wait(&mut state);
         }
+        state.now
     }
 }
 
@@ -181,11 +183,12 @@ impl Simulation {
         let handle = std::thread::Builder::new()
             .name(format!("sim-{name}"))
             .spawn(move || {
-                thread_inner.wait_for_token(id);
+                let now = thread_inner.wait_for_token(id);
                 let mut ctx = ActorCtx {
                     inner: Arc::clone(&thread_inner),
                     id,
                     name: name.clone(),
+                    now,
                 };
                 let _guard = FinishGuard {
                     inner: thread_inner,
@@ -251,12 +254,17 @@ pub struct ActorCtx {
     inner: Arc<Inner>,
     id: ActorId,
     name: String,
+    /// Cache of the conductor's clock. Valid whenever this actor holds the
+    /// run token: virtual time only advances in `dispatch_next` (while no
+    /// actor runs) or in this actor's own `wait_until` fast path, so no
+    /// other thread can move the clock while we execute.
+    now: Nanos,
 }
 
 impl ActorCtx {
     /// The current virtual time.
     pub fn now(&self) -> Nanos {
-        self.inner.state.lock().now
+        self.now
     }
 
     /// This actor's identifier.
@@ -282,11 +290,27 @@ impl ActorCtx {
         {
             let mut state = self.inner.state.lock();
             debug_assert_eq!(state.current, Some(self.id));
+            // Fast path: if no other actor is scheduled at or before our
+            // effective wake time, the conductor would hand the token
+            // straight back to us, so advance the clock in place and keep
+            // running. The comparison must be inclusive: an actor already
+            // waiting at exactly that time has an earlier FIFO sequence
+            // number and must run first.
+            let eff = t.max(state.now);
+            let handoff = match state.waiting.peek() {
+                Some(&Reverse((wake, _, _))) => wake <= eff,
+                None => false,
+            };
+            if !handoff {
+                state.now = eff;
+                self.now = eff;
+                return;
+            }
             state.current = None;
             self.inner.enqueue(&mut state, t, self.id);
             self.inner.dispatch_next(&mut state);
         }
-        self.inner.wait_for_token(self.id);
+        self.now = self.inner.wait_for_token(self.id);
     }
 
     /// Yields to any other actor scheduled at the current time.

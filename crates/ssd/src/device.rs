@@ -164,10 +164,22 @@ pub struct DeviceStats {
     pub qos_deferred: u64,
 }
 
+/// Reusable buffers for the steady-state command path. They live under
+/// the device state lock, so one set serves every queue; capacity grows
+/// to the largest request seen and is then reused allocation-free.
+#[derive(Default)]
+struct DevScratch {
+    /// Coalesced LBA extents of the command being processed.
+    extents: Vec<(Lba, u32)>,
+    /// Staging chunk for media ↔ DMA data movement.
+    chunk: Vec<u8>,
+}
+
 struct DevState {
     store: SectorStore,
     timer: DeviceTimer,
     queues: std::collections::HashMap<QueueId, QueuePair>,
+    io_bufs: DevScratch,
     stats: DeviceStats,
     /// QoS enforcement + per-tenant accounting. Accounting is always on
     /// (it never moves virtual time); pacing only when the config
@@ -231,6 +243,7 @@ impl NvmeDevice {
                 store: SectorStore::new(capacity_sectors),
                 timer: DeviceTimer::new(timing),
                 queues: std::collections::HashMap::new(),
+                io_bufs: DevScratch::default(),
                 stats: DeviceStats::default(),
                 qos: QosArbiter::new(QosConfig::default(), timing.channels),
                 recorder: None,
@@ -343,22 +356,56 @@ impl NvmeDevice {
     /// [`SubmitError::UnknownQueue`] for a deleted queue.
     pub fn submit(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Result<u16, SubmitError> {
         let mut state = self.state.lock();
-        let (pasid, inflight, depth) = {
-            let q = state
-                .queues
-                .get_mut(&qid)
-                .ok_or(SubmitError::UnknownQueue)?;
-            (q.pasid, q.inflight, q.depth)
-        };
+        self.submit_locked(&mut state, qid, cmd, now)
+    }
+
+    /// Submits a batch of commands under a single doorbell ring (one
+    /// state-lock acquisition), appending each accepted command id to
+    /// `cids`.
+    ///
+    /// # Errors
+    /// Stops at the first failing command and returns its error;
+    /// commands accepted before it stay submitted (their cids are in
+    /// `cids`). On success returns the number of commands accepted.
+    pub fn submit_batch<'a>(
+        &self,
+        qid: QueueId,
+        cmds: impl IntoIterator<Item = Command<'a>>,
+        now: Nanos,
+        cids: &mut Vec<u16>,
+    ) -> Result<usize, SubmitError> {
+        let mut state = self.state.lock();
+        let mut accepted = 0;
+        for cmd in cmds {
+            let cid = self.submit_locked(&mut state, qid, cmd, now)?;
+            cids.push(cid);
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// One command's submission under an already-held state lock.
+    fn submit_locked(
+        &self,
+        state: &mut DevState,
+        qid: QueueId,
+        cmd: Command<'_>,
+        now: Nanos,
+    ) -> Result<u16, SubmitError> {
+        let q = state
+            .queues
+            .get_mut(&qid)
+            .ok_or(SubmitError::UnknownQueue)?;
+        let (pasid, inflight, depth) = (q.pasid, q.inflight, q.depth);
         let tenant = pasid.map_or(Tenant::Kernel, Tenant::User);
-        let cid = match state.queues.get_mut(&qid).unwrap().claim() {
+        let cid = match q.claim() {
             Some(cid) => cid,
             None => {
                 state.qos.record_rejected(tenant);
                 return Err(SubmitError::QueueFull);
             }
         };
-        let mut completion = self.process(&mut state, qid, tenant, pasid, cmd, now);
+        let mut completion = self.process(state, qid, tenant, pasid, cmd, now);
         // Depth pressure: with QoS on, flag completions once the queue
         // pair runs at ≥ 3/4 of its depth so UserLib backs off before
         // hitting hard QueueFull rejections.
@@ -368,7 +415,7 @@ impl NvmeDevice {
         state
             .queues
             .get_mut(&qid)
-            .unwrap()
+            .expect("queue cannot vanish while the state lock is held")
             .post(Completion { cid, ..completion });
         Ok(cid)
     }
@@ -376,15 +423,26 @@ impl NvmeDevice {
     /// Convenience for synchronous callers: submit, reap, and return the
     /// full completion. The caller should `wait_until` its `ready_at`
     /// before acting on the data.
+    ///
+    /// The command is claimed, processed and retired in one critical
+    /// section: the completion never sits in the pending map or CQ heap,
+    /// so the synchronous path costs one lock round trip instead of the
+    /// three a submit / ready_time / reap_at sequence pays.
     pub fn execute_full(&self, qid: QueueId, cmd: Command<'_>, now: Nanos) -> Completion {
-        let cid = match self.submit(qid, cmd, now) {
-            Ok(c) => c,
-            Err(SubmitError::QueueFull) => panic!("execute() on a full queue"),
-            Err(SubmitError::UnknownQueue) => panic!("execute() on unknown queue"),
-        };
-        let ready = self.ready_time(qid, cid).expect("command vanished");
-        self.reap_at(qid, cid, ready)
-            .expect("completion not ready at its own ready time")
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(&qid)
+            .unwrap_or_else(|| panic!("execute() on unknown queue"));
+        assert!(q.inflight < q.depth, "execute() on a full queue");
+        let (pasid, inflight, depth) = (q.pasid, q.inflight, q.depth);
+        let cid = q.take_cid();
+        let tenant = pasid.map_or(Tenant::Kernel, Tenant::User);
+        let mut completion = self.process(&mut state, qid, tenant, pasid, cmd, now);
+        if state.qos.enabled() && (inflight + 1) * 4 >= depth * 3 {
+            completion.pressure = true;
+        }
+        Completion { cid, ..completion }
     }
 
     /// [`NvmeDevice::execute_full`], reduced to status + completion time.
@@ -511,8 +569,10 @@ impl NvmeDevice {
             (now, false)
         };
 
-        // Resolve the address to LBA extents.
-        let (extents, trans_cost): (Vec<(Lba, u32)>, Nanos) = match cmd.addr {
+        // Resolve the address to LBA extents (into the reusable scratch
+        // buffer — the steady-state path performs no allocation).
+        state.io_bufs.extents.clear();
+        let trans_cost: Nanos = match cmd.addr {
             BlockAddr::Lba(lba) => {
                 if pasid.is_some() {
                     // Security: user queues may not address raw LBAs.
@@ -523,7 +583,8 @@ impl NvmeDevice {
                         pressure,
                     };
                 }
-                (vec![(lba, cmd.sectors)], Nanos::ZERO)
+                state.io_bufs.extents.push((lba, cmd.sectors));
+                Nanos::ZERO
             }
             BlockAddr::Vba(vba) => {
                 let pasid = match pasid {
@@ -545,24 +606,26 @@ impl NvmeDevice {
                 let len = cmd.sectors as u64 * SECTOR_SIZE;
                 // Device-side ATC first (no PCIe round trip on a hit);
                 // off by default, in which case this is always None.
-                if let Some((extents, cost)) = self.atc.translate(pasid, vba, len, kind) {
+                if let Some((atc_extents, cost)) = self.atc.translate(pasid, vba, len, kind) {
                     let cost = if is_write { Nanos::ZERO } else { cost };
                     scratch.walk = Some(WalkLevel::AtcHit);
                     scratch.translate = cost;
-                    (extents, cost)
+                    state.io_bufs.extents.extend_from_slice(&atc_extents);
+                    cost
                 } else {
                     let mut pages = if self.atc.enabled() {
                         Some(Vec::new())
                     } else {
                         None
                     };
-                    let walked = self.iommu.lock().translate_collect(
+                    let walked = self.iommu.lock().translate_extents_into(
                         pasid,
                         vba,
                         len,
                         kind,
                         self.id,
                         pages.as_mut(),
+                        &mut state.io_bufs.extents,
                     );
                     match walked {
                         Ok(t) => {
@@ -580,7 +643,7 @@ impl NvmeDevice {
                                 WalkLevel::FullWalk
                             });
                             scratch.translate = cost;
-                            (t.extents, cost)
+                            cost
                         }
                         Err((fault, cost)) => {
                             state.stats.translation_faults += 1;
@@ -599,8 +662,8 @@ impl NvmeDevice {
         };
 
         // Range check.
-        for (lba, sectors) in &extents {
-            if !state.store.in_range(*lba, *sectors as u64) {
+        for &(lba, sectors) in &state.io_bufs.extents {
+            if !state.store.in_range(lba, sectors as u64) {
                 return Completion {
                     cid: 0,
                     status: NvmeStatus::LbaOutOfRange,
@@ -610,17 +673,19 @@ impl NvmeDevice {
             }
         }
 
-        // Functional data movement.
+        // Functional data movement, staged through the reusable chunk.
         match cmd.opcode {
             Opcode::Read => {
                 let dma = cmd.dma.expect("read without DMA buffer");
                 let mut off = cmd.dma_offset;
-                let mut chunk = Vec::new();
-                for (lba, sectors) in &extents {
-                    let n = (*sectors as u64 * SECTOR_SIZE) as usize;
-                    chunk.resize(n, 0);
-                    state.store.read(*lba, &mut chunk);
-                    dma.write(off, &chunk);
+                for i in 0..state.io_bufs.extents.len() {
+                    let (lba, sectors) = state.io_bufs.extents[i];
+                    let n = (sectors as u64 * SECTOR_SIZE) as usize;
+                    if state.io_bufs.chunk.len() < n {
+                        state.io_bufs.chunk.resize(n, 0);
+                    }
+                    state.store.read(lba, &mut state.io_bufs.chunk[..n]);
+                    dma.write(off, &state.io_bufs.chunk[..n]);
                     off += n;
                 }
                 state.stats.reads += 1;
@@ -629,20 +694,23 @@ impl NvmeDevice {
             Opcode::Write => {
                 let dma = cmd.dma.expect("write without DMA buffer");
                 let mut off = cmd.dma_offset;
-                let mut chunk = Vec::new();
-                for (lba, sectors) in &extents {
-                    let n = (*sectors as u64 * SECTOR_SIZE) as usize;
-                    chunk.resize(n, 0);
-                    dma.read(off, &mut chunk);
-                    state.store.write(*lba, &chunk);
+                for i in 0..state.io_bufs.extents.len() {
+                    let (lba, sectors) = state.io_bufs.extents[i];
+                    let n = (sectors as u64 * SECTOR_SIZE) as usize;
+                    if state.io_bufs.chunk.len() < n {
+                        state.io_bufs.chunk.resize(n, 0);
+                    }
+                    dma.read(off, &mut state.io_bufs.chunk[..n]);
+                    state.store.write(lba, &state.io_bufs.chunk[..n]);
                     off += n;
                 }
                 state.stats.writes += 1;
                 state.stats.written_bytes += total_bytes;
             }
             Opcode::WriteZeroes => {
-                for (lba, sectors) in &extents {
-                    state.store.write_zeroes(*lba, *sectors as u64);
+                for i in 0..state.io_bufs.extents.len() {
+                    let (lba, sectors) = state.io_bufs.extents[i];
+                    state.store.write_zeroes(lba, sectors as u64);
                 }
                 state.stats.writes += 1;
                 state.stats.written_bytes += total_bytes;
@@ -710,6 +778,24 @@ impl NvmeDevice {
             .get_mut(&qid)
             .map(|q| q.reap_ready(now, max))
             .unwrap_or_default()
+    }
+
+    /// As [`NvmeDevice::reap_ready`], appending into a caller-provided
+    /// buffer — the batched completion path's allocation-free variant.
+    /// Returns how many completions were appended (0 for an unknown
+    /// queue).
+    pub fn reap_ready_into(
+        &self,
+        qid: QueueId,
+        now: Nanos,
+        max: usize,
+        out: &mut Vec<Completion>,
+    ) -> usize {
+        self.state
+            .lock()
+            .queues
+            .get_mut(&qid)
+            .map_or(0, |q| q.reap_ready_into(now, max, out))
     }
 
     /// Earliest pending completion time on `qid`.

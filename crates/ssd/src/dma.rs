@@ -82,16 +82,19 @@ impl DmaBuffer {
         });
     }
 
-    /// Copies from the buffer at `offset` into `out`.
+    /// Copies from the buffer at `offset` into `out`, chunk by chunk —
+    /// no staging allocation on the hot read path.
     ///
     /// # Panics
     /// Panics if the range exceeds the buffer.
     pub fn read(&self, offset: usize, out: &mut [u8]) {
-        let mut staged = vec![0u8; out.len()];
-        self.for_each_chunk(offset, out.len(), |pa, done, n| {
-            self.mem.read(pa, &mut staged[done..done + n]);
+        let len = out.len();
+        let mut rest = &mut *out;
+        self.for_each_chunk(offset, len, |pa, _done, n| {
+            let (cur, tail) = std::mem::take(&mut rest).split_at_mut(n);
+            self.mem.read(pa, cur);
+            rest = tail;
         });
-        out.copy_from_slice(&staged);
     }
 }
 

@@ -72,12 +72,20 @@ pub(crate) struct QueuePair {
     /// Completions not yet reaped by the host, by command id.
     pending: HashMap<u16, Completion>,
     /// Min-heap of `(ready_at, cid)`; may hold stale entries for reaped
-    /// or reused cids (discarded lazily against `pending`).
+    /// or reused cids (discarded lazily against `pending`, and compacted
+    /// once the stale fraction exceeds one half).
     heap: BinaryHeap<Reverse<(Nanos, u16)>>,
+    /// Heap entries known stale (targeted reaps, overwritten cids) that
+    /// lazy discard has not yet popped.
+    stale: usize,
     /// Commands submitted but not yet reaped.
     pub inflight: usize,
     next_cid: u16,
 }
+
+/// Below this heap size, stale entries are left for lazy discard; a
+/// rebuild would cost more than it saves.
+const COMPACT_MIN_HEAP: usize = 64;
 
 impl QueuePair {
     pub(crate) fn new(pasid: Option<Pasid>, depth: usize) -> Self {
@@ -86,6 +94,7 @@ impl QueuePair {
             depth,
             pending: HashMap::new(),
             heap: BinaryHeap::new(),
+            stale: 0,
             inflight: 0,
             next_cid: 0,
         }
@@ -98,16 +107,28 @@ impl QueuePair {
             return None;
         }
         self.inflight += 1;
+        Some(self.take_cid())
+    }
+
+    /// Advances the cid counter without occupying a slot — used by the
+    /// synchronous execute path, which claims and retires the command in
+    /// the same device-lock critical section.
+    pub(crate) fn take_cid(&mut self) -> u16 {
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
-        Some(cid)
+        cid
     }
 
     /// Posts a completion.
     pub(crate) fn post(&mut self, completion: Completion) {
         self.heap
             .push(Reverse((completion.ready_at, completion.cid)));
-        self.pending.insert(completion.cid, completion);
+        if self.pending.insert(completion.cid, completion).is_some() {
+            // A reused cid shadowed an unreaped completion; its old heap
+            // entry is now stale.
+            self.stale += 1;
+            self.maybe_compact();
+        }
     }
 
     /// Ready time of command `cid`, if it has been posted.
@@ -116,13 +137,32 @@ impl QueuePair {
     }
 
     /// Reaps the completion for `cid` if visible at `now`. The heap entry
-    /// stays behind and is discarded lazily.
+    /// stays behind and is discarded lazily (or by compaction once stale
+    /// entries dominate the heap).
     pub(crate) fn reap(&mut self, cid: u16, now: Nanos) -> Option<Completion> {
         if self.pending.get(&cid)?.ready_at > now {
             return None;
         }
         self.inflight -= 1;
-        self.pending.remove(&cid)
+        let c = self.pending.remove(&cid);
+        if c.is_some() {
+            self.stale += 1;
+            self.maybe_compact();
+        }
+        c
+    }
+
+    /// Rebuilds the heap from the live pending map once more than half
+    /// of a non-trivial heap is stale, bounding retained garbage: a
+    /// long-lived queue driven purely by targeted reaps stays O(depth)
+    /// instead of growing monotonically.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN_HEAP && self.stale * 2 > self.heap.len() {
+            self.heap.clear();
+            self.heap
+                .extend(self.pending.values().map(|c| Reverse((c.ready_at, c.cid))));
+            self.stale = 0;
+        }
     }
 
     /// True when the heap's top entry no longer matches a pending
@@ -136,12 +176,27 @@ impl QueuePair {
     /// (ties broken by cid).
     pub(crate) fn reap_ready(&mut self, now: Nanos, max: usize) -> Vec<Completion> {
         let mut out = Vec::new();
-        while out.len() < max {
+        self.reap_ready_into(now, max, &mut out);
+        out
+    }
+
+    /// As [`QueuePair::reap_ready`], appending into a caller-provided
+    /// buffer (the batched-completion path's allocation-free variant);
+    /// returns how many completions were appended.
+    pub(crate) fn reap_ready_into(
+        &mut self,
+        now: Nanos,
+        max: usize,
+        out: &mut Vec<Completion>,
+    ) -> usize {
+        let mut added = 0;
+        while added < max {
             let Some(&Reverse((t, cid))) = self.heap.peek() else {
                 break;
             };
             if self.top_is_stale(t, cid) {
                 self.heap.pop();
+                self.stale = self.stale.saturating_sub(1);
                 continue;
             }
             if t > now {
@@ -151,8 +206,9 @@ impl QueuePair {
             let c = self.pending.remove(&cid).expect("checked live above");
             self.inflight -= 1;
             out.push(c);
+            added += 1;
         }
-        out
+        added
     }
 
     /// Earliest pending completion time, if any. Takes `&mut self` to
@@ -161,6 +217,7 @@ impl QueuePair {
         while let Some(&Reverse((t, cid))) = self.heap.peek() {
             if self.top_is_stale(t, cid) {
                 self.heap.pop();
+                self.stale = self.stale.saturating_sub(1);
                 continue;
             }
             return Some(t);
@@ -180,6 +237,7 @@ impl QueuePair {
         let n = self.pending.len();
         self.pending.clear();
         self.heap.clear();
+        self.stale = 0;
         n
     }
 }
@@ -326,6 +384,52 @@ mod tests {
         assert_eq!(q.drop_pending(), 2);
         assert_eq!(q.next_ready_time(), None);
         assert!(q.reap_ready(Nanos(100), 8).is_empty());
+    }
+
+    #[test]
+    fn targeted_reap_hammering_keeps_heap_bounded() {
+        // Satellite regression: a long-lived queue driven purely by
+        // targeted reaps (submit → reap(cid), as the async write path
+        // does) leaves one stale heap entry per op. Compaction must keep
+        // retained garbage bounded instead of growing monotonically, and
+        // the live completion must always survive the rebuild.
+        let mut q = QueuePair::new(None, 64);
+        for round in 0..10_000u64 {
+            let cid = q.claim().unwrap();
+            q.post(ok(cid, round + 1));
+            assert_eq!(q.reap(cid, Nanos(round + 1)).unwrap().cid, cid);
+            assert!(
+                q.heap.len() <= 2 * COMPACT_MIN_HEAP,
+                "heap grew to {} entries after {} targeted reaps",
+                q.heap.len(),
+                round + 1
+            );
+        }
+        assert_eq!(q.inflight, 0);
+        assert_eq!(q.next_ready_time(), None);
+    }
+
+    #[test]
+    fn compaction_preserves_live_completions() {
+        // Interleave targeted reaps (stale producers) with live
+        // completions; compaction must never drop or reorder the live
+        // ones.
+        let mut q = QueuePair::new(None, usize::MAX);
+        let live: Vec<u16> = (0..8u16)
+            .map(|i| {
+                let cid = q.claim().unwrap();
+                q.post(ok(cid, 1_000_000 + u64::from(i)));
+                cid
+            })
+            .collect();
+        for round in 0..1_000u64 {
+            let cid = q.claim().unwrap();
+            q.post(ok(cid, round + 1));
+            q.reap(cid, Nanos(round + 1)).unwrap();
+        }
+        let got = q.reap_ready(Nanos(2_000_000), 64);
+        assert_eq!(got.iter().map(|c| c.cid).collect::<Vec<_>>(), live);
+        assert_eq!(q.inflight, 0);
     }
 
     #[test]

@@ -62,6 +62,18 @@ impl TraceConfig {
         }
     }
 
+    /// Tracing on with k-of-n sampling — the recommended production
+    /// configuration: a stamp site costs one relaxed load plus one
+    /// relaxed fetch-add, keeping overhead within the trace budget while
+    /// still capturing exact stage decompositions for kept records.
+    pub fn sampled(every: u32) -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_every: every.max(1),
+            ..Default::default()
+        }
+    }
+
     /// Applies environment overrides: `BYPASSD_TRACE` (non-empty,
     /// non-"0" forces tracing on), `BYPASSD_TRACE_SAMPLE` (sampling
     /// period), `BYPASSD_TRACE_RING` (ring capacity). Unset variables
@@ -95,9 +107,12 @@ struct Ring<T> {
 
 impl<T> Ring<T> {
     fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
         Ring {
-            buf: VecDeque::new(),
-            cap: cap.max(1),
+            // Preallocated so stamp sites never grow the ring on the hot
+            // path — a full ring recycles its slots forever.
+            buf: VecDeque::with_capacity(cap),
+            cap,
             dropped: 0,
         }
     }
@@ -130,7 +145,6 @@ pub struct Recorder {
     sample_every: u32,
     dev_tick: AtomicU64,
     op_tick: AtomicU64,
-    sampled_out: AtomicU64,
     dev_rings: Vec<Mutex<Ring<DeviceRecord>>>,
     op_rings: Vec<Mutex<Ring<OpRecord>>>,
 }
@@ -144,7 +158,6 @@ impl Recorder {
             sample_every: config.sample_every.max(1),
             dev_tick: AtomicU64::new(0),
             op_tick: AtomicU64::new(0),
-            sampled_out: AtomicU64::new(0),
             dev_rings: (0..SHARDS)
                 .map(|_| Mutex::new(Ring::new(shard_cap)))
                 .collect(),
@@ -178,18 +191,26 @@ impl Recorder {
         self.sample_every
     }
 
+    /// One relaxed fetch-add per stamp — the skip count is derived
+    /// arithmetically from the tick in [`Recorder::counts`] rather than
+    /// maintained as a second counter on the hot path.
     fn sample(&self, tick: &AtomicU64) -> bool {
         if self.sample_every == 1 {
             return true;
         }
         // ordering: Relaxed — sampling tick; only k-of-n decimation depends on it, no memory is published.
         let n = tick.fetch_add(1, Ordering::Relaxed);
-        if n.is_multiple_of(u64::from(self.sample_every)) {
-            true
+        n.is_multiple_of(u64::from(self.sample_every))
+    }
+
+    /// Records skipped by sampling out of `ticks` stamps (ticks only
+    /// advance when `sample_every > 1`; stamp `n` is kept iff `n % s == 0`).
+    fn skipped(&self, ticks: u64) -> u64 {
+        let s = u64::from(self.sample_every);
+        if s <= 1 {
+            0
         } else {
-            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
-            self.sampled_out.fetch_add(1, Ordering::Relaxed);
-            false
+            ticks - ticks.div_ceil(s)
         }
     }
 
@@ -240,8 +261,9 @@ impl Recorder {
     /// Current buffer/drop/sampling counters.
     pub fn counts(&self) -> RecorderCounts {
         let mut c = RecorderCounts {
-            // ordering: Relaxed — monotonic stats counter; read only for reporting, publishes no other memory.
-            sampled_out: self.sampled_out.load(Ordering::Relaxed),
+            // ordering: Relaxed — monotonic stats counters; read only for reporting, publish no other memory.
+            sampled_out: self.skipped(self.dev_tick.load(Ordering::Relaxed))
+                + self.skipped(self.op_tick.load(Ordering::Relaxed)),
             ..Default::default()
         };
         for ring in &self.dev_rings {

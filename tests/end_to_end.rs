@@ -238,3 +238,163 @@ fn fmap_memory_overhead_is_small() {
     );
     let _ = before;
 }
+
+#[test]
+fn pread_batch_matches_sequential_reads() {
+    // Same offsets through pread_batch and pread must yield identical
+    // bytes; a single unaligned request must route the whole batch down
+    // the sequential path with identical semantics.
+    use bypassd::ReadReq;
+    let sys = system();
+    let file = 4u64 << 20;
+    sys.fs().populate("/b", file, 0).unwrap();
+
+    let sim = Simulation::new();
+    let s = sys.clone();
+    sim.spawn("writer", move |ctx| {
+        let proc = UserProcess::start(&s, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/b", true).unwrap();
+        for i in 0..64u64 {
+            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
+        }
+        t.close(ctx, fd).unwrap();
+    });
+    sim.run();
+
+    let sim = Simulation::new();
+    let s = sys.clone();
+    sim.spawn("reader", move |ctx| {
+        let proc = UserProcess::start(&s, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/b", false).unwrap();
+        let offsets: Vec<u64> = (0..64u64).rev().map(|i| i * 4096).collect();
+        let mut batched = vec![0u8; 64 * 4096];
+        {
+            let mut reqs: Vec<ReadReq<'_>> = batched
+                .chunks_mut(4096)
+                .zip(offsets.iter())
+                .map(|(buf, &offset)| ReadReq { offset, buf })
+                .collect();
+            let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+            assert_eq!(n, 64 * 4096);
+        }
+        let mut seq = vec![0u8; 4096];
+        for (k, &off) in offsets.iter().enumerate() {
+            t.pread(ctx, fd, &mut seq, off).unwrap();
+            assert_eq!(
+                &batched[k * 4096..(k + 1) * 4096],
+                &seq[..],
+                "batched read {k} (offset {off}) diverged from sequential"
+            );
+        }
+        // Unaligned request: the whole batch takes the sequential path.
+        let mut a = vec![0u8; 4096];
+        let mut b = vec![0u8; 100];
+        let mut reqs = [
+            ReadReq {
+                offset: 0,
+                buf: &mut a,
+            },
+            ReadReq {
+                offset: 123,
+                buf: &mut b,
+            },
+        ];
+        let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+        assert_eq!(n, 4096 + 100);
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 1, "offset 123 still inside page 0's 0x01 fill");
+        let (_, fallback) = proc.op_counts();
+        assert_eq!(fallback, 0, "all reads stayed on the direct path");
+    });
+    sim.run();
+}
+
+#[test]
+fn batched_reads_multithreaded_under_qos_and_trace() {
+    // Smoke test for the batched submit/reap path under adversarial
+    // conditions: two reader threads on private queues, a non-blocking
+    // writer filling the overlay, QoS arbitration emitting pressure
+    // signals, and sampled tracing recording throughout.
+    use bypassd::{QosConfig, ReadReq, TraceConfig};
+    use bypassd_sim::rng::Rng;
+    const FILE: u64 = 8 << 20;
+    const WRITER_REGION: u64 = 1 << 20;
+    let sys = System::builder()
+        .capacity(4 << 30)
+        .qos(QosConfig::enabled())
+        .trace(TraceConfig::sampled(4))
+        .build();
+    sys.fs().populate("/shared", FILE, 0x5a).unwrap();
+
+    let sim = Simulation::new();
+    let proc = UserProcess::start(&sys, 0, 0);
+    for (name, seed) in [("reader-1", 11u64), ("reader-2", 22u64)] {
+        let p = Arc::clone(&proc);
+        sim.spawn(name, move |ctx| {
+            let mut t = p.thread();
+            // Writable like the writer: mixed-permission fmaps of one
+            // file share fragments and would thrash the write FTEs.
+            let fd = t.open(ctx, "/shared", true).unwrap();
+            let mut buf = vec![0u8; 16 * 4096];
+            let mut rng = Rng::new(seed);
+            for _ in 0..50 {
+                let mut reqs: Vec<ReadReq<'_>> = buf
+                    .chunks_mut(4096)
+                    .map(|b| ReadReq {
+                        // Stay clear of the writer's region so content
+                        // is deterministic.
+                        offset: WRITER_REGION + rng.gen_range((FILE - WRITER_REGION) / 4096) * 4096,
+                        buf: b,
+                    })
+                    .collect();
+                let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+                assert_eq!(n, 16 * 4096);
+                assert!(buf.iter().all(|&x| x == 0x5a), "payload corrupted");
+            }
+            t.close(ctx, fd).unwrap();
+        });
+    }
+    let p = Arc::clone(&proc);
+    sim.spawn("async-writer", move |ctx| {
+        let mut t = p.thread();
+        let fd = t.open(ctx, "/shared", true).unwrap();
+        let mut back = vec![0u8; 16 * 4096];
+        for round in 0..10u64 {
+            for i in 0..16u64 {
+                t.pwrite_async(ctx, fd, &[0x77u8; 4096], i * 4096).unwrap();
+            }
+            // Batched read-back sees the overlay (or landed) data.
+            let mut reqs: Vec<ReadReq<'_>> = back
+                .chunks_mut(4096)
+                .enumerate()
+                .map(|(i, b)| ReadReq {
+                    offset: i as u64 * 4096,
+                    buf: b,
+                })
+                .collect();
+            let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+            assert_eq!(n, 16 * 4096);
+            assert!(
+                back.iter().all(|&x| x == 0x77),
+                "round {round}: read-after-write broke under batching"
+            );
+            t.flush_writes(ctx, fd).unwrap();
+        }
+        t.close(ctx, fd).unwrap();
+    });
+    sim.run();
+
+    let (direct, fallback) = proc.op_counts();
+    assert_eq!(fallback, 0, "no op fell back to the kernel");
+    // 2 readers x 50 flights x 16 + writer 10 x (16 writes + 16 reads).
+    assert_eq!(direct, 2 * 50 * 16 + 10 * 32);
+    let counts = sys.recorder().counts();
+    assert!(counts.ops > 0, "sampled tracing captured no op records");
+    assert!(
+        counts.sampled_out > 0,
+        "sampling period 4 must skip some records"
+    );
+}
