@@ -30,7 +30,7 @@ pub use aio_backend::LibaioFactory;
 pub use bypassd_backend::BypassdFactory;
 pub use spdk::{SpdkEnv, SpdkFactory};
 pub use sync_backend::SyncFactory;
-pub use traits::{BackendFactory, BackendKind, StorageBackend};
+pub use traits::{BackendFactory, BackendKind, OffloadProg, StorageBackend};
 pub use uring_backend::UringFactory;
 pub use xrp_backend::XrpFactory;
 
@@ -52,5 +52,6 @@ pub fn make_factory(
         BackendKind::Spdk => Arc::new(SpdkFactory::new(system)),
         BackendKind::Xrp => Arc::new(XrpFactory::new(system, uid, gid)),
         BackendKind::Bypassd => Arc::new(BypassdFactory::new(system, uid, gid)),
+        BackendKind::BypassdOffload => Arc::new(BypassdFactory::new_offload(system, uid, gid)),
     }
 }

@@ -188,6 +188,7 @@ impl SpdkBackend {
                 sectors: (*n / SECTOR_SIZE) as u32,
                 dma: Some(&self.dma),
                 dma_offset: dma_off,
+                chain: None,
             };
             let (st, ready) = self.dev.execute(self.qid, cmd, ctx.now());
             if !st.is_ok() {

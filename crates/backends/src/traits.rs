@@ -1,9 +1,13 @@
 //! The backend abstraction the workload generators drive.
 
-use bypassd_os::SysResult;
-use bypassd_sim::engine::ActorCtx;
+use std::sync::Arc;
 
-/// Selects one of the six compared I/O paths.
+use bypassd_offload::{run_hop, ChainState, Op, Outcome, ProgHandle, Program, BLOCK, STEP_NS};
+use bypassd_os::{Errno, SysResult};
+use bypassd_sim::engine::ActorCtx;
+use bypassd_sim::time::Nanos;
+
+/// Selects one of the compared I/O paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// Baseline Linux synchronous syscalls.
@@ -18,6 +22,9 @@ pub enum BackendKind {
     Xrp,
     /// BypassD (this paper).
     Bypassd,
+    /// BypassD with device-side chain offload (one submission per
+    /// chain, the device follows `Resubmit` offsets itself).
+    BypassdOffload,
 }
 
 impl BackendKind {
@@ -30,11 +37,12 @@ impl BackendKind {
             BackendKind::Spdk => "spdk",
             BackendKind::Xrp => "xrp",
             BackendKind::Bypassd => "bypassd",
+            BackendKind::BypassdOffload => "bypassd+offload",
         }
     }
 
     /// All kinds, in the paper's usual legend order.
-    pub fn all() -> [BackendKind; 6] {
+    pub fn all() -> [BackendKind; 7] {
         [
             BackendKind::Sync,
             BackendKind::Libaio,
@@ -42,8 +50,21 @@ impl BackendKind {
             BackendKind::Spdk,
             BackendKind::Xrp,
             BackendKind::Bypassd,
+            BackendKind::BypassdOffload,
         ]
     }
+}
+
+/// A loaded offload program, as a backend sees it.
+#[derive(Debug, Clone)]
+pub enum OffloadProg {
+    /// Loaded into a real engine (the device for BypassD+offload, the
+    /// kernel driver hook for XRP): named by handle.
+    Engine(ProgHandle),
+    /// No engine on this path: the verified program itself, interpreted
+    /// host-side over [`StorageBackend::pread`] — same IR, same results,
+    /// full per-hop software cost.
+    Host(Arc<Program>),
 }
 
 impl std::fmt::Display for BackendKind {
@@ -129,6 +150,59 @@ pub trait StorageBackend: Send {
                 None => return Ok(buf),
             }
         }
+    }
+
+    /// Loads an operation-IR program for [`Self::chained_read_prog`]:
+    /// verify-at-load, then install wherever this backend's engine
+    /// lives. The default has no engine — it verifies host-side and
+    /// returns the program for userspace interpretation.
+    ///
+    /// # Errors
+    /// `Inval` if the verifier rejects the program.
+    fn prog_load(&mut self, _ctx: &mut ActorCtx, ops: &[Op]) -> SysResult<OffloadProg> {
+        Program::verify(ops.to_vec())
+            .map(|p| OffloadProg::Host(Arc::new(p)))
+            .map_err(|_| Errno::Inval)
+    }
+
+    /// Chained read driven by a loaded program: starting at `start`
+    /// (sector-aligned), each completed [`BLOCK`]-byte block is fed to
+    /// the program, which either names the next absolute byte offset
+    /// (`Resubmit`) or finishes the chain. Returns the final block.
+    ///
+    /// The default interprets the program host-side over [`Self::pread`]
+    /// — one full I/O round trip per hop plus the interpreter's exact
+    /// step cost — so every backend runs *the same program* and differs
+    /// only in where the engine executes (§6.5 apples-to-apples).
+    ///
+    /// # Errors
+    /// `Inval` for an engine handle on an engine-less backend, a program
+    /// `Fail`, or an exhausted hop budget; backend-path errors.
+    fn chained_read_prog(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        start: u64,
+        prog: &OffloadProg,
+        regs: [u64; bypassd_offload::NUM_REGS],
+    ) -> SysResult<Vec<u8>> {
+        let OffloadProg::Host(program) = prog else {
+            return Err(Errno::Inval);
+        };
+        let mut st = ChainState::new(regs);
+        let mut cur = start;
+        let mut buf = vec![0u8; BLOCK];
+        for _ in 0..bypassd_offload::MAX_HOPS {
+            self.pread(ctx, h, &mut buf, cur)?;
+            let run = run_hop(program, &mut st, &buf);
+            ctx.delay(Nanos(run.steps * STEP_NS));
+            match run.outcome {
+                Outcome::Resubmit { offset } => cur = offset,
+                Outcome::Return => return Ok(buf),
+                Outcome::Fail { .. } => return Err(Errno::Inval),
+            }
+        }
+        Err(Errno::Inval)
     }
 
     /// Submits an asynchronous operation; returns a token. The default

@@ -3,10 +3,11 @@
 use std::sync::Arc;
 
 use bypassd::System;
+use bypassd_offload::Op;
 use bypassd_os::{Kernel, OpenFlags, Pid, SysResult};
 use bypassd_sim::engine::ActorCtx;
 
-use crate::traits::{BackendFactory, BackendKind, Handle, StorageBackend};
+use crate::traits::{BackendFactory, BackendKind, Handle, OffloadProg, StorageBackend};
 
 /// One simulated process using XRP.
 pub struct XrpFactory {
@@ -95,6 +96,31 @@ impl StorageBackend for XrpBackend {
     ) -> SysResult<Vec<u8>> {
         self.kernel
             .xrp_chained_read(ctx, self.pid, h, offset, len, next)
+    }
+
+    fn prog_load(&mut self, ctx: &mut ActorCtx, ops: &[Op]) -> SysResult<OffloadProg> {
+        // XRP loads the same verified IR into the kernel's program
+        // table (the eBPF-load analogue); chains execute it at the
+        // driver's completion hook.
+        self.kernel
+            .sys_prog_load(ctx, self.pid, ops.to_vec())
+            .map(OffloadProg::Engine)
+    }
+
+    fn chained_read_prog(
+        &mut self,
+        ctx: &mut ActorCtx,
+        h: Handle,
+        start: u64,
+        prog: &OffloadProg,
+        regs: [u64; bypassd_offload::NUM_REGS],
+    ) -> SysResult<Vec<u8>> {
+        match prog {
+            OffloadProg::Engine(handle) => self
+                .kernel
+                .xrp_chained_read_offload(ctx, self.pid, h, start, *handle, regs),
+            OffloadProg::Host(_) => Err(bypassd_os::Errno::Inval),
+        }
     }
 
     fn sync_completions(&mut self) -> &mut Vec<(u64, Vec<u8>)> {

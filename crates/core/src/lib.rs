@@ -49,4 +49,4 @@ pub use bypassd_trace::{
     MetricsRegistry, Recorder, TraceConfig,
 };
 pub use system::{System, SystemBuilder};
-pub use userlib::{IoPolicy, ReadReq, UserProcess, UserThread};
+pub use userlib::{ChainReq, IoPolicy, ReadReq, UserProcess, UserThread};

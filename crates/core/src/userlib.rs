@@ -336,6 +336,18 @@ pub struct ReadReq<'a> {
     pub buf: &'a mut [u8],
 }
 
+/// One chain request in a [`UserThread::pread_chain_batch`] call: a
+/// verified program descends from `start`, and the chain's final 512 B
+/// block lands in `buf`.
+pub struct ChainReq<'a> {
+    /// Byte offset (sector-aligned) of the chain's first block.
+    pub start: u64,
+    /// Initial register file (lookup key, level budget, …).
+    pub regs: [u64; bypassd_offload::NUM_REGS],
+    /// Destination for the final block; at least [`bypassd_offload::BLOCK`] bytes.
+    pub buf: &'a mut [u8],
+}
+
 /// Preallocated SoA in-flight table for batched submission: one slot per
 /// hardware queue entry, reused across batches so the steady state never
 /// allocates. Parallel columns rather than a `Vec<struct>` so the reap
@@ -603,34 +615,46 @@ impl UserThread {
         scratch.device_span += comp.ready_at.saturating_sub(submit);
         match comp.status {
             NvmeStatus::Success => Ok(DirectIo::Done),
-            NvmeStatus::TranslationFault(_) => {
-                scratch.faults += 1;
-                // Revocation or growth race: re-fmap (§3.6).
-                let kernel = Arc::clone(self.kernel());
-                let writable = entry.state.lock().writable;
-                let fmap_start = ctx.now();
-                let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
-                scratch.kernel += ctx.now().saturating_sub(fmap_start);
-                let revoked = {
-                    let mut st = entry.state.lock();
-                    if vba.is_null() {
-                        st.fallback = true;
-                        st.vba = None;
-                        true
-                    } else {
-                        st.vba = Some(vba);
-                        false
-                    }
-                };
-                if revoked {
-                    kernel.mark_kernel_fallback(self.proc.pid, fd)?;
-                    scratch.path = IoPath::Revoked;
-                    Ok(DirectIo::Revoked)
-                } else {
-                    Ok(DirectIo::Fault)
-                }
-            }
+            NvmeStatus::TranslationFault(_) => self.refmap_after_fault(ctx, fd, entry, scratch),
             _ => Err(Errno::Inval),
+        }
+    }
+
+    /// Handles a device translation fault on a direct op: re-fmaps the
+    /// file (§3.6) and either refreshes the entry's VBA (`Fault` — the
+    /// caller retries) or switches the fd to the kernel interface
+    /// (`Revoked`).
+    fn refmap_after_fault(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        entry: &FileEntry,
+        scratch: &mut OpScratch,
+    ) -> SysResult<DirectIo> {
+        scratch.faults += 1;
+        // Revocation or growth race: re-fmap (§3.6).
+        let kernel = Arc::clone(self.kernel());
+        let writable = entry.state.lock().writable;
+        let fmap_start = ctx.now();
+        let vba = kernel.sys_fmap(ctx, self.proc.pid, fd, writable)?;
+        scratch.kernel += ctx.now().saturating_sub(fmap_start);
+        let revoked = {
+            let mut st = entry.state.lock();
+            if vba.is_null() {
+                st.fallback = true;
+                st.vba = None;
+                true
+            } else {
+                st.vba = Some(vba);
+                false
+            }
+        };
+        if revoked {
+            kernel.mark_kernel_fallback(self.proc.pid, fd)?;
+            scratch.path = IoPath::Revoked;
+            Ok(DirectIo::Revoked)
+        } else {
+            Ok(DirectIo::Fault)
         }
     }
 
@@ -1043,6 +1067,345 @@ impl UserThread {
             kernel: Nanos::ZERO,
             faults: 0,
         });
+    }
+
+    // ---- offload chains ----
+
+    /// Chain read (offload, §offload): submits **one** command carrying a
+    /// verified program handle; the device follows `Resubmit` offsets
+    /// itself and completes once with the chain's final 512 B block. A
+    /// 6-level B-tree descent is one UserLib submission, one doorbell,
+    /// one completion — versus `levels + 1` full round trips on the
+    /// plain direct path.
+    ///
+    /// On a kernel-fallback fd (or after revocation mid-chain) the chain
+    /// is interpreted host-side: one kernel `pread` per hop running the
+    /// same program, preserving results exactly at kernel-path cost.
+    ///
+    /// Returns the final block's length ([`bypassd_offload::BLOCK`]).
+    ///
+    /// # Errors
+    /// `BadF`; `Inval` for an unaligned/out-of-file start, an unknown
+    /// program handle, a program `Fail`, or an engine trap.
+    pub fn pread_chain(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        prog: bypassd_offload::ProgHandle,
+        regs: [u64; bypassd_offload::NUM_REGS],
+        start: u64,
+        buf: &mut [u8],
+    ) -> SysResult<usize> {
+        let op_start = ctx.now();
+        let mut scratch = OpScratch::new();
+        let result = self.pread_chain_inner(ctx, fd, prog, regs, start, buf, &mut scratch);
+        self.record_op(ctx, false, &result, op_start, &scratch);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pread_chain_inner(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        prog: bypassd_offload::ProgHandle,
+        regs: [u64; bypassd_offload::NUM_REGS],
+        start: u64,
+        buf: &mut [u8],
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
+        const BLOCK: u64 = bypassd_offload::BLOCK as u64;
+        if !start.is_multiple_of(SECTOR_SIZE) || (buf.len() as u64) < BLOCK {
+            return Err(Errno::Inval);
+        }
+        let entry = self.entry_cached(fd)?;
+        let st = *entry.state.lock();
+        if start + BLOCK > st.size {
+            return Err(Errno::Inval);
+        }
+        if st.fallback || st.vba.is_none() {
+            return self.chain_host_fallback(ctx, fd, prog, regs, start, buf, scratch);
+        }
+        let mut vba = st.vba.expect("checked above");
+        let policy = self.proc.io_policy();
+        let mut attempts = 0;
+        loop {
+            ctx.delay(self.cost().userlib_overhead);
+            scratch.userlib += self.cost().userlib_overhead;
+            let spec = bypassd_offload::ChainSpec {
+                prog,
+                regs,
+                base_vba: vba.0,
+            };
+            let cmd = Command::chain_read(vba.offset(start), &self.dma, spec);
+            let submit = ctx.now();
+            let comp = self
+                .proc
+                .system
+                .device()
+                .execute_full(self.qid, cmd, submit);
+            self.note_pressure(comp.pressure);
+            ctx.wait_until(comp.ready_at);
+            scratch.device_span += comp.ready_at.saturating_sub(submit);
+            match comp.status {
+                NvmeStatus::Success => {
+                    let copy = self.cost().user_copy(BLOCK);
+                    ctx.delay(copy);
+                    scratch.user_copy += copy;
+                    self.dma.read(0, &mut buf[..BLOCK as usize]);
+                    // ordering: Relaxed — monotonic stats counter; read only for
+                    // reporting, publishes no other memory.
+                    self.proc.direct_ops.fetch_add(1, Ordering::Relaxed);
+                    return Ok(BLOCK as usize);
+                }
+                NvmeStatus::TranslationFault(_) => {
+                    match self.refmap_after_fault(ctx, fd, &entry, scratch)? {
+                        DirectIo::Revoked => {
+                            return self
+                                .chain_host_fallback(ctx, fd, prog, regs, start, buf, scratch);
+                        }
+                        _ => {
+                            attempts += 1;
+                            if attempts >= policy.max_attempts {
+                                return self
+                                    .chain_host_fallback(ctx, fd, prog, regs, start, buf, scratch);
+                            }
+                            match entry.state.lock().vba {
+                                Some(v) => vba = v,
+                                None => {
+                                    return self.chain_host_fallback(
+                                        ctx, fd, prog, regs, start, buf, scratch,
+                                    );
+                                }
+                            }
+                            if policy.retry_backoff > Nanos::ZERO {
+                                ctx.delay(policy.retry_backoff);
+                            }
+                        }
+                    }
+                }
+                // Program `Fail`, engine trap, or invalid submission.
+                _ => return Err(Errno::Inval),
+            }
+        }
+    }
+
+    /// Host-side interpretation of a chain after fallback/revocation:
+    /// one kernel `pread` per hop, the same verified program deciding
+    /// each next offset locally. Semantically identical to the device
+    /// engine (same IR, same registers), just paid at kernel-path cost.
+    #[allow(clippy::too_many_arguments)]
+    fn chain_host_fallback(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        prog: bypassd_offload::ProgHandle,
+        regs: [u64; bypassd_offload::NUM_REGS],
+        start: u64,
+        buf: &mut [u8],
+        scratch: &mut OpScratch,
+    ) -> SysResult<usize> {
+        const BLOCK: usize = bypassd_offload::BLOCK;
+        let program = self.kernel().prog_of(prog).ok_or(Errno::Inval)?;
+        let mut st = bypassd_offload::ChainState::new(regs);
+        let mut cur = start;
+        for _ in 0..bypassd_offload::MAX_HOPS {
+            let n = self.kernel_pread(ctx, fd, &mut buf[..BLOCK], cur, scratch)?;
+            if n < BLOCK {
+                return Err(Errno::Inval);
+            }
+            let run = bypassd_offload::run_hop(&program, &mut st, &buf[..BLOCK]);
+            let interp = Nanos(run.steps * bypassd_offload::STEP_NS);
+            ctx.delay(interp);
+            scratch.userlib += interp;
+            match run.outcome {
+                bypassd_offload::Outcome::Resubmit { offset } => cur = offset,
+                bypassd_offload::Outcome::Return => return Ok(BLOCK),
+                bypassd_offload::Outcome::Fail { .. } => return Err(Errno::Inval),
+            }
+        }
+        Err(Errno::Inval)
+    }
+
+    /// Batched chain submission: up to a submission window of
+    /// *independent chains* in flight concurrently on one queue — one
+    /// userlib/doorbell charge per flight, one wait, one reap. This is
+    /// what makes offload a throughput feature as well as a latency one:
+    /// the host is free from the moment the doorbell rings, so a single
+    /// thread keeps many chains in flight while the device walks them.
+    ///
+    /// Falls back to sequential [`UserThread::pread_chain`] per request
+    /// when any request is unaligned/oversized or the fd is on the
+    /// kernel interface; individual failed chains inside a flight are
+    /// retried sequentially with identical semantics.
+    ///
+    /// Returns the total bytes returned by all chains.
+    ///
+    /// # Errors
+    /// `BadF`, `Inval` (as [`UserThread::pread_chain`]).
+    pub fn pread_chain_batch(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        prog: bypassd_offload::ProgHandle,
+        reqs: &mut [ChainReq<'_>],
+    ) -> SysResult<usize> {
+        const BLOCK: u64 = bypassd_offload::BLOCK as u64;
+        if reqs.is_empty() {
+            return Ok(0);
+        }
+        let entry = self.entry_cached(fd)?;
+        let st = *entry.state.lock();
+        let slot = self.dma.len() / self.queue_depth;
+        let direct_ok = !st.fallback
+            && st.vba.is_some()
+            && slot as u64 >= BLOCK
+            && reqs.iter().all(|r| {
+                r.start.is_multiple_of(SECTOR_SIZE)
+                    && r.buf.len() as u64 >= BLOCK
+                    && r.start + BLOCK <= st.size
+            });
+        if !direct_ok {
+            let mut total = 0;
+            for r in reqs.iter_mut() {
+                total += self.pread_chain(ctx, fd, prog, r.regs, r.start, r.buf)?;
+            }
+            return Ok(total);
+        }
+        let vba = st.vba.expect("checked above");
+        let window = self.effective_depth.clamp(1, self.queue_depth);
+        let mut total = 0usize;
+        let mut base = 0usize;
+        while base < reqs.len() {
+            let n = window.min(reqs.len() - base);
+            let chunk = &mut reqs[base..base + n];
+            total += self.chain_flight(ctx, fd, prog, vba, slot, chunk)?;
+            base += n;
+        }
+        Ok(total)
+    }
+
+    /// One batched flight of concurrent chains: submit all, ring once,
+    /// wait once, reap once (mirrors [`UserThread::flight`]).
+    fn chain_flight(
+        &mut self,
+        ctx: &mut ActorCtx,
+        fd: Fd,
+        prog: bypassd_offload::ProgHandle,
+        vba: Vba,
+        slot: usize,
+        chunk: &mut [ChainReq<'_>],
+    ) -> SysResult<usize> {
+        const BLOCK: usize = bypassd_offload::BLOCK;
+        let op_start = ctx.now();
+        ctx.delay(self.cost().userlib_overhead);
+        let submit_now = ctx.now();
+        self.batch.cids.clear();
+        self.batch.req_idx.clear();
+        self.batch.ready.clear();
+        let submitted = {
+            let dma = &self.dma;
+            let dev = self.proc.system.device();
+            let cmds = chunk.iter().enumerate().map(|(i, r)| {
+                let spec = bypassd_offload::ChainSpec {
+                    prog,
+                    regs: r.regs,
+                    base_vba: vba.0,
+                };
+                let mut cmd = Command::chain_read(vba.offset(r.start), dma, spec);
+                cmd.dma_offset = i * slot;
+                cmd
+            });
+            dev.submit_batch(self.qid, cmds, submit_now, &mut self.batch.cids)
+        };
+        if submitted.is_err() {
+            // Unexpectedly full queue: drain what was accepted, then
+            // serve the flight sequentially.
+            let mut latest = submit_now;
+            for k in 0..self.batch.cids.len() {
+                let cid = self.batch.cids[k];
+                if let Some(t) = self.proc.system.device().ready_time(self.qid, cid) {
+                    latest = latest.max(t);
+                }
+            }
+            ctx.wait_until(latest);
+            for k in 0..self.batch.cids.len() {
+                let cid = self.batch.cids[k];
+                if let Some(c) = self.proc.system.device().reap_at(self.qid, cid, ctx.now()) {
+                    self.note_pressure(c.pressure);
+                }
+            }
+            let mut total = 0;
+            for r in chunk.iter_mut() {
+                total += self.pread_chain(ctx, fd, prog, r.regs, r.start, r.buf)?;
+            }
+            return Ok(total);
+        }
+        let mut latest = submit_now;
+        for k in 0..self.batch.cids.len() {
+            let cid = self.batch.cids[k];
+            let t = self
+                .proc
+                .system
+                .device()
+                .ready_time(self.qid, cid)
+                .expect("submitted chain vanished");
+            self.batch.ready.push(t);
+            latest = latest.max(t);
+        }
+        ctx.wait_until(latest);
+        self.batch.comps.clear();
+        self.proc.system.device().reap_ready_into(
+            self.qid,
+            ctx.now(),
+            chunk.len(),
+            &mut self.batch.comps,
+        );
+        debug_assert_eq!(self.batch.comps.len(), chunk.len());
+        let mut copy_total = Nanos::ZERO;
+        let mut ok_bytes = 0usize;
+        let mut ok_ops = 0u64;
+        let mut retry_bytes = 0usize;
+        for k in 0..self.batch.comps.len() {
+            let comp = self.batch.comps[k];
+            self.note_pressure(comp.pressure);
+            let i = self
+                .batch
+                .cids
+                .iter()
+                .position(|&c| c == comp.cid)
+                .expect("reaped a cid this flight never submitted");
+            if comp.status.is_ok() {
+                let req = &mut chunk[i];
+                let copy = self.cost().user_copy(BLOCK as u64);
+                copy_total += copy;
+                self.dma.read(i * slot, &mut req.buf[..BLOCK]);
+                ok_bytes += BLOCK;
+                ok_ops += 1;
+                self.record_flight_op(
+                    ctx,
+                    op_start,
+                    k == 0,
+                    submit_now,
+                    self.batch.ready[i],
+                    copy,
+                    BLOCK,
+                );
+            } else {
+                // Translation fault mid-chain (or a chain fault): the
+                // sequential path re-fmaps and retries, or surfaces the
+                // program's failure.
+                retry_bytes +=
+                    self.pread_chain(ctx, fd, prog, chunk[i].regs, chunk[i].start, chunk[i].buf)?;
+            }
+        }
+        if copy_total > Nanos::ZERO {
+            ctx.delay(copy_total);
+        }
+        // ordering: Relaxed — monotonic stats counter; read only for
+        // reporting, publishes no other memory.
+        self.proc.direct_ops.fetch_add(ok_ops, Ordering::Relaxed);
+        Ok(ok_bytes + retry_bytes)
     }
 
     /// `pwrite()`: overwrites go directly to the device; appends are

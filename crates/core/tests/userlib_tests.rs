@@ -546,3 +546,140 @@ fn io_policy_knobs_apply() {
     assert_eq!(proc.io_policy().max_attempts, 4);
     assert_eq!(proc.io_policy().min_depth, 2);
 }
+
+#[test]
+fn batch_mid_flight_fault_demotes_only_faulted_slots() {
+    // A sparse file: the first 256 KB is written, the second 256 KB is a
+    // hole (truncate up). fmap maps only allocated extents, so batch
+    // slots landing in the hole raise device translation faults
+    // mid-flight; each such slot must demote to the sequential path
+    // (re-fmap, exhaust retries, kernel read of zeros) while written
+    // slots in the same flight stay direct — and the entry's VBA must
+    // remain valid afterwards (no stale-VBA reuse).
+    use bypassd::ReadReq;
+    let sys = system();
+    let data = 256u64 * 1024;
+    let ino = sys.fs().populate("/sparse", data, 0xAB).unwrap();
+    sys.fs().truncate(ino, 2 * data).unwrap();
+
+    run(&sys, move |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/sparse", false).unwrap();
+        // Eight 4 KB slots alternating written / hole.
+        let offsets: Vec<(u64, bool)> = (0..8u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ((i / 2) * 4096, true)
+                } else {
+                    (data + (i / 2) * 4096, false)
+                }
+            })
+            .collect();
+        let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| vec![0xFFu8; 4096]).collect();
+        {
+            let mut reqs: Vec<ReadReq<'_>> = bufs
+                .iter_mut()
+                .zip(offsets.iter())
+                .map(|(buf, &(offset, _))| ReadReq { offset, buf })
+                .collect();
+            let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+            assert_eq!(n, 8 * 4096, "every slot must complete");
+        }
+        for (k, (buf, &(off, written))) in bufs.iter().zip(offsets.iter()).enumerate() {
+            let want = if written { 0xAB } else { 0x00 };
+            assert!(
+                buf.iter().all(|&b| b == want),
+                "slot {k} (offset {off}, written={written}) has wrong bytes"
+            );
+        }
+        let (direct, fallback) = proc.op_counts();
+        assert_eq!(fallback, 4, "each hole slot demotes to one kernel read");
+        assert_eq!(direct, 4, "written slots stay direct within the flight");
+
+        // No stale-VBA reuse: the fault handling re-fmapped the file;
+        // a follow-up all-written batch must run fully direct off the
+        // (still valid) mapping, with no new kernel fallbacks.
+        let mut follow: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 4096]).collect();
+        {
+            let mut reqs: Vec<ReadReq<'_>> = follow
+                .iter_mut()
+                .enumerate()
+                .map(|(i, buf)| ReadReq {
+                    offset: (i as u64) * 4096,
+                    buf,
+                })
+                .collect();
+            let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+            assert_eq!(n, 4 * 4096);
+        }
+        assert!(follow.iter().all(|b| b.iter().all(|&x| x == 0xAB)));
+        let (direct2, fallback2) = proc.op_counts();
+        assert_eq!(fallback2, fallback, "follow-up batch must not fall back");
+        assert_eq!(direct2, direct + 4, "follow-up batch stays direct");
+        t.close(ctx, fd).unwrap();
+    });
+}
+
+#[test]
+fn batch_unaligned_slot_demotes_whole_batch_to_sequential() {
+    // One unaligned slot routes the entire batch down the sequential
+    // pread path. Observable in the trace: a coalesced flight charges
+    // its single userlib overhead to the first record only, while the
+    // sequential path charges every op — so all records carrying a
+    // userlib stage proves the demotion, and per-slot bytes prove the
+    // semantics survived it.
+    use bypassd::{ReadReq, TraceConfig};
+    let sys = System::builder().trace(TraceConfig::on()).build();
+    sys.fs().populate("/u", 64 * 1024, 0).unwrap();
+
+    run(&sys, |ctx, sys| {
+        let proc = UserProcess::start(sys, 0, 0);
+        let mut t = proc.thread();
+        let fd = t.open(ctx, "/u", true).unwrap();
+        for i in 0..4u64 {
+            t.pwrite(ctx, fd, &vec![(i + 1) as u8; 4096], i * 4096)
+                .unwrap();
+        }
+        sys.recorder().take_ops(); // drain setup records
+
+        let mut a = vec![0u8; 4096];
+        let mut b = vec![0u8; 100];
+        let mut c = vec![0u8; 4096];
+        let mut reqs = [
+            ReadReq {
+                offset: 0,
+                buf: &mut a,
+            },
+            ReadReq {
+                offset: 4096 + 123, // unaligned: poisons the fast path
+                buf: &mut b,
+            },
+            ReadReq {
+                offset: 2 * 4096,
+                buf: &mut c,
+            },
+        ];
+        let n = t.pread_batch(ctx, fd, &mut reqs).unwrap();
+        assert_eq!(n, 4096 + 100 + 4096);
+        assert!(a.iter().all(|&x| x == 1));
+        assert!(
+            b.iter().all(|&x| x == 2),
+            "unaligned slot reads page 1's fill"
+        );
+        assert!(c.iter().all(|&x| x == 3));
+
+        let ops = sys.recorder().take_ops();
+        assert_eq!(ops.len(), 3, "one record per demoted request");
+        for (k, op) in ops.iter().enumerate() {
+            assert!(
+                op.userlib > Nanos::ZERO,
+                "record {k}: sequential ops each carry the userlib stage \
+                 (a flight charges only its first record)"
+            );
+        }
+        let (_, fallback) = proc.op_counts();
+        assert_eq!(fallback, 0, "demotion is sequential-direct, not kernel");
+        t.close(ctx, fd).unwrap();
+    });
+}

@@ -69,15 +69,18 @@ impl BpfKv {
     /// Builds the index and log on disk (untimed setup).
     ///
     /// # Errors
-    /// File creation failures.
-    ///
-    /// # Panics
-    /// Panics if `n` exceeds the index's key capacity.
-    pub fn build(system: &System, cfg: BpfKvConfig) -> Result<BpfKv, bypassd_ext4::Ext4Error> {
+    /// `Inval` for an infeasible configuration: `n` of zero or beyond
+    /// the index's key capacity (`fanout^levels`), or a fanout whose
+    /// entries overflow the 512 B node; file-creation errors otherwise.
+    pub fn build(system: &System, cfg: BpfKvConfig) -> SysResult<BpfKv> {
         let f = cfg.fanout as u64;
-        let capacity = f.pow(cfg.levels as u32);
-        assert!(cfg.n > 0 && cfg.n <= capacity, "n exceeds index capacity");
-        assert!(4 + cfg.fanout * ENTRY <= NODE as usize);
+        let capacity = f.checked_pow(cfg.levels as u32).ok_or(Errno::Inval)?;
+        if cfg.n == 0 || cfg.n > capacity {
+            return Err(Errno::Inval);
+        }
+        if 4 + cfg.fanout * ENTRY > NODE as usize {
+            return Err(Errno::Inval);
+        }
 
         let mut level_nodes = Vec::with_capacity(cfg.levels);
         for l in 0..cfg.levels {
@@ -86,7 +89,7 @@ impl BpfKv {
         let index_nodes: u64 = level_nodes.iter().sum();
         let log_base = index_nodes * NODE;
         let total = log_base + cfg.n * NODE;
-        let mut w = FileWriter::create(system, &cfg.file, total)?;
+        let mut w = FileWriter::create(system, &cfg.file, total).map_err(Errno::from)?;
 
         // Index, level by level (root first).
         let mut node = vec![0u8; NODE as usize];
@@ -186,6 +189,51 @@ impl BpfKv {
         })?;
         ctx.delay(Nanos(node_cpu.as_nanos() * cpu_hops));
         // Verify we landed on the right object.
+        let got = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        if got != key {
+            return Err(Errno::Inval);
+        }
+        let mut value = [0u8; 64];
+        value.copy_from_slice(&buf[8..72]);
+        Ok(value)
+    }
+
+    /// The operation-IR point-lookup program for this store's geometry:
+    /// load it once with [`StorageBackend::prog_load`], then drive
+    /// [`BpfKv::get_offload`]. The same ops run on the device engine
+    /// (BypassD+offload), the kernel hook (XRP), and host interpretation.
+    pub fn lookup_ops(&self) -> Vec<bypassd_offload::Op> {
+        crate::offload::point_lookup_ops(self.cfg.fanout)
+    }
+
+    /// Looks up `key` through a previously loaded offload program: the
+    /// whole `levels + 1`-hop descent is **one** chained-read request —
+    /// one submission on BypassD+offload, one syscall on XRP — instead
+    /// of `levels + 1` host round trips.
+    ///
+    /// The per-node lookup CPU (`node_cpu`) is replaced by the
+    /// program's exact interpreter step cost, charged by the executing
+    /// engine; only the per-request CPU (`op_cpu`) remains host-side.
+    ///
+    /// # Errors
+    /// `Inval` for out-of-range keys, a key-mismatched object
+    /// (device-side [`crate::offload::LOOKUP_MISS`]), or backend errors.
+    pub fn get_offload(
+        &self,
+        ctx: &mut ActorCtx,
+        backend: &mut dyn StorageBackend,
+        h: Handle,
+        prog: &bypassd_backends::OffloadProg,
+        key: u64,
+    ) -> SysResult<[u8; 64]> {
+        if key >= self.cfg.n {
+            return Err(Errno::Inval);
+        }
+        ctx.delay(self.cfg.op_cpu);
+        let mut regs = [0u64; bypassd_offload::NUM_REGS];
+        regs[0] = key;
+        regs[1] = self.cfg.levels as u64;
+        let buf = backend.chained_read_prog(ctx, h, 0, prog, regs)?;
         let got = u64::from_le_bytes(buf[..8].try_into().unwrap());
         if got != key {
             return Err(Errno::Inval);

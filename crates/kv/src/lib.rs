@@ -17,6 +17,7 @@
 pub mod bpfkv;
 pub mod btree;
 pub mod kvell;
+pub mod offload;
 pub mod util;
 pub mod ycsb;
 

@@ -307,3 +307,34 @@ fn ycsb_insert_activation_via_store() {
         assert!(store.read(ctx, &mut *b, h, 1_100).unwrap().is_some());
     });
 }
+
+#[test]
+fn bpfkv_build_rejects_infeasible_configs() {
+    // Config validation is a recoverable error, not a panic: zero
+    // objects, more objects than the index can address, an oversized
+    // fanout, and a level count that overflows the capacity product all
+    // come back as Inval.
+    use bypassd_os::Errno;
+    let s = sys();
+    let base = BpfKvConfig::new("/bad", 1);
+
+    let mut zero = base.clone();
+    zero.n = 0;
+    assert_eq!(BpfKv::build(&s, zero).unwrap_err(), Errno::Inval);
+
+    let mut over = base.clone();
+    over.n = 8u64.pow(6) + 1; // fanout^levels + 1
+    assert_eq!(BpfKv::build(&s, over).unwrap_err(), Errno::Inval);
+
+    let mut wide = base.clone();
+    wide.fanout = 64; // 4 + 64*16 > 512-byte node
+    assert_eq!(BpfKv::build(&s, wide).unwrap_err(), Errno::Inval);
+
+    let mut deep = base.clone();
+    deep.fanout = 1 << 16;
+    deep.levels = 8; // capacity product overflows u64
+    assert_eq!(BpfKv::build(&s, deep).unwrap_err(), Errno::Inval);
+
+    // The base config itself stays buildable.
+    assert!(BpfKv::build(&s, base).is_ok());
+}

@@ -1,0 +1,784 @@
+//! The verify-at-load pass.
+//!
+//! [`Program::verify`] is the only way to construct a [`Program`], so
+//! every executing engine (device, kernel driver hook, userspace
+//! interpreter) runs verified code by construction. The pass proves:
+//!
+//! 1. **Structure** — non-empty, ≤ [`MAX_OPS`] ops, registers in range,
+//!    the final op is a terminator, jumps are forward and in range, loops
+//!    are properly matched, non-nested, and never jumped into from
+//!    outside (which would run the body with a stale trip counter).
+//! 2. **Step bound** — the worst-case step count (loop bodies multiplied
+//!    by their immediate trip counts) is computed statically and must be
+//!    ≤ [`MAX_STEPS`]. The interpreter re-enforces the same cap at run
+//!    time as defense in depth.
+//! 3. **Load bounds** — a forward interval analysis over the registers
+//!    (worklist fixpoint with widening at merge points) proves every
+//!    reachable [`Op::Load`] satisfies `base + disp + width ≤ BLOCK`.
+//!    Registers start unknown (the host seeds them, and they persist
+//!    across hops), so programs establish bounds with the masking idiom:
+//!    `AluImm And mask` yields the interval `[0, mask]`.
+
+use crate::ir::{AluOp, Op, BLOCK, MAX_OPS, MAX_STEPS, NUM_REGS};
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Empty program.
+    Empty,
+    /// More than [`MAX_OPS`] instructions.
+    TooLong(usize),
+    /// Register index ≥ [`NUM_REGS`] at this pc.
+    BadReg(usize),
+    /// Immediate shift amount ≥ 64 at this pc.
+    BadShift(usize),
+    /// The final instruction does not end the hop.
+    MissingTerminator,
+    /// Jump target past the end of the program at this pc.
+    JumpOutOfRange(usize),
+    /// `LoopStart` without `LoopEnd` or vice versa at this pc.
+    UnmatchedLoop(usize),
+    /// A loop inside a loop at this pc (the counted form does not nest).
+    NestedLoop(usize),
+    /// A jump from outside a loop into its body at this pc.
+    JumpIntoLoop(usize),
+    /// Static worst-case step count exceeds [`MAX_STEPS`].
+    StepBound(u64),
+    /// A load at this pc cannot be proven within the 512 B block; the
+    /// payload carries the analysis' upper bound for the access end.
+    LoadOutOfBounds(usize, u64),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooLong(n) => write!(f, "{n} ops exceeds the {MAX_OPS}-op limit"),
+            VerifyError::BadReg(pc) => write!(f, "bad register index at pc {pc}"),
+            VerifyError::BadShift(pc) => write!(f, "shift amount >= 64 at pc {pc}"),
+            VerifyError::MissingTerminator => write!(f, "final op is not a terminator"),
+            VerifyError::JumpOutOfRange(pc) => write!(f, "jump past program end at pc {pc}"),
+            VerifyError::UnmatchedLoop(pc) => write!(f, "unmatched loop op at pc {pc}"),
+            VerifyError::NestedLoop(pc) => write!(f, "nested loop at pc {pc}"),
+            VerifyError::JumpIntoLoop(pc) => write!(f, "jump into loop body at pc {pc}"),
+            VerifyError::StepBound(n) => {
+                write!(
+                    f,
+                    "static step bound {n} exceeds the {MAX_STEPS}-step limit"
+                )
+            }
+            VerifyError::LoadOutOfBounds(pc, hi) => {
+                write!(f, "load at pc {pc} may reach byte {hi} > {BLOCK}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A verified program. Constructible only through [`Program::verify`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    ops: Vec<Op>,
+    static_steps: u64,
+}
+
+impl Program {
+    /// Runs the verify-at-load pass; returns the executable program on
+    /// success.
+    ///
+    /// # Errors
+    /// A [`VerifyError`] naming the first violated rule.
+    pub fn verify(ops: Vec<Op>) -> Result<Program, VerifyError> {
+        if ops.is_empty() {
+            return Err(VerifyError::Empty);
+        }
+        if ops.len() > MAX_OPS {
+            return Err(VerifyError::TooLong(ops.len()));
+        }
+        check_regs(&ops)?;
+        if !ops[ops.len() - 1].is_terminator() {
+            return Err(VerifyError::MissingTerminator);
+        }
+        let loops = match_loops(&ops)?;
+        check_jumps(&ops, &loops)?;
+        let static_steps = step_bound(&ops, &loops);
+        if static_steps > MAX_STEPS {
+            return Err(VerifyError::StepBound(static_steps));
+        }
+        check_load_bounds(&ops, &loops)?;
+        Ok(Program { ops, static_steps })
+    }
+
+    /// The instructions.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Instruction count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false (verification rejects empty programs).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The statically proven worst-case step count per hop.
+    pub fn static_steps(&self) -> u64 {
+        self.static_steps
+    }
+
+    /// Index of the matching `LoopEnd` for the `LoopStart` at `pc`
+    /// (interpreter support; verified programs always have one).
+    pub(crate) fn loop_end_of(&self, pc: usize) -> usize {
+        let mut i = pc + 1;
+        while !matches!(self.ops[i], Op::LoopEnd) {
+            i += 1;
+        }
+        i
+    }
+}
+
+fn check_regs(ops: &[Op]) -> Result<(), VerifyError> {
+    let ok = |r: u8| usize::from(r) < NUM_REGS;
+    for (pc, op) in ops.iter().enumerate() {
+        let fine = match *op {
+            Op::Imm { dst, .. } => ok(dst),
+            Op::Load { dst, base, .. } => ok(dst) && ok(base),
+            Op::Alu { dst, src, .. } => ok(dst) && ok(src),
+            Op::AluImm { op: alu, dst, imm } => {
+                if matches!(alu, AluOp::Shl | AluOp::Shr) && imm >= 64 {
+                    return Err(VerifyError::BadShift(pc));
+                }
+                ok(dst)
+            }
+            Op::Jmp { a, b, .. } => ok(a) && ok(b),
+            Op::Resubmit { addr } => ok(addr),
+            Op::LoopStart { .. } | Op::LoopEnd | Op::Return | Op::Fail { .. } => true,
+        };
+        if !fine {
+            return Err(VerifyError::BadReg(pc));
+        }
+    }
+    Ok(())
+}
+
+/// Matches `LoopStart`/`LoopEnd` pairs (depth ≤ 1), returning the
+/// `(start, end)` index pairs.
+fn match_loops(ops: &[Op]) -> Result<Vec<(usize, usize)>, VerifyError> {
+    let mut loops = Vec::new();
+    let mut open: Option<usize> = None;
+    for (pc, op) in ops.iter().enumerate() {
+        match op {
+            Op::LoopStart { .. } => {
+                if open.is_some() {
+                    return Err(VerifyError::NestedLoop(pc));
+                }
+                open = Some(pc);
+            }
+            Op::LoopEnd => {
+                let Some(s) = open.take() else {
+                    return Err(VerifyError::UnmatchedLoop(pc));
+                };
+                loops.push((s, pc));
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        return Err(VerifyError::UnmatchedLoop(s));
+    }
+    Ok(loops)
+}
+
+/// True when `pc` is inside the body of the loop `(s, e)` — after the
+/// header, up to and including the back edge.
+fn in_body(pc: usize, (s, e): (usize, usize)) -> bool {
+    pc > s && pc <= e
+}
+
+fn check_jumps(ops: &[Op], loops: &[(usize, usize)]) -> Result<(), VerifyError> {
+    for (pc, op) in ops.iter().enumerate() {
+        if let Op::Jmp { skip, .. } = op {
+            let target = pc + 1 + usize::from(*skip);
+            if target >= ops.len() {
+                return Err(VerifyError::JumpOutOfRange(pc));
+            }
+            for &l in loops {
+                if in_body(target, l) && !in_body(pc, l) {
+                    return Err(VerifyError::JumpIntoLoop(pc));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Worst-case steps: each op costs 1; loop bodies are multiplied by the
+/// immediate trip count.
+fn step_bound(ops: &[Op], loops: &[(usize, usize)]) -> u64 {
+    let mut total = 0u64;
+    for pc in 0..ops.len() {
+        let mut mult = 1u64;
+        for &(s, e) in loops {
+            if in_body(pc, (s, e)) {
+                let Op::LoopStart { count } = ops[s] else {
+                    unreachable!("loop starts are LoopStart")
+                };
+                mult = u64::from(count);
+            }
+        }
+        total = total.saturating_add(mult);
+    }
+    total
+}
+
+/// Unsigned interval, `lo ≤ hi`. `TOP` is the full `u64` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ival {
+    lo: u64,
+    hi: u64,
+}
+
+const TOP: Ival = Ival {
+    lo: 0,
+    hi: u64::MAX,
+};
+
+impl Ival {
+    fn exact(v: u64) -> Ival {
+        Ival { lo: v, hi: v }
+    }
+
+    fn join(self, other: Ival) -> Ival {
+        Ival {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Abstract ALU transfer. Must over-approximate the interpreter's
+/// wrapping semantics: any possible wrap degrades to `TOP`.
+fn alu_ival(op: AluOp, a: Ival, b: Ival) -> Ival {
+    match op {
+        AluOp::Mov => b,
+        AluOp::Add => match (a.lo.checked_add(b.lo), a.hi.checked_add(b.hi)) {
+            (Some(lo), Some(hi)) => Ival { lo, hi },
+            _ => TOP,
+        },
+        AluOp::Sub => {
+            if a.lo >= b.hi {
+                Ival {
+                    lo: a.lo - b.hi,
+                    hi: a.hi - b.lo,
+                }
+            } else {
+                TOP
+            }
+        }
+        AluOp::Mul => match (a.lo.checked_mul(b.lo), a.hi.checked_mul(b.hi)) {
+            (Some(lo), Some(hi)) => Ival { lo, hi },
+            _ => TOP,
+        },
+        AluOp::And => Ival {
+            lo: 0,
+            hi: a.hi.min(b.hi),
+        },
+        AluOp::Or => Ival {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.saturating_add(b.hi),
+        },
+        AluOp::Xor => Ival {
+            lo: 0,
+            hi: a.hi.saturating_add(b.hi),
+        },
+        AluOp::Shl => {
+            if b.lo == b.hi && b.lo < 64 && a.hi.leading_zeros() >= b.lo as u32 {
+                let k = b.lo as u32;
+                Ival {
+                    lo: a.lo << k,
+                    hi: a.hi << k,
+                }
+            } else {
+                TOP
+            }
+        }
+        AluOp::Shr => {
+            if b.lo == b.hi && b.lo < 64 {
+                let k = b.lo as u32;
+                Ival {
+                    lo: a.lo >> k,
+                    hi: a.hi >> k,
+                }
+            } else {
+                Ival { lo: 0, hi: a.hi }
+            }
+        }
+    }
+}
+
+/// Widen a register to `TOP` once its interval keeps changing at a merge
+/// point — guarantees the ascending fixpoint terminates for loop-carried
+/// registers. Widening over-shoots (a masked index tracking a growing
+/// counter is widened before it saturates at `[0, mask]`), so the
+/// analysis follows up with [`NARROW_PASSES`] decreasing iterations that
+/// re-apply the transfer functions from the widened post-fixpoint; the
+/// masking idiom then restores the tight interval the bounds check needs.
+const WIDEN_AFTER: u32 = 8;
+
+/// Bounded narrowing passes after the widened fixpoint. Forward edges
+/// propagate fully within one in-order pass; a couple more let recovered
+/// precision flow around back edges. Any bound is sound (each pass maps a
+/// post-fixpoint to a smaller sound over-approximation).
+const NARROW_PASSES: usize = 3;
+
+type State = [Ival; NUM_REGS];
+
+/// One instruction's abstract transfer: the output state and up to two
+/// successor pcs. Loads do not fault here — bounds are checked once, on
+/// the final narrowed states, so transient widening cannot cause a
+/// spurious rejection.
+fn transfer(
+    ops: &[Op],
+    loops: &[(usize, usize)],
+    pc: usize,
+    state: &State,
+) -> (State, [Option<usize>; 2]) {
+    let mut out = *state;
+    let mut succs: [Option<usize>; 2] = [None, None];
+    match ops[pc] {
+        Op::Imm { dst, imm } => {
+            out[usize::from(dst)] = Ival::exact(imm);
+            succs[0] = Some(pc + 1);
+        }
+        Op::Load { dst, width, .. } => {
+            out[usize::from(dst)] = Ival {
+                lo: 0,
+                hi: width.max_value(),
+            };
+            succs[0] = Some(pc + 1);
+        }
+        Op::Alu { op, dst, src } => {
+            out[usize::from(dst)] = alu_ival(op, state[usize::from(dst)], state[usize::from(src)]);
+            succs[0] = Some(pc + 1);
+        }
+        Op::AluImm { op, dst, imm } => {
+            out[usize::from(dst)] = alu_ival(op, state[usize::from(dst)], Ival::exact(imm));
+            succs[0] = Some(pc + 1);
+        }
+        Op::Jmp { skip, .. } => {
+            succs[0] = Some(pc + 1);
+            succs[1] = Some(pc + 1 + usize::from(skip));
+        }
+        Op::LoopStart { count } => {
+            let &(_, e) = loops
+                .iter()
+                .find(|&&(ls, _)| ls == pc)
+                .expect("validated loop structure");
+            if count == 0 {
+                succs[0] = Some(e + 1);
+            } else {
+                succs[0] = Some(pc + 1);
+            }
+        }
+        Op::LoopEnd => {
+            let &(s, _) = loops
+                .iter()
+                .find(|&&(_, le)| le == pc)
+                .expect("validated loop structure");
+            succs[0] = Some(s + 1); // back edge
+            succs[1] = Some(pc + 1); // exit
+        }
+        Op::Resubmit { .. } | Op::Return | Op::Fail { .. } => {}
+    }
+    (out, succs)
+}
+
+fn check_load_bounds(ops: &[Op], loops: &[(usize, usize)]) -> Result<(), VerifyError> {
+    let len = ops.len();
+    let mut states: Vec<Option<State>> = vec![None; len];
+    // Per-(node, register) change counters: a register widens at a merge
+    // point only when *its own* interval keeps moving there.
+    let mut joins: Vec<[u32; NUM_REGS]> = vec![[0; NUM_REGS]; len];
+    // Entry: the host seeds the registers (and they persist across hops),
+    // so nothing is known about them.
+    states[0] = Some([TOP; NUM_REGS]);
+
+    // Phase 1 — ascending worklist fixpoint with widening.
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let Some(state) = states[pc] else { continue };
+        let (out, succs) = transfer(ops, loops, pc, &state);
+        for succ in succs.into_iter().flatten() {
+            let merged = match states[succ] {
+                None => out,
+                Some(prev) => {
+                    let mut m = prev;
+                    for (mr, or) in m.iter_mut().zip(out.iter()) {
+                        *mr = mr.join(*or);
+                    }
+                    m
+                }
+            };
+            if states[succ] != Some(merged) {
+                let mut w = merged;
+                if let Some(prev) = states[succ] {
+                    for (r, (wr, pr)) in w.iter_mut().zip(prev.iter()).enumerate() {
+                        if *wr != *pr {
+                            joins[succ][r] += 1;
+                            if joins[succ][r] > WIDEN_AFTER {
+                                *wr = TOP;
+                            }
+                        }
+                    }
+                }
+                states[succ] = Some(w);
+                work.push(succ);
+            }
+        }
+    }
+
+    // Phase 2 — bounded narrowing. Recompute each reachable node as the
+    // join of its predecessors' transfer outputs; starting from the
+    // widened post-fixpoint, every pass shrinks (or keeps) the states
+    // while remaining a sound over-approximation.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for (pc, slot) in states.iter().enumerate() {
+        let Some(state) = *slot else { continue };
+        let (_, succs) = transfer(ops, loops, pc, &state);
+        for succ in succs.into_iter().flatten() {
+            preds[succ].push(pc);
+        }
+    }
+    for _ in 0..NARROW_PASSES {
+        for pc in 1..len {
+            if states[pc].is_none() {
+                continue;
+            }
+            let mut merged: Option<State> = None;
+            for &p in &preds[pc] {
+                let Some(pstate) = states[p] else { continue };
+                let (out, _) = transfer(ops, loops, p, &pstate);
+                merged = Some(match merged {
+                    None => out,
+                    Some(mut m) => {
+                        for (mr, or) in m.iter_mut().zip(out.iter()) {
+                            *mr = mr.join(*or);
+                        }
+                        m
+                    }
+                });
+            }
+            if let Some(m) = merged {
+                states[pc] = Some(m);
+            }
+        }
+    }
+
+    // Phase 3 — check every reachable load against the narrowed states.
+    for (pc, op) in ops.iter().enumerate() {
+        let &Op::Load {
+            width, base, disp, ..
+        } = op
+        else {
+            continue;
+        };
+        let Some(state) = states[pc] else { continue };
+        let b = state[usize::from(base)];
+        let end =
+            b.hi.saturating_add(u64::from(disp))
+                .saturating_add(width.bytes() as u64);
+        if end > BLOCK as u64 {
+            return Err(VerifyError::LoadOutOfBounds(pc, end));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Cond, Width};
+
+    fn terminated(mut ops: Vec<Op>) -> Vec<Op> {
+        ops.push(Op::Return);
+        ops
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            Program::verify(vec![]).unwrap_err(),
+            VerifyError::Empty
+        ));
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let mut ops = vec![Op::Imm { dst: 0, imm: 0 }; MAX_OPS];
+        ops.push(Op::Return);
+        assert!(matches!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::TooLong(_)
+        ));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let ops = terminated(vec![Op::Imm {
+            dst: NUM_REGS as u8,
+            imm: 0,
+        }]);
+        assert_eq!(Program::verify(ops).unwrap_err(), VerifyError::BadReg(0));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let ops = vec![Op::Imm { dst: 0, imm: 0 }];
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::MissingTerminator
+        );
+    }
+
+    #[test]
+    fn forward_jump_out_of_range_rejected() {
+        let ops = terminated(vec![Op::Jmp {
+            cond: Cond::Eq,
+            a: 0,
+            b: 0,
+            skip: 5,
+        }]);
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::JumpOutOfRange(0)
+        );
+    }
+
+    #[test]
+    fn unmatched_and_nested_loops_rejected() {
+        let ops = terminated(vec![Op::LoopEnd]);
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::UnmatchedLoop(0)
+        );
+        let ops = terminated(vec![Op::LoopStart { count: 2 }]);
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::UnmatchedLoop(0)
+        );
+        let ops = terminated(vec![
+            Op::LoopStart { count: 2 },
+            Op::LoopStart { count: 2 },
+            Op::LoopEnd,
+            Op::LoopEnd,
+        ]);
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::NestedLoop(1)
+        );
+    }
+
+    #[test]
+    fn jump_into_loop_body_rejected() {
+        let ops = terminated(vec![
+            Op::Jmp {
+                cond: Cond::Eq,
+                a: 0,
+                b: 0,
+                skip: 1,
+            }, // into body
+            Op::LoopStart { count: 2 },
+            Op::Imm { dst: 0, imm: 0 },
+            Op::LoopEnd,
+        ]);
+        assert_eq!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::JumpIntoLoop(0)
+        );
+    }
+
+    #[test]
+    fn step_bound_multiplies_loop_bodies() {
+        // 1 (LoopStart) + 60000 * 2 (body incl. LoopEnd) + 1 (Return).
+        let ops = terminated(vec![
+            Op::LoopStart { count: 60_000 },
+            Op::Imm { dst: 0, imm: 0 },
+            Op::LoopEnd,
+        ]);
+        assert!(matches!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::StepBound(n) if n > MAX_STEPS
+        ));
+    }
+
+    #[test]
+    fn unbounded_load_rejected() {
+        // r0 is host-seeded (unknown): loading through it must not verify.
+        let ops = terminated(vec![Op::Load {
+            dst: 1,
+            width: Width::U64,
+            base: 0,
+            disp: 0,
+        }]);
+        assert!(matches!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::LoadOutOfBounds(0, _)
+        ));
+    }
+
+    #[test]
+    fn masking_idiom_proves_bounds() {
+        // r0 unknown; r0 & 0x1F8 ∈ [0, 504]; u64 load ends ≤ 512. The
+        // same program without the mask is rejected above.
+        let ops = terminated(vec![
+            Op::AluImm {
+                op: AluOp::And,
+                dst: 0,
+                imm: 0x1F8,
+            },
+            Op::Load {
+                dst: 1,
+                width: Width::U64,
+                base: 0,
+                disp: 0,
+            },
+        ]);
+        Program::verify(ops).expect("masked load verifies");
+    }
+
+    #[test]
+    fn masked_load_with_displacement_past_end_rejected() {
+        let ops = terminated(vec![
+            Op::AluImm {
+                op: AluOp::And,
+                dst: 0,
+                imm: 0x1F8,
+            },
+            Op::Load {
+                dst: 1,
+                width: Width::U64,
+                base: 0,
+                disp: 1,
+            },
+        ]);
+        assert!(matches!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::LoadOutOfBounds(1, 513)
+        ));
+    }
+
+    #[test]
+    fn loop_carried_index_needs_mask() {
+        // i grows each iteration; unmasked load through it must be
+        // rejected even though the trip count is small (the verifier
+        // widens the loop-carried interval; registers also persist
+        // across hops, so iteration counting cannot prove bounds).
+        let unmasked = terminated(vec![
+            Op::Imm { dst: 0, imm: 0 },
+            Op::LoopStart { count: 8 },
+            Op::Load {
+                dst: 1,
+                width: Width::U64,
+                base: 0,
+                disp: 0,
+            },
+            Op::AluImm {
+                op: AluOp::Add,
+                dst: 0,
+                imm: 64,
+            },
+            Op::LoopEnd,
+        ]);
+        assert!(matches!(
+            Program::verify(unmasked).unwrap_err(),
+            VerifyError::LoadOutOfBounds(2, _)
+        ));
+        // The masked variant of the same scan verifies.
+        let masked = terminated(vec![
+            Op::Imm { dst: 0, imm: 0 },
+            Op::LoopStart { count: 8 },
+            Op::Alu {
+                op: AluOp::Mov,
+                dst: 2,
+                src: 0,
+            },
+            Op::AluImm {
+                op: AluOp::And,
+                dst: 2,
+                imm: 0x1C0,
+            },
+            Op::Load {
+                dst: 1,
+                width: Width::U64,
+                base: 2,
+                disp: 0,
+            },
+            Op::AluImm {
+                op: AluOp::Add,
+                dst: 0,
+                imm: 64,
+            },
+            Op::LoopEnd,
+        ]);
+        Program::verify(masked).expect("masked loop scan verifies");
+    }
+
+    #[test]
+    fn shift_of_64_rejected() {
+        let ops = terminated(vec![Op::AluImm {
+            op: AluOp::Shl,
+            dst: 0,
+            imm: 64,
+        }]);
+        assert_eq!(Program::verify(ops).unwrap_err(), VerifyError::BadShift(0));
+    }
+
+    #[test]
+    fn sub_interval_is_sound_under_possible_wrap() {
+        // r0 unknown, r0 - 1 may wrap: the interval must degrade to TOP,
+        // making a subsequent unmasked load reject.
+        let ops = terminated(vec![
+            Op::AluImm {
+                op: AluOp::And,
+                dst: 0,
+                imm: 0xFF,
+            },
+            Op::AluImm {
+                op: AluOp::Sub,
+                dst: 0,
+                imm: 1,
+            },
+            Op::Load {
+                dst: 1,
+                width: Width::U8,
+                base: 0,
+                disp: 0,
+            },
+        ]);
+        assert!(matches!(
+            Program::verify(ops).unwrap_err(),
+            VerifyError::LoadOutOfBounds(2, _)
+        ));
+    }
+
+    #[test]
+    fn zero_trip_loop_skips_body_in_analysis() {
+        // count == 0: the body never executes, so its (unprovable) load
+        // is unreachable and the program verifies.
+        let ops = terminated(vec![
+            Op::LoopStart { count: 0 },
+            Op::Load {
+                dst: 1,
+                width: Width::U64,
+                base: 0,
+                disp: 0,
+            },
+            Op::LoopEnd,
+        ]);
+        Program::verify(ops).expect("dead body is not analyzed");
+    }
+}

@@ -167,6 +167,7 @@ impl Kernel {
                 sectors: (*seglen / SECTOR_SIZE) as u32,
                 dma: Some(&dma),
                 dma_offset: dma_off,
+                chain: None,
             };
             let cid = self
                 .device()

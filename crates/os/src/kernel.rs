@@ -166,6 +166,9 @@ pub struct Kernel {
     /// at bind time. Uids absent here get the device's default share.
     qos_shares: Mutex<std::collections::HashMap<u32, TenantShare>>,
     pub(crate) uring_jobs: Arc<AtomicU32>,
+    /// Loaded offload programs (verify-at-load, §offload): mirrors the
+    /// device program table with ownership for unload checks.
+    pub(crate) progs: Mutex<crate::offload::ProgTable>,
     /// Flight recorder, wired once by the system builder. Syscall-layer
     /// reads/writes stamp an [`OpRecord`] with `path = Kernel`.
     recorder: OnceLock<Arc<Recorder>>,
@@ -190,6 +193,7 @@ impl Kernel {
             kq,
             qos_shares: Mutex::new(std::collections::HashMap::new()),
             uring_jobs: Arc::new(AtomicU32::new(0)),
+            progs: Mutex::new(crate::offload::ProgTable::default()),
             recorder: OnceLock::new(),
         })
     }

@@ -26,6 +26,7 @@
 pub mod aio;
 pub mod cost;
 pub mod kernel;
+pub mod offload;
 pub mod pagecache;
 pub mod process;
 pub mod uring;

@@ -110,6 +110,7 @@ impl Kernel {
                 sectors: (*seglen / SECTOR_SIZE) as u32,
                 dma: Some(&dma),
                 dma_offset: dma_off,
+                chain: None,
             };
             let (st, ready) = self.device().execute(ring.queue, cmd, ctx.now());
             if !st.is_ok() {

@@ -229,6 +229,13 @@ impl QosArbiter {
         self.ensure(tenant).stats.rejected += 1;
     }
 
+    /// Accounts device-side offload hops (chain `Resubmit` reads beyond
+    /// the host-submitted first read) so per-tenant reporting sees the
+    /// media work a chain performed on the tenant's behalf.
+    pub fn record_offload_hops(&mut self, tenant: Tenant, hops: u64) {
+        self.ensure(tenant).stats.offload_hops += hops;
+    }
+
     /// Accounts a command's completion: `ok` selects completed/failed;
     /// successful data movement adds `read_bytes`/`written_bytes`.
     pub fn record_completion(

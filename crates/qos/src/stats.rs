@@ -21,6 +21,12 @@ pub struct TenantStats {
     pub throttled: u64,
     /// Commands delayed by the fair scheduler (another tenant's share).
     pub deferred: u64,
+    /// Device-side offload hops executed on this tenant's behalf: media
+    /// reads issued by `Resubmit` inside a chain, beyond the first read
+    /// the host submitted. The kernel's per-uid QoS accounting charges
+    /// these like submitted I/Os — a tenant cannot launder device work
+    /// through a chain.
+    pub offload_hops: u64,
     /// Bytes read from media.
     pub read_bytes: u64,
     /// Bytes written to media.

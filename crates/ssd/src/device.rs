@@ -23,6 +23,10 @@ use parking_lot::Mutex;
 
 use bypassd_hw::iommu::{AccessKind, Iommu};
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
+use bypassd_offload::{
+    run_hop, ChainSpec, ChainState, Outcome, ProgHandle, Program, BLOCK, MAX_HOPS, STEP_NS,
+    TRAP_HOPS,
+};
 use bypassd_qos::{QosArbiter, QosConfig, Tenant, TenantShare, TenantStats};
 use bypassd_sim::time::Nanos;
 use bypassd_trace::{DeviceRecord, Metric, MetricSource, Recorder, TraceOp, WalkLevel};
@@ -69,6 +73,11 @@ pub struct Command<'a> {
     pub dma: Option<&'a DmaBuffer>,
     /// Byte offset into the DMA buffer.
     pub dma_offset: usize,
+    /// Offload chain: run this verified program on every completed block
+    /// and follow its `Resubmit` offsets device-side. Only valid on
+    /// single-sector VBA reads from a user queue; every hop is still
+    /// IOMMU-translated under the queue's PASID.
+    pub chain: Option<ChainSpec>,
 }
 
 impl<'a> Command<'a> {
@@ -80,6 +89,23 @@ impl<'a> Command<'a> {
             sectors,
             dma: Some(dma),
             dma_offset: 0,
+            chain: None,
+        }
+    }
+
+    /// A single-sector chain read: the device reads one block at `vba`,
+    /// runs `spec`'s program over it, and either follows its `Resubmit`
+    /// offsets (relative to `spec.base_vba`) on the same channel or
+    /// completes with the final block DMA'd into `dma`. One submission,
+    /// one completion, however many hops the chain takes.
+    pub fn chain_read(vba: Vba, dma: &'a DmaBuffer, spec: ChainSpec) -> Self {
+        Command {
+            opcode: Opcode::Read,
+            addr: BlockAddr::Vba(vba),
+            sectors: 1,
+            dma: Some(dma),
+            dma_offset: 0,
+            chain: Some(spec),
         }
     }
 
@@ -91,6 +117,7 @@ impl<'a> Command<'a> {
             sectors,
             dma: Some(dma),
             dma_offset: 0,
+            chain: None,
         }
     }
 
@@ -102,6 +129,7 @@ impl<'a> Command<'a> {
             sectors: 0,
             dma: None,
             dma_offset: 0,
+            chain: None,
         }
     }
 
@@ -113,6 +141,7 @@ impl<'a> Command<'a> {
             sectors,
             dma: None,
             dma_offset: 0,
+            chain: None,
         }
     }
 }
@@ -162,6 +191,12 @@ pub struct DeviceStats {
     pub qos_throttled: u64,
     /// Commands delayed by fair-share pacing (QoS).
     pub qos_deferred: u64,
+    /// Offload chains completed (any status).
+    pub chains: u64,
+    /// Media reads performed inside chains (first hop included).
+    pub chain_hops: u64,
+    /// Chains aborted by a program `Fail` or an engine trap.
+    pub chain_faults: u64,
 }
 
 /// Reusable buffers for the steady-state command path. They live under
@@ -189,6 +224,11 @@ struct DevState {
     /// passive: it never touches `timer`, so traced runs keep identical
     /// virtual times.
     recorder: Option<Arc<Recorder>>,
+    /// Verified offload programs, installed by the kernel at
+    /// `prog_attach` time. `Arc` so a chain can execute the program
+    /// while the table (and the rest of the device state) stays mutable.
+    programs: std::collections::HashMap<ProgHandle, Arc<Program>>,
+    next_prog: u32,
 }
 
 /// Per-command stage latencies, filled in by `process_inner` as the
@@ -247,6 +287,8 @@ impl NvmeDevice {
                 stats: DeviceStats::default(),
                 qos: QosArbiter::new(QosConfig::default(), timing.channels),
                 recorder: None,
+                programs: std::collections::HashMap::new(),
+                next_prog: 1,
             }),
             next_qid: AtomicU32::new(1),
         })
@@ -330,6 +372,25 @@ impl NvmeDevice {
     /// Capacity in sectors.
     pub fn capacity_sectors(&self) -> u64 {
         self.state.lock().store.capacity_sectors()
+    }
+
+    /// Installs a verified offload program into the device's program
+    /// table and returns its handle. Only the kernel calls this (the
+    /// verify-at-load gate lives in the kernel's `prog_load` syscall);
+    /// the device trusts `Program`'s invariant that it only exists
+    /// verified.
+    pub fn install_program(&self, prog: Arc<Program>) -> ProgHandle {
+        let mut state = self.state.lock();
+        let handle = ProgHandle(state.next_prog);
+        state.next_prog += 1;
+        state.programs.insert(handle, prog);
+        handle
+    }
+
+    /// Removes an installed program (chains already past admission keep
+    /// their `Arc`). Returns whether the handle existed.
+    pub fn remove_program(&self, handle: ProgHandle) -> bool {
+        self.state.lock().programs.remove(&handle).is_some()
     }
 
     /// Creates a queue pair. `pasid = Some(..)` makes a user queue bound
@@ -462,6 +523,9 @@ impl NvmeDevice {
         cmd: Command<'_>,
         now: Nanos,
     ) -> Completion {
+        if cmd.chain.is_some() {
+            return self.process_chain(state, qid, tenant, pasid, cmd, now);
+        }
         state.qos.record_submit(tenant);
         let (opcode, sectors) = (cmd.opcode, cmd.sectors);
         let mut scratch = StageScratch::default();
@@ -760,6 +824,265 @@ impl NvmeDevice {
         }
     }
 
+    /// Executes one offload chain: repeated single-sector reads driven by
+    /// the command's verified program, all inside this one completion.
+    ///
+    /// Per hop: the current VBA is translated under the queue's PASID
+    /// (chains never relax the protection model — a `Resubmit` into an
+    /// unmapped or revoked page faults the whole chain exactly like a
+    /// host-submitted read), the block is read on the chain's pinned
+    /// channel, and the program runs over it at [`STEP_NS`] per step of
+    /// pure virtual time. The host sees one doorbell and one completion;
+    /// only the final block is DMA'd. Each hop emits its own
+    /// [`DeviceRecord`] so traces can count device-side work. Chain hops
+    /// go straight to the IOMMU (the device-side ATC ablation does not
+    /// shortcut them).
+    #[allow(clippy::too_many_lines)]
+    fn process_chain(
+        &self,
+        state: &mut DevState,
+        qid: QueueId,
+        tenant: Tenant,
+        pasid: Option<Pasid>,
+        cmd: Command<'_>,
+        now: Nanos,
+    ) -> Completion {
+        state.qos.record_submit(tenant);
+        let spec = cmd.chain.expect("process_chain without a chain");
+        let tenant_id = match tenant {
+            Tenant::Kernel => 0,
+            Tenant::User(p) => u64::from(p.0) + 1,
+        };
+
+        // Structural validation: chains are single-sector VBA reads from
+        // a user queue, naming an installed program.
+        let valid_shape = cmd.opcode == Opcode::Read && cmd.sectors == 1 && cmd.dma.is_some();
+        let first_vba = match cmd.addr {
+            BlockAddr::Vba(v) if valid_shape => Some(v),
+            _ => None,
+        };
+        let prog = state.programs.get(&spec.prog).cloned();
+        let (Some(mut vba), Some(prog), Some(pasid)) = (first_vba, prog, pasid) else {
+            state
+                .qos
+                .record_completion(tenant, Nanos::ZERO, false, 0, 0);
+            return Completion {
+                cid: 0,
+                status: NvmeStatus::InvalidField,
+                ready_at: now,
+                pressure: false,
+            };
+        };
+
+        // QoS admission happens once, for the chain's first hop; later
+        // hops are device-generated work, paced on the tenant's own bus
+        // ledger and surfaced through the offload-hop counters.
+        let qos_paced = state.qos.enabled();
+        let (mut t, pressure) = if qos_paced {
+            let est = state.timer.timing().service(false, BLOCK as u64);
+            let adm = state.qos.admit(tenant, now, est, BLOCK as u64);
+            (adm.arrival, adm.throttled || adm.deferred)
+        } else {
+            (now, false)
+        };
+        let channel = state.timer.pick_channel();
+
+        let mut st = ChainState::new(spec.regs);
+        // Completed media reads; the MAX_HOPS budget bounds them.
+        let mut hops: u32 = 0;
+        let status = loop {
+            if hops == MAX_HOPS {
+                break NvmeStatus::ChainFault(TRAP_HOPS);
+            }
+            let hop_start = t;
+
+            // Translate this hop's VBA (program offsets must stay
+            // sector-aligned; a misaligned `Resubmit` is an OOB trap).
+            if !vba.0.is_multiple_of(SECTOR_SIZE) {
+                break NvmeStatus::ChainFault(bypassd_offload::TRAP_OOB);
+            }
+            state.io_bufs.extents.clear();
+            let walked = self.iommu.lock().translate_extents_into(
+                pasid,
+                vba,
+                BLOCK as u64,
+                AccessKind::Read,
+                self.id,
+                None,
+                &mut state.io_bufs.extents,
+            );
+            let (trans_cost, walk) = match walked {
+                Ok(tr) => (
+                    tr.cost,
+                    if tr.walks == 0 {
+                        WalkLevel::IotlbHit
+                    } else if tr.pwc_hit {
+                        WalkLevel::PwcHit
+                    } else {
+                        WalkLevel::FullWalk
+                    },
+                ),
+                Err((fault, cost)) => {
+                    state.stats.translation_faults += 1;
+                    t += cost;
+                    self.record_hop(
+                        state,
+                        qid,
+                        tenant_id,
+                        hop_start,
+                        Some(WalkLevel::Fault),
+                        cost,
+                        Nanos::ZERO,
+                        t,
+                        false,
+                    );
+                    break NvmeStatus::TranslationFault(fault);
+                }
+            };
+            let in_range = state
+                .io_bufs
+                .extents
+                .iter()
+                .all(|&(lba, sectors)| state.store.in_range(lba, u64::from(sectors)));
+            if !in_range {
+                t += trans_cost;
+                self.record_hop(
+                    state,
+                    qid,
+                    tenant_id,
+                    hop_start,
+                    Some(walk),
+                    trans_cost,
+                    Nanos::ZERO,
+                    t,
+                    false,
+                );
+                break NvmeStatus::LbaOutOfRange;
+            }
+
+            // Media read of the block into the device-internal chunk
+            // (not DMA'd — only the final block crosses to the host).
+            if state.io_bufs.chunk.len() < BLOCK {
+                state.io_bufs.chunk.resize(BLOCK, 0);
+            }
+            let mut off = 0usize;
+            for i in 0..state.io_bufs.extents.len() {
+                let (lba, sectors) = state.io_bufs.extents[i];
+                let n = (u64::from(sectors) * SECTOR_SIZE) as usize;
+                state
+                    .store
+                    .read(lba, &mut state.io_bufs.chunk[off..off + n]);
+                off += n;
+            }
+            state.stats.reads += 1;
+            state.stats.read_bytes += BLOCK as u64;
+            hops += 1;
+
+            let media_done = if qos_paced {
+                // Paced lanes priced the chain at admission; hops are
+                // device-internal media reads with no bus crossing.
+                t + trans_cost + state.timer.timing().read_base
+            } else {
+                state.timer.schedule_hop(channel, t + trans_cost)
+            };
+
+            // Run the program on the device's lightweight core, charged
+            // purely in virtual time.
+            let run = run_hop(&prog, &mut st, &state.io_bufs.chunk[..BLOCK]);
+            t = media_done + Nanos(run.steps * STEP_NS);
+            let service = t.saturating_sub(hop_start + trans_cost);
+            self.record_hop(
+                state,
+                qid,
+                tenant_id,
+                hop_start,
+                Some(walk),
+                trans_cost,
+                service,
+                t,
+                true,
+            );
+
+            match run.outcome {
+                Outcome::Resubmit { offset } => {
+                    vba = Vba(spec.base_vba).offset(offset);
+                }
+                Outcome::Return => {
+                    // Only the final block crosses to the host: pay its
+                    // bus transfer now.
+                    t = if qos_paced {
+                        state
+                            .timer
+                            .chain_return_transfer_paced(t, BLOCK as u64, tenant_id)
+                    } else {
+                        state.timer.chain_return_transfer(t, BLOCK as u64)
+                    };
+                    let dma = cmd.dma.expect("validated above");
+                    dma.write(cmd.dma_offset, &state.io_bufs.chunk[..BLOCK]);
+                    break NvmeStatus::Success;
+                }
+                Outcome::Fail { code } => break NvmeStatus::ChainFault(code),
+            }
+        };
+
+        let ok = status.is_ok();
+        state.stats.chains += 1;
+        state.stats.chain_hops += u64::from(hops);
+        if !ok {
+            state.stats.chain_faults += 1;
+        }
+        state
+            .qos
+            .record_offload_hops(tenant, u64::from(hops.saturating_sub(1)));
+        state.qos.record_completion(
+            tenant,
+            t.saturating_sub(now),
+            ok,
+            u64::from(hops) * BLOCK as u64,
+            0,
+        );
+        Completion {
+            cid: 0,
+            status,
+            ready_at: t,
+            pressure,
+        }
+    }
+
+    /// Emits one chain hop's [`DeviceRecord`] (passive; no clock).
+    #[allow(clippy::too_many_arguments)]
+    fn record_hop(
+        &self,
+        state: &DevState,
+        qid: QueueId,
+        tenant_id: u64,
+        submit: Nanos,
+        walk: Option<WalkLevel>,
+        translate: Nanos,
+        service: Nanos,
+        complete: Nanos,
+        ok: bool,
+    ) {
+        if let Some(rec) = &state.recorder {
+            rec.record_device(|| DeviceRecord {
+                queue: qid.0,
+                tenant: tenant_id,
+                op: TraceOp::Read,
+                bytes: BLOCK as u64,
+                submit,
+                qos_delay: Nanos::ZERO,
+                throttled: false,
+                deferred: false,
+                walk,
+                translate,
+                channel_wait: Nanos::ZERO,
+                service,
+                complete,
+                ok,
+            });
+        }
+    }
+
     /// Completion time of command `cid` on `qid`, if posted.
     pub fn ready_time(&self, qid: QueueId, cid: u16) -> Option<Nanos> {
         self.state.lock().queues.get(&qid)?.ready_time(cid)
@@ -872,6 +1195,9 @@ impl MetricSource for NvmeDevice {
         out.push(Metric::counter("atc_shootdowns", s.atc_shootdowns));
         out.push(Metric::counter("qos_throttled", s.qos_throttled));
         out.push(Metric::counter("qos_deferred", s.qos_deferred));
+        out.push(Metric::counter("chains", s.chains));
+        out.push(Metric::counter("chain_hops", s.chain_hops));
+        out.push(Metric::counter("chain_faults", s.chain_faults));
         for (tenant, ts) in self.qos_snapshot() {
             let name = match tenant {
                 Tenant::Kernel => "kernel".to_string(),
@@ -886,6 +1212,10 @@ impl MetricSource for NvmeDevice {
                 ts.completed,
             ));
             out.push(Metric::counter(format!("tenant.{name}.failed"), ts.failed));
+            out.push(Metric::counter(
+                format!("tenant.{name}.offload_hops"),
+                ts.offload_hops,
+            ));
             out.push(Metric::counter(
                 format!("tenant.{name}.read_bytes"),
                 ts.read_bytes,
@@ -1482,6 +1812,250 @@ mod tests {
         let snap = dev.qos_snapshot();
         let names: Vec<Tenant> = snap.iter().map(|(t, _)| *t).collect();
         assert_eq!(names, vec![Tenant::Kernel, Tenant::User(P)]);
+    }
+
+    // ---- Offload chains (bypassd-offload integration) ----
+
+    use bypassd_offload::{Cond, Op, Width, TRAP_OOB};
+
+    /// "Follow the pointer at byte 0; 0 terminates": the minimal chain
+    /// program. One load, one compare, one terminator per hop.
+    fn follow_prog() -> Arc<Program> {
+        Arc::new(
+            Program::verify(vec![
+                Op::Imm { dst: 0, imm: 0 },
+                Op::Load {
+                    dst: 1,
+                    width: Width::U64,
+                    base: 0,
+                    disp: 0,
+                },
+                Op::Imm { dst: 2, imm: 0 },
+                Op::Jmp {
+                    cond: Cond::Eq,
+                    a: 1,
+                    b: 2,
+                    skip: 1,
+                },
+                Op::Resubmit { addr: 1 },
+                Op::Return,
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Writes one 512 B node at chain-window byte `offset`: next-pointer
+    /// at byte 0, tag at byte 8. Window pages back onto blocks
+    /// `1000 + page`.
+    fn write_node(dev: &NvmeDevice, offset: u64, next: u64, tag: u8) {
+        let mut b = [0u8; BLOCK];
+        b[..8].copy_from_slice(&next.to_le_bytes());
+        b[8] = tag;
+        let sector = Lba(Lba::from_block(1000 + offset / PAGE_SIZE).0 + (offset % PAGE_SIZE) / 512);
+        dev.write_raw(sector, &b);
+    }
+
+    fn chain_spec(dev: &NvmeDevice, vba: Vba) -> ChainSpec {
+        let handle = dev.install_program(follow_prog());
+        ChainSpec {
+            prog: handle,
+            regs: [0; 8],
+            base_vba: vba.0,
+        }
+    }
+
+    #[test]
+    fn chain_read_follows_pointers_in_one_completion() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        // node0 → node2 → node7 → stop.
+        write_node(&dev, 0, 1024, 10);
+        write_node(&dev, 1024, 3584, 12);
+        write_node(&dev, 3584, 0, 17);
+        let spec = chain_spec(&dev, vba);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert!(comp.status.is_ok());
+        let mut out = [0u8; BLOCK];
+        dma.read(0, &mut out);
+        assert_eq!(out[8], 17, "final block must be the chain's tail");
+        let s = dev.stats();
+        assert_eq!((s.chains, s.chain_hops, s.chain_faults), (1, 3, 0));
+        assert_eq!(s.reads, 3, "each hop is a media read");
+        assert_eq!(s.read_bytes, 3 * BLOCK as u64);
+        // Three serialized hops: ≥ 3 × (translate + read_base).
+        assert!(
+            comp.ready_at.as_nanos() > 3 * 3450,
+            "chain latency {}ns too small for 3 media reads",
+            comp.ready_at.as_nanos()
+        );
+        // Per-tenant accounting: 2 resubmitted hops beyond the first.
+        let ts = dev.tenant_stats(Tenant::User(P)).unwrap();
+        assert_eq!(ts.offload_hops, 2);
+        assert!(ts.accounted());
+    }
+
+    #[test]
+    fn chain_is_deterministic_across_runs() {
+        let run = || {
+            let (mem, dev, _asid, vba) = setup_with_mapping(1);
+            write_node(&dev, 0, 512, 1);
+            write_node(&dev, 512, 1024, 2);
+            write_node(&dev, 1024, 0, 3);
+            let spec = chain_spec(&dev, vba);
+            let q = dev.create_queue(Some(P), 32);
+            let dma = DmaBuffer::alloc(&mem, 4096);
+            dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO)
+                .ready_at
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chain_program_fail_surfaces_code() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        let handle = dev.install_program(Arc::new(
+            Program::verify(vec![Op::Fail { code: 7 }]).unwrap(),
+        ));
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let spec = ChainSpec {
+            prog: handle,
+            regs: [0; 8],
+            base_vba: vba.0,
+        };
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::ChainFault(7));
+        let s = dev.stats();
+        assert_eq!((s.chains, s.chain_hops, s.chain_faults), (1, 1, 1));
+    }
+
+    #[test]
+    fn chain_hop_budget_enforced() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        // node0 points at itself: an infinite chain.
+        write_node(&dev, 0, 0, 9);
+        // Program that always resubmits offset 0 (never reads the stop
+        // sentinel as such — r1 stays whatever the block says, 0 here
+        // means "node 0", not stop).
+        let handle = dev.install_program(Arc::new(
+            Program::verify(vec![Op::Imm { dst: 0, imm: 0 }, Op::Resubmit { addr: 0 }]).unwrap(),
+        ));
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let spec = ChainSpec {
+            prog: handle,
+            regs: [0; 8],
+            base_vba: vba.0,
+        };
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::ChainFault(TRAP_HOPS));
+        assert_eq!(dev.stats().chain_hops, u64::from(MAX_HOPS));
+    }
+
+    #[test]
+    fn chain_resubmit_into_unmapped_page_faults() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        // node0 points past the single mapped page.
+        write_node(&dev, 0, PAGE_SIZE, 1);
+        let spec = chain_spec(&dev, vba);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert!(matches!(comp.status, NvmeStatus::TranslationFault(_)));
+        let s = dev.stats();
+        assert_eq!(s.translation_faults, 1);
+        assert_eq!(s.chain_hops, 1, "only the first hop read media");
+        assert_eq!(s.chain_faults, 1);
+    }
+
+    #[test]
+    fn chain_unaligned_resubmit_traps() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        write_node(&dev, 0, 100, 1); // 100 is not sector-aligned
+        let spec = chain_spec(&dev, vba);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::ChainFault(TRAP_OOB));
+    }
+
+    #[test]
+    fn chain_requires_user_queue_and_installed_program() {
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        write_node(&dev, 0, 0, 1);
+        let spec = chain_spec(&dev, vba);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        // Kernel queue: no PASID → invalid.
+        let kq = dev.create_queue(None, 32);
+        let comp = dev.execute_full(kq, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::InvalidField);
+        // Unknown program handle → invalid.
+        let q = dev.create_queue(Some(P), 32);
+        let bogus = ChainSpec {
+            prog: ProgHandle(9999),
+            ..spec
+        };
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, bogus), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::InvalidField);
+        // Removing the program invalidates the handle.
+        assert!(dev.remove_program(spec.prog));
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert_eq!(comp.status, NvmeStatus::InvalidField);
+    }
+
+    #[test]
+    fn chain_registers_persist_across_hops() {
+        // A descent-style program: r1 counts remaining hops, seeded by
+        // the host; each hop decrements and resubmits the next node until
+        // the budget is spent. Register persistence across hops is what
+        // makes a level-counted B-tree descent expressible.
+        let (mem, dev, _asid, vba) = setup_with_mapping(1);
+        for i in 0..4u64 {
+            write_node(&dev, i * 512, (i + 1) * 512, i as u8);
+        }
+        let prog = Arc::new(
+            Program::verify(vec![
+                // if r1 == 0 → return this block
+                Op::Imm { dst: 2, imm: 0 },
+                Op::Jmp {
+                    cond: Cond::Eq,
+                    a: 1,
+                    b: 2,
+                    skip: 3,
+                },
+                Op::AluImm {
+                    op: bypassd_offload::AluOp::Sub,
+                    dst: 1,
+                    imm: 1,
+                },
+                Op::Load {
+                    dst: 3,
+                    width: Width::U64,
+                    base: 2,
+                    disp: 0,
+                },
+                Op::Resubmit { addr: 3 },
+                Op::Return,
+            ])
+            .unwrap(),
+        );
+        let handle = dev.install_program(prog);
+        let q = dev.create_queue(Some(P), 32);
+        let dma = DmaBuffer::alloc(&mem, 4096);
+        let mut regs = [0u64; 8];
+        regs[1] = 2; // two resubmits, then return the third node
+        let spec = ChainSpec {
+            prog: handle,
+            regs,
+            base_vba: vba.0,
+        };
+        let comp = dev.execute_full(q, Command::chain_read(vba, &dma, spec), Nanos::ZERO);
+        assert!(comp.status.is_ok());
+        let mut out = [0u8; BLOCK];
+        dma.read(0, &mut out);
+        assert_eq!(out[8], 2, "chain must stop at node 2 (hop budget 2)");
+        assert_eq!(dev.stats().chain_hops, 3);
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub enum NvmeStatus {
     LbaOutOfRange,
     /// Command malformed (e.g. VBA command on a kernel queue).
     InvalidField,
+    /// An offload chain aborted: either the program executed
+    /// [`Op::Fail`](bypassd_offload::Op::Fail) with this code, or the
+    /// engine raised a reserved trap (`0xFF00..` — out-of-bounds load,
+    /// step budget, hop budget).
+    ChainFault(u16),
 }
 
 impl NvmeStatus {

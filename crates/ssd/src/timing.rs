@@ -237,6 +237,59 @@ impl DeviceTimer {
         }
     }
 
+    /// Earliest-free channel index (deterministic tie-break by index)
+    /// without reserving it — offload chains pick a channel once and pin
+    /// every hop to it with [`DeviceTimer::schedule_hop`], so one chain
+    /// equals one channel occupancy, exactly like one long command.
+    pub fn pick_channel(&self) -> usize {
+        self.channel_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &t)| (t, *i))
+            .map(|(i, _)| i)
+            .expect("no channels")
+    }
+
+    /// Schedules one chain hop's media read on the chain's pinned
+    /// channel. Device-internal: the block lands in the on-device chunk
+    /// buffer, so no host-transfer bus is reserved — charging hops on
+    /// the shared bus cursor would head-of-line-block every
+    /// later-submitted chain behind this chain's whole hop sequence.
+    /// Only the final block crosses to the host, via
+    /// [`DeviceTimer::chain_return_transfer`].
+    pub fn schedule_hop(&mut self, channel: usize, arrival: Nanos) -> Nanos {
+        let start = arrival.max(self.channel_free[channel]);
+        let done = start + self.timing.read_base;
+        self.channel_free[channel] = done;
+        done
+    }
+
+    /// Host transfer of a chain's final block on the shared read bus
+    /// (the default, non-paced path).
+    pub fn chain_return_transfer(&mut self, media_done: Nanos, bytes: u64) -> Nanos {
+        let transfer = self.timing.transfer(false, bytes);
+        let bus_occ = self.timing.bus_occupancy(false, bytes);
+        let bus_start = media_done.max(self.read_bus_free);
+        self.read_bus_free = bus_start + bus_occ;
+        bus_start + transfer.max(bus_occ)
+    }
+
+    /// Host transfer of a chain's final block on the tenant's paced read
+    /// bus (the QoS path — pacing priced the chain's admission, and only
+    /// the tenant's own transfers contend).
+    pub fn chain_return_transfer_paced(
+        &mut self,
+        media_done: Nanos,
+        bytes: u64,
+        tenant_key: u64,
+    ) -> Nanos {
+        let transfer = self.timing.transfer(false, bytes);
+        let bus_occ = self.timing.bus_occupancy(false, bytes);
+        let (read_bus, _) = self.paced_buses.entry(tenant_key).or_default();
+        let bus_start = read_bus.reserve(media_done, bus_occ);
+        bus_start + transfer.max(bus_occ)
+    }
+
     /// Schedules a fixed-service command (e.g. Write Zeroes) on the
     /// earliest-free channel.
     pub fn schedule_fixed(&mut self, arrival: Nanos, service: Nanos) -> Nanos {
