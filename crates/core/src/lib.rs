@@ -40,6 +40,7 @@
 //! sim.run();
 //! ```
 
+pub mod crashlab;
 pub mod system;
 pub mod userlib;
 
@@ -48,5 +49,6 @@ pub use bypassd_trace::{
     chrome_trace, direct_read_check, write_chrome_trace, Breakdown, DirectReadCheck,
     MetricsRegistry, Recorder, TraceConfig,
 };
+pub use crashlab::{CrashLab, CrashWorkload};
 pub use system::{System, SystemBuilder};
 pub use userlib::{ChainReq, IoPolicy, ReadReq, UserProcess, UserThread};

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use bypassd_ext4::{Ext4, Ext4Options};
+use bypassd_faults::plane::FaultPlane;
 use bypassd_hw::iommu::{Iommu, IommuMetrics, IommuTiming};
 use bypassd_hw::types::DevId;
 use bypassd_hw::PhysMem;
@@ -101,6 +102,7 @@ pub struct SystemBuilder {
     page_cache_blocks: usize,
     dev_id: DevId,
     trace: TraceConfig,
+    fault_plane: Option<Arc<FaultPlane>>,
 }
 
 impl Default for SystemBuilder {
@@ -118,6 +120,7 @@ impl Default for SystemBuilder {
             page_cache_blocks: 64 * 1024, // 256 MB
             dev_id: DevId(1),
             trace: TraceConfig::default(),
+            fault_plane: None,
         }
     }
 }
@@ -191,6 +194,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Installs a shared fault-injection plane on the device *before*
+    /// the file system is formatted, so format-time writes are observed
+    /// too (the crash campaigns rebuild the system each iteration on one
+    /// plane to keep write sequence numbers aligned). Default: the
+    /// device keeps its own inactive plane, which costs one relaxed
+    /// atomic load per write.
+    pub fn fault_plane(mut self, plane: Arc<FaultPlane>) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
     /// Configures the flight recorder (stage-level I/O tracing). The
     /// default is off: stamp sites cost one relaxed atomic load and
     /// virtual times are bit-identical either way — recording never
@@ -211,6 +225,9 @@ impl SystemBuilder {
         let iommu = Arc::new(Mutex::new(iommu));
         let sectors = self.capacity_bytes / 512;
         let dev = NvmeDevice::new(self.dev_id, sectors, self.media, iommu);
+        if let Some(plane) = self.fault_plane {
+            dev.set_fault_plane(plane);
+        }
         // CI coverage overrides: force the ablation features on across an
         // unmodified test suite. Tests asserting the defaults themselves
         // skip when these are set.

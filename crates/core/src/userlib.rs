@@ -599,24 +599,42 @@ impl UserThread {
         scratch.userlib += self.cost().userlib_overhead;
         let addr = BlockAddr::Vba(vba);
         let sectors = (span / SECTOR_SIZE) as u32;
-        let cmd = if write {
-            Command::write(addr, sectors, &self.dma)
-        } else {
-            Command::read(addr, sectors, &self.dma)
-        };
-        let submit = ctx.now();
-        let comp = self
-            .proc
-            .system
-            .device()
-            .execute_full(self.qid, cmd, submit);
-        self.note_pressure(comp.pressure);
-        ctx.wait_until(comp.ready_at);
-        scratch.device_span += comp.ready_at.saturating_sub(submit);
-        match comp.status {
-            NvmeStatus::Success => Ok(DirectIo::Done),
-            NvmeStatus::TranslationFault(_) => self.refmap_after_fault(ctx, fd, entry, scratch),
-            _ => Err(Errno::Inval),
+        let policy = self.proc.io_policy();
+        let mut media_retries = 0u32;
+        loop {
+            let cmd = if write {
+                Command::write(addr, sectors, &self.dma)
+            } else {
+                Command::read(addr, sectors, &self.dma)
+            };
+            let submit = ctx.now();
+            let comp = self
+                .proc
+                .system
+                .device()
+                .execute_full(self.qid, cmd, submit);
+            self.note_pressure(comp.pressure);
+            ctx.wait_until(comp.ready_at);
+            scratch.device_span += comp.ready_at.saturating_sub(submit);
+            match comp.status {
+                NvmeStatus::Success => return Ok(DirectIo::Done),
+                NvmeStatus::TranslationFault(_) => {
+                    return self.refmap_after_fault(ctx, fd, entry, scratch)
+                }
+                NvmeStatus::MediaError => {
+                    // Transient media errors are retried in place (the
+                    // kernel never sees them on the direct path); after
+                    // `max_attempts` the op fails with EIO.
+                    media_retries += 1;
+                    if media_retries >= policy.max_attempts {
+                        return Err(Errno::Io);
+                    }
+                    if policy.retry_backoff > Nanos::ZERO {
+                        ctx.delay(policy.retry_backoff);
+                    }
+                }
+                _ => return Err(Errno::Inval),
+            }
         }
     }
 
@@ -963,12 +981,15 @@ impl UserThread {
         let mut latest = submit_now;
         for k in 0..self.batch.cids.len() {
             let cid = self.batch.cids[k];
+            // A missing ready time means the CQ entry was swallowed
+            // (injected completion loss): nothing to wait for — the
+            // request is re-issued after the reap.
             let t = self
                 .proc
                 .system
                 .device()
                 .ready_time(self.qid, cid)
-                .expect("submitted read vanished");
+                .unwrap_or(submit_now);
             self.batch.ready.push(t);
             latest = latest.max(t);
         }
@@ -980,7 +1001,6 @@ impl UserThread {
             chunk.len(),
             &mut self.batch.comps,
         );
-        debug_assert_eq!(self.batch.comps.len(), chunk.len());
         // Copy out, charging one coalesced user-copy delay for the flight.
         let mut copy_total = Nanos::ZERO;
         let mut ok_bytes = 0usize;
@@ -1015,6 +1035,18 @@ impl UserThread {
                 // Translation fault (revocation or growth race): retry
                 // this request on the sequential path, which re-fmaps.
                 retry_bytes += self.pread(ctx, fd, chunk[i].buf, chunk[i].offset)?;
+            }
+        }
+        if self.batch.comps.len() < chunk.len() {
+            // Lost CQ entries (injected completion drop): re-issue the
+            // un-reaped reads on the sequential path, as a host timeout
+            // would.
+            for (i, req) in chunk.iter_mut().enumerate() {
+                let cid = self.batch.cids[i];
+                if self.batch.comps.iter().any(|c| c.cid == cid) {
+                    continue;
+                }
+                retry_bytes += self.pread(ctx, fd, req.buf, req.offset)?;
             }
         }
         if copy_total > Nanos::ZERO {
@@ -1184,6 +1216,16 @@ impl UserThread {
                         }
                     }
                 }
+                NvmeStatus::MediaError => {
+                    // Transient media error: bounded in-place retry, then EIO.
+                    attempts += 1;
+                    if attempts >= policy.max_attempts {
+                        return Err(Errno::Io);
+                    }
+                    if policy.retry_backoff > Nanos::ZERO {
+                        ctx.delay(policy.retry_backoff);
+                    }
+                }
                 // Program `Fail`, engine trap, or invalid submission.
                 _ => return Err(Errno::Inval),
             }
@@ -1344,12 +1386,14 @@ impl UserThread {
         let mut latest = submit_now;
         for k in 0..self.batch.cids.len() {
             let cid = self.batch.cids[k];
+            // Missing ready time = swallowed CQ entry (injected
+            // completion loss); the chain is re-issued after the reap.
             let t = self
                 .proc
                 .system
                 .device()
                 .ready_time(self.qid, cid)
-                .expect("submitted chain vanished");
+                .unwrap_or(submit_now);
             self.batch.ready.push(t);
             latest = latest.max(t);
         }
@@ -1361,7 +1405,6 @@ impl UserThread {
             chunk.len(),
             &mut self.batch.comps,
         );
-        debug_assert_eq!(self.batch.comps.len(), chunk.len());
         let mut copy_total = Nanos::ZERO;
         let mut ok_bytes = 0usize;
         let mut ok_ops = 0u64;
@@ -1397,6 +1440,18 @@ impl UserThread {
                 // program's failure.
                 retry_bytes +=
                     self.pread_chain(ctx, fd, prog, chunk[i].regs, chunk[i].start, chunk[i].buf)?;
+            }
+        }
+        if self.batch.comps.len() < chunk.len() {
+            // Lost CQ entries (injected completion drop): re-issue the
+            // un-reaped chains on the sequential path, as a host timeout
+            // would.
+            for (i, req) in chunk.iter_mut().enumerate() {
+                let cid = self.batch.cids[i];
+                if self.batch.comps.iter().any(|c| c.cid == cid) {
+                    continue;
+                }
+                retry_bytes += self.pread_chain(ctx, fd, prog, req.regs, req.start, req.buf)?;
             }
         }
         if copy_total > Nanos::ZERO {
@@ -1813,12 +1868,24 @@ impl UserThread {
             }
         };
         let dev = self.proc.system.device();
-        let ready = dev
-            .ready_time(self.qid, cid)
-            .expect("submitted write vanished");
-        let comp = dev
-            .reap_at(self.qid, cid, ready)
-            .expect("completion not posted");
+        let ready = match dev.ready_time(self.qid, cid) {
+            Some(t) => t,
+            None => {
+                // Swallowed CQ entry: re-issue synchronously (idempotent,
+                // same target blocks), as a host timeout would.
+                return self.pwrite_inner(ctx, fd, data, offset, scratch);
+            }
+        };
+        let comp = match dev.reap_at(self.qid, cid, ready) {
+            Some(c) => c,
+            None => {
+                // Lost CQ entry (injected completion drop): the host-side
+                // timeout re-issues on the synchronous path, which is
+                // idempotent — the write targets the same blocks.
+                ctx.wait_until(ready);
+                return self.pwrite_inner(ctx, fd, data, offset, scratch);
+            }
+        };
         self.note_pressure(comp.pressure);
         scratch.device_span += ready.saturating_sub(ctx.now());
         if !comp.status.is_ok() {

@@ -127,6 +127,23 @@ impl Default for Ext4Options {
     }
 }
 
+/// Mount-time options.
+#[derive(Debug, Clone, Copy)]
+pub struct MountOptions {
+    /// Validate journal commit-record checksums during replay (default).
+    /// The fault campaigns mount with this off to verify that the sweep
+    /// catches a recovery that trusts torn commits (mutation testing).
+    pub validate_journal_checksums: bool,
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        MountOptions {
+            validate_journal_checksums: true,
+        }
+    }
+}
+
 /// Modelled costs of FS-internal work (calibrated in Table 5 terms).
 #[derive(Debug, Clone, Copy)]
 pub struct FsTiming {
@@ -182,7 +199,6 @@ pub(crate) struct FsInner {
     /// Blocks freed but not yet reusable (delayed until a sync point to
     /// close the revocation race, §3.6).
     pub pending_free: Vec<(u64, u64)>,
-    pub crashed: bool,
     pub timing: FsTiming,
 }
 
@@ -233,7 +249,6 @@ impl Ext4 {
                 icache: HashMap::new(),
                 free_inos: Vec::new(),
                 pending_free: Vec::new(),
-                crashed: false,
                 timing: FsTiming::default(),
             }),
         };
@@ -257,10 +272,30 @@ impl Ext4 {
     /// # Errors
     /// [`Ext4Error::NotFound`] when no valid superblock is present.
     pub fn mount(dev: &Arc<NvmeDevice>, mem: &PhysMem) -> Ext4Result<Ext4> {
+        Self::mount_with(dev, mem, MountOptions::default())
+    }
+
+    /// [`Ext4::mount`] with explicit [`MountOptions`].
+    ///
+    /// # Errors
+    /// [`Ext4Error::NotFound`] when no valid superblock is present.
+    pub fn mount_with(
+        dev: &Arc<NvmeDevice>,
+        mem: &PhysMem,
+        opts: MountOptions,
+    ) -> Ext4Result<Ext4> {
+        // Remounting implies a power cycle: if a fault-plane cut dropped
+        // power on this device, restore it so recovery writes persist.
+        dev.fault_plane().power_restore();
+        // …and an unmount: every pre-crash PASID mapping is torn down so
+        // no stale FTE can translate to blocks recovery may reassign to
+        // another tenant (§3.6 / §5.3 confidentiality across a crash).
+        dev.iommu().lock().unregister_all();
         let mut buf = vec![0u8; BLOCK_SIZE as usize];
         dev.read_raw(Lba(0), &mut buf);
         let sb = Superblock::decode(&buf).ok_or(Ext4Error::NotFound)?;
         let mut journal = Journal::new(Arc::clone(dev), sb.journal_start, sb.journal_blocks);
+        journal.set_validate_checksums(opts.validate_journal_checksums);
         // Replay committed metadata before reading anything else.
         journal.recover(|home, data| {
             dev.write_raw(Lba::from_block(home), data);
@@ -300,7 +335,6 @@ impl Ext4 {
                 icache: HashMap::new(),
                 free_inos,
                 pending_free: Vec::new(),
-                crashed: false,
                 timing: FsTiming::default(),
             }),
         })
@@ -321,11 +355,33 @@ impl Ext4 {
         self.inner.lock().timing
     }
 
-    /// Simulates a crash: all subsequent home-location metadata writes are
-    /// dropped (journal writes still reach the device). In-memory state
-    /// must be discarded; remount with [`Ext4::mount`].
+    /// Simulates a crash (compatibility shim over the fault plane): cuts
+    /// device power *except* for the journal region, so all subsequent
+    /// home-location and data writes are dropped while journal commits
+    /// still reach the device — the historical `crashed`-flag semantics.
+    /// In-memory state must be discarded; remount with [`Ext4::mount`]
+    /// (which restores power).
+    ///
+    /// New code should drive the plane directly ([`Ext4::crash_at`] or
+    /// `NvmeDevice::fault_plane`) for arbitrary-virtual-time cuts.
     pub fn crash(&self) {
-        self.inner.lock().crashed = true;
+        let (js, jb) = {
+            let inner = self.inner.lock();
+            (inner.sb.journal_start, inner.sb.journal_blocks)
+        };
+        let plane = self.dev.fault_plane();
+        plane.activate();
+        plane.cut_now_except(vec![(Lba::from_block(js), Lba::from_block(js + jb))]);
+    }
+
+    /// Schedules a *full* power cut at virtual time `t` (on the device's
+    /// fault plane): every write observed at or after that instant — data,
+    /// journal, everything — is lost. Remount with [`Ext4::mount`] to
+    /// power-cycle and recover.
+    pub fn crash_at(&self, t: Nanos) {
+        let plane = self.dev.fault_plane();
+        plane.activate();
+        plane.cut_at_time(t);
     }
 
     // ---- internal persistence helpers ----
@@ -422,10 +478,13 @@ impl Ext4 {
             return;
         }
         inner.journal.commit(&tx);
-        if !inner.crashed {
-            for (home, data) in tx.records() {
-                self.dev.write_raw(Lba::from_block(*home), data);
-            }
+        // Checkpoint barrier: home-location writes must not overtake the
+        // commit record in a volatile write cache (JBD2 waits for the
+        // commit I/O before checkpointing). Without it a reorder cut can
+        // leave a *discarded* transaction's homes partially applied.
+        self.dev.fault_plane().note_barrier();
+        for (home, data) in tx.records() {
+            self.dev.write_raw(Lba::from_block(*home), data);
         }
     }
 
@@ -1043,10 +1102,8 @@ impl Ext4 {
         self.stage_bitmap(&mut inner, &mut tx);
         if !tx.is_empty() {
             inner.journal.commit(&tx);
-            if !inner.crashed {
-                for (home, data) in tx.records() {
-                    self.dev.write_raw(Lba::from_block(*home), data);
-                }
+            for (home, data) in tx.records() {
+                self.dev.write_raw(Lba::from_block(*home), data);
             }
         }
         released

@@ -1,0 +1,648 @@
+//! Offline file-system checker.
+//!
+//! [`fsck`] reads the raw device image (no mounted [`crate::fs::Ext4`]
+//! required) and verifies the invariants the journal is supposed to
+//! preserve across a crash:
+//!
+//! * superblock sanity: magic, region ordering and bounds;
+//! * extent trees: inline + overflow chains (cycle-guarded), extent
+//!   bounds inside the data region, no overlap within a file, no
+//!   cross-links between files;
+//! * block bitmap: every block a file claims is marked allocated
+//!   (claimed-but-free is an **error**); allocated-but-unclaimed data
+//!   blocks are a **warning**, because `pending_free` legitimately leaks
+//!   across a crash (§3.6 defers reuse to the next sync point);
+//! * directory structure: reachability from the root, entry validity,
+//!   duplicate names, dangling entries, orphan inodes, link counts;
+//! * journal: a checksum-validating scan of the committed prefix, with
+//!   home-block bounds checks.
+//!
+//! The fault campaigns run `fsck` after every simulated crash+recovery;
+//! a post-recovery image that fails any **error** check is a recovery
+//! bug. Sparse files (size beyond the last extent) are legal — `truncate`
+//! can grow a file without allocating — and are not flagged.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bypassd_hw::types::Lba;
+use bypassd_ssd::device::NvmeDevice;
+
+use crate::alloc::BlockAllocator;
+use crate::dir::decode_dir;
+use crate::journal::{Journal, MAX_TX_BLOCKS};
+use crate::layout::{
+    decode_extent_block, mode, DiskInode, Extent, Superblock, BLOCK_SIZE, INODES_PER_BLOCK,
+    INODE_SIZE, ROOT_INO,
+};
+
+/// What `fsck` found.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Consistency violations: any entry here means the image is corrupt.
+    pub errors: Vec<String>,
+    /// Benign oddities (e.g. leaked blocks from deferred frees).
+    pub warnings: Vec<String>,
+    /// In-use inodes checked.
+    pub inodes: u64,
+    /// Directories walked.
+    pub directories: u64,
+    /// Extents validated.
+    pub extents: u64,
+    /// Journal transactions that pass checksum validation.
+    pub committed_txs: u64,
+    /// Allocated-but-unreferenced data blocks (deferred frees).
+    pub leaked_blocks: u64,
+}
+
+impl FsckReport {
+    /// True when no errors were found (warnings allowed).
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    fn error(&mut self, msg: String) {
+        self.errors.push(msg);
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fsck: {} errors, {} warnings; {} inodes, {} dirs, {} extents, \
+             {} journal txs, {} leaked blocks",
+            self.errors.len(),
+            self.warnings.len(),
+            self.inodes,
+            self.directories,
+            self.extents,
+            self.committed_txs,
+            self.leaked_blocks,
+        )
+    }
+}
+
+fn read_block(dev: &NvmeDevice, block: u64, buf: &mut [u8]) {
+    dev.read_raw(Lba::from_block(block), buf);
+}
+
+/// Superblock structural checks. Returns `false` when the layout is too
+/// broken for the later passes to read regions safely.
+fn check_superblock(sb: &Superblock, dev_blocks: u64, rep: &mut FsckReport) -> bool {
+    let mut ok = true;
+    if sb.blocks == 0 || sb.blocks > dev_blocks {
+        rep.error(format!(
+            "superblock: {} fs blocks but device has {dev_blocks}",
+            sb.blocks
+        ));
+        ok = false;
+    }
+    if sb.journal_start == 0 {
+        rep.error("superblock: journal overlaps superblock".into());
+        ok = false;
+    }
+    let regions = [
+        ("journal", sb.journal_start, sb.journal_blocks),
+        ("bitmap", sb.bitmap_start, sb.bitmap_blocks),
+        ("itable", sb.itable_start, sb.itable_blocks),
+    ];
+    let mut prev_end = 1u64;
+    for (name, start, len) in regions {
+        if start < prev_end || start.checked_add(len).is_none() {
+            rep.error(format!("superblock: {name} region out of order"));
+            ok = false;
+            break;
+        }
+        prev_end = start + len;
+    }
+    if ok && sb.data_start < prev_end {
+        rep.error("superblock: data region overlaps metadata".into());
+        ok = false;
+    }
+    if ok && sb.data_start >= sb.blocks {
+        rep.error("superblock: no data region".into());
+        ok = false;
+    }
+    if ok && sb.bitmap_blocks < sb.blocks.div_ceil(8 * BLOCK_SIZE) {
+        rep.error(format!(
+            "superblock: bitmap ({} blocks) cannot cover {} fs blocks",
+            sb.bitmap_blocks, sb.blocks
+        ));
+        ok = false;
+    }
+    if ok && sb.max_ino > sb.itable_blocks * INODES_PER_BLOCK {
+        rep.error(format!(
+            "superblock: max_ino {} beyond inode table capacity {}",
+            sb.max_ino,
+            sb.itable_blocks * INODES_PER_BLOCK
+        ));
+        ok = false;
+    }
+    ok
+}
+
+/// One checked inode, with its full (validated) extent list.
+struct CheckedInode {
+    disk: DiskInode,
+    extents: Vec<Extent>,
+}
+
+/// Loads and validates one inode's extents (inline + overflow chain),
+/// claiming every referenced device block in `claims`.
+#[allow(clippy::too_many_arguments)]
+fn check_inode(
+    dev: &NvmeDevice,
+    sb: &Superblock,
+    ino: u64,
+    disk: DiskInode,
+    bitmap: &BlockAllocator,
+    claims: &mut HashMap<u64, u64>,
+    visited_overflow: &mut HashSet<u64>,
+    rep: &mut FsckReport,
+) -> CheckedInode {
+    let is_reg = disk.mode & mode::REG != 0;
+    let is_dir = disk.mode & mode::DIR != 0;
+    if is_reg == is_dir {
+        rep.error(format!(
+            "inode {ino}: mode {:#06x} is neither file nor directory",
+            disk.mode
+        ));
+    }
+
+    // Claim a block for this inode; cross-links and claimed-but-free
+    // blocks are errors.
+    let mut claim = |block: u64, what: &str, rep: &mut FsckReport| {
+        if block < sb.data_start || block >= sb.blocks {
+            rep.error(format!(
+                "inode {ino}: {what} block {block} outside data region"
+            ));
+            return false;
+        }
+        if !bitmap.is_allocated(block) {
+            rep.error(format!(
+                "inode {ino}: {what} block {block} in use but free in bitmap"
+            ));
+        }
+        if let Some(other) = claims.insert(block, ino) {
+            if other != ino {
+                rep.error(format!(
+                    "inode {ino}: {what} block {block} cross-linked with inode {other}"
+                ));
+            }
+        }
+        true
+    };
+
+    // Walk the overflow chain with a cycle guard.
+    let mut extents = disk.inline.clone();
+    let mut next = disk.overflow_block;
+    let mut buf = vec![0u8; BLOCK_SIZE as usize];
+    while next != 0 {
+        if !visited_overflow.insert(next) {
+            rep.error(format!("inode {ino}: overflow chain cycle at block {next}"));
+            break;
+        }
+        if !claim(next, "overflow", rep) {
+            break;
+        }
+        read_block(dev, next, &mut buf);
+        let (more, n) = decode_extent_block(&buf);
+        extents.extend(more);
+        next = n;
+    }
+
+    if extents.len() as u32 != disk.extent_count {
+        rep.error(format!(
+            "inode {ino}: extent_count {} but {} extents on disk",
+            disk.extent_count,
+            extents.len()
+        ));
+    }
+
+    // Per-extent bounds + per-file overlap (extents sorted by file block
+    // must not intersect).
+    let mut sorted = extents.clone();
+    sorted.sort_by_key(|e| e.file_block);
+    let mut prev_end = 0u64;
+    for e in &sorted {
+        rep.extents += 1;
+        if e.len == 0 {
+            rep.error(format!(
+                "inode {ino}: zero-length extent at file block {}",
+                e.file_block
+            ));
+            continue;
+        }
+        if e.file_block < prev_end {
+            rep.error(format!(
+                "inode {ino}: extent at file block {} overlaps previous extent",
+                e.file_block
+            ));
+        }
+        prev_end = prev_end.max(e.end());
+        let end = e.start_block.saturating_add(e.len as u64);
+        if e.start_block < sb.data_start || end > sb.blocks {
+            rep.error(format!(
+                "inode {ino}: extent [{}, {end}) outside data region [{}, {})",
+                e.start_block, sb.data_start, sb.blocks
+            ));
+            continue;
+        }
+        for b in e.start_block..end {
+            claim(b, "data", rep);
+        }
+    }
+
+    CheckedInode { disk, extents }
+}
+
+/// Reads a checked inode's content (holes read zero).
+fn read_content(dev: &NvmeDevice, ci: &CheckedInode) -> Vec<u8> {
+    let size = ci.disk.size as usize;
+    let mut out = vec![0u8; size.div_ceil(BLOCK_SIZE as usize) * BLOCK_SIZE as usize];
+    let mut buf = vec![0u8; BLOCK_SIZE as usize];
+    for e in &ci.extents {
+        for i in 0..e.len as u64 {
+            let s = ((e.file_block + i) * BLOCK_SIZE) as usize;
+            if s >= out.len() {
+                break;
+            }
+            read_block(dev, e.start_block + i, &mut buf);
+            out[s..s + BLOCK_SIZE as usize].copy_from_slice(&buf);
+        }
+    }
+    out.truncate(size);
+    out
+}
+
+/// Checks the file system on `dev`. Read-only; never panics on a torn or
+/// garbage image (every on-disk structure is bounds-checked before use).
+pub fn fsck(dev: &Arc<NvmeDevice>) -> FsckReport {
+    let mut rep = FsckReport::default();
+    let mut buf = vec![0u8; BLOCK_SIZE as usize];
+    read_block(dev, 0, &mut buf);
+    let Some(sb) = Superblock::decode(&buf) else {
+        rep.error("superblock: bad magic".into());
+        return rep;
+    };
+    let dev_blocks = dev.capacity_sectors() / (BLOCK_SIZE / 512);
+    if !check_superblock(&sb, dev_blocks, &mut rep) {
+        return rep;
+    }
+
+    // ---- pass 1: bitmap ----
+    let mut bm = vec![0u8; (sb.bitmap_blocks * BLOCK_SIZE) as usize];
+    dev.read_raw(Lba::from_block(sb.bitmap_start), &mut bm);
+    let bitmap = BlockAllocator::decode(&bm, sb.blocks, sb.data_start);
+
+    // ---- pass 2: inodes and extents ----
+    let mut inodes: HashMap<u64, CheckedInode> = HashMap::new();
+    let mut claims: HashMap<u64, u64> = HashMap::new();
+    let mut visited_overflow: HashSet<u64> = HashSet::new();
+    let mut iblk = vec![0u8; BLOCK_SIZE as usize];
+    for ino in 1..=sb.max_ino {
+        let blk = sb.itable_start + (ino - 1) / INODES_PER_BLOCK;
+        let off = (((ino - 1) % INODES_PER_BLOCK) * INODE_SIZE) as usize;
+        read_block(dev, blk, &mut iblk);
+        let disk = DiskInode::decode(&iblk[off..off + INODE_SIZE as usize]);
+        if disk.nlink == 0 {
+            continue;
+        }
+        rep.inodes += 1;
+        let ci = check_inode(
+            dev,
+            &sb,
+            ino,
+            disk,
+            &bitmap,
+            &mut claims,
+            &mut visited_overflow,
+            &mut rep,
+        );
+        inodes.insert(ino, ci);
+    }
+
+    // ---- pass 3: bitmap leaks ----
+    // Claimed-but-free was reported per block in pass 2; here count the
+    // converse. Allocated-but-unclaimed blocks are expected after a crash
+    // (pending_free defers bitmap clears to the next sync point), so they
+    // are a warning, not an error.
+    for b in sb.data_start..sb.blocks {
+        if bitmap.is_allocated(b) && !claims.contains_key(&b) {
+            rep.leaked_blocks += 1;
+        }
+    }
+    if rep.leaked_blocks > 0 {
+        rep.warnings.push(format!(
+            "{} allocated blocks unreferenced (deferred frees leak across a crash)",
+            rep.leaked_blocks
+        ));
+    }
+
+    // ---- pass 4: directory walk from the root ----
+    let mut refs: HashMap<u64, u64> = HashMap::new();
+    let mut seen_dirs: HashSet<u64> = HashSet::new();
+    let mut queue = VecDeque::new();
+    if inodes.contains_key(&ROOT_INO.0) {
+        queue.push_back(ROOT_INO.0);
+        seen_dirs.insert(ROOT_INO.0);
+    } else {
+        rep.error("root inode missing or free".into());
+    }
+    while let Some(dir) = queue.pop_front() {
+        let ci = &inodes[&dir];
+        if !ci.disk.is_dir() {
+            continue; // mode error already reported
+        }
+        rep.directories += 1;
+        let entries = decode_dir(&read_content(dev, ci));
+        let mut names: HashSet<&str> = HashSet::new();
+        for e in &entries {
+            if !names.insert(&e.name) {
+                rep.error(format!("dir {dir}: duplicate entry '{}'", e.name));
+            }
+            let Some(child) = inodes.get(&e.ino.0) else {
+                rep.error(format!(
+                    "dir {dir}: entry '{}' dangles to free inode {}",
+                    e.name, e.ino.0
+                ));
+                continue;
+            };
+            *refs.entry(e.ino.0).or_insert(0) += 1;
+            if child.disk.is_dir() && !seen_dirs.insert(e.ino.0) {
+                rep.error(format!(
+                    "dir {dir}: entry '{}' links directory {} a second time",
+                    e.name, e.ino.0
+                ));
+            } else if child.disk.is_dir() {
+                queue.push_back(e.ino.0);
+            }
+        }
+    }
+    for (&ino, ci) in &inodes {
+        let n = refs.get(&ino).copied().unwrap_or(0);
+        if ino == ROOT_INO.0 {
+            continue; // root is referenced by convention, not by an entry
+        }
+        if n == 0 {
+            rep.error(format!(
+                "inode {ino}: orphan (nlink {} but unreachable)",
+                ci.disk.nlink
+            ));
+        } else if n != ci.disk.nlink as u64 {
+            rep.error(format!(
+                "inode {ino}: nlink {} but {n} directory entries",
+                ci.disk.nlink
+            ));
+        }
+    }
+
+    // ---- pass 5: journal scan (checksum-validated) ----
+    if sb.journal_blocks as usize >= MAX_TX_BLOCKS + 2 {
+        let mut j = Journal::new(Arc::clone(dev), sb.journal_start, sb.journal_blocks);
+        let jstart = sb.journal_start;
+        let jend = sb.journal_start + sb.journal_blocks;
+        let mut bad_homes = Vec::new();
+        rep.committed_txs = j.recover(|home, _| {
+            if home >= sb.blocks || (home >= jstart && home < jend) {
+                bad_homes.push(home);
+            }
+        });
+        for home in bad_homes {
+            rep.error(format!(
+                "journal: committed home block {home} out of bounds"
+            ));
+        }
+    } else {
+        rep.error(format!(
+            "superblock: journal region ({} blocks) too small",
+            sb.journal_blocks
+        ));
+    }
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{Ext4, Ext4Options};
+    use crate::layout::{Ino, SB_MAGIC};
+    use bypassd_hw::iommu::Iommu;
+    use bypassd_hw::mem::PhysMem;
+    use bypassd_hw::types::DevId;
+    use bypassd_ssd::timing::MediaTiming;
+    use parking_lot::Mutex;
+
+    fn system() -> (Arc<NvmeDevice>, PhysMem) {
+        let mem = PhysMem::new();
+        let iommu = Arc::new(Mutex::new(Iommu::new(&mem)));
+        (
+            NvmeDevice::new(DevId(0), 1 << 20, MediaTiming::default(), iommu),
+            mem,
+        )
+    }
+
+    fn small_fs() -> (Arc<NvmeDevice>, Ext4) {
+        let (dev, mem) = system();
+        let fs = Ext4::format(
+            &dev,
+            &mem,
+            Ext4Options {
+                journal_blocks: 600,
+                itable_blocks: 64,
+                max_run: None,
+            },
+        );
+        (dev, fs)
+    }
+
+    fn itable_slot(dev: &Arc<NvmeDevice>, ino: u64) -> (u64, usize) {
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        dev.read_raw(Lba(0), &mut buf);
+        let sb = Superblock::decode(&buf).unwrap();
+        (
+            sb.itable_start + (ino - 1) / INODES_PER_BLOCK,
+            (((ino - 1) % INODES_PER_BLOCK) * INODE_SIZE) as usize,
+        )
+    }
+
+    fn rewrite_inode(dev: &Arc<NvmeDevice>, ino: u64, edit: impl FnOnce(&mut DiskInode)) {
+        let (blk, off) = itable_slot(dev, ino);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        dev.read_raw(Lba::from_block(blk), &mut buf);
+        let mut d = DiskInode::decode(&buf[off..off + INODE_SIZE as usize]);
+        edit(&mut d);
+        buf[off..off + INODE_SIZE as usize].copy_from_slice(&d.encode());
+        dev.write_raw(Lba::from_block(blk), &buf);
+    }
+
+    #[test]
+    fn fresh_format_is_clean() {
+        let (dev, _fs) = small_fs();
+        let rep = fsck(&dev);
+        assert!(rep.clean(), "{:?}", rep.errors);
+        assert_eq!(rep.inodes, 1, "just the root");
+        assert_eq!(rep.directories, 1);
+        assert_eq!(rep.leaked_blocks, 0);
+    }
+
+    #[test]
+    fn populated_tree_is_clean() {
+        let (dev, fs) = small_fs();
+        fs.mkdir("/d", 0o755, 0, 0).unwrap();
+        let ino = fs.create("/d/f", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(ino, 0, 5 * BLOCK_SIZE).unwrap();
+        fs.set_size(ino, 5 * BLOCK_SIZE).unwrap();
+        fs.create("/top", 0o600, 1000, 100).unwrap();
+        let rep = fsck(&dev);
+        assert!(rep.clean(), "{:?}", rep.errors);
+        assert_eq!(rep.directories, 2);
+        assert_eq!(rep.inodes, 4);
+        assert!(rep.extents >= 1);
+        assert!(rep.committed_txs >= 3);
+    }
+
+    #[test]
+    fn unlink_without_sync_leaks_blocks_as_warning() {
+        let (dev, fs) = small_fs();
+        let ino = fs.create("/f", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(ino, 0, 4 * BLOCK_SIZE).unwrap();
+        fs.unlink("/f", 0, 0).unwrap();
+        let rep = fsck(&dev);
+        assert!(rep.clean(), "{:?}", rep.errors);
+        assert!(rep.leaked_blocks >= 4, "deferred frees leak: {rep}");
+        assert!(!rep.warnings.is_empty());
+
+        fs.sync_point();
+        let rep = fsck(&dev);
+        assert!(rep.clean());
+        assert_eq!(rep.leaked_blocks, 0, "sync point releases the blocks");
+    }
+
+    #[test]
+    fn out_of_range_extent_detected() {
+        let (dev, fs) = small_fs();
+        let ino = fs.create("/f", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(ino, 0, BLOCK_SIZE).unwrap();
+        rewrite_inode(&dev, ino.0, |d| {
+            d.inline[0].start_block = u64::MAX - 4;
+        });
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+        assert!(rep.errors.iter().any(|e| e.contains("outside data region")));
+    }
+
+    #[test]
+    fn cross_linked_blocks_detected() {
+        let (dev, fs) = small_fs();
+        let a = fs.create("/a", 0o644, 0, 0).unwrap();
+        fs.create("/b", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(a, 0, 2 * BLOCK_SIZE).unwrap();
+        let stolen = {
+            let mut buf = vec![0u8; BLOCK_SIZE as usize];
+            let (blk, off) = itable_slot(&dev, a.0);
+            dev.read_raw(Lba::from_block(blk), &mut buf);
+            DiskInode::decode(&buf[off..off + INODE_SIZE as usize]).inline[0]
+        };
+        rewrite_inode(&dev, 3, |d| {
+            d.inline = vec![stolen];
+            d.extent_count = 1;
+        });
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+        assert!(rep.errors.iter().any(|e| e.contains("cross-linked")));
+    }
+
+    #[test]
+    fn claimed_but_free_block_detected() {
+        let (dev, fs) = small_fs();
+        let ino = fs.create("/f", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(ino, 0, BLOCK_SIZE).unwrap();
+        // Clear the file's block in the on-disk bitmap behind fsck's back.
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        dev.read_raw(Lba(0), &mut buf);
+        let sb = Superblock::decode(&buf).unwrap();
+        let (blk, off) = itable_slot(&dev, ino.0);
+        dev.read_raw(Lba::from_block(blk), &mut buf);
+        let block = DiskInode::decode(&buf[off..off + INODE_SIZE as usize]).inline[0].start_block;
+        let mut bm = vec![0u8; BLOCK_SIZE as usize];
+        let bm_blk = sb.bitmap_start + block / (8 * BLOCK_SIZE);
+        dev.read_raw(Lba::from_block(bm_blk), &mut bm);
+        let bit = block % (8 * BLOCK_SIZE);
+        bm[(bit / 8) as usize] &= !(1 << (bit % 8));
+        dev.write_raw(Lba::from_block(bm_blk), &bm);
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+        assert!(rep.errors.iter().any(|e| e.contains("in use but free")));
+    }
+
+    #[test]
+    fn dangling_entry_and_orphan_detected() {
+        let (dev, fs) = small_fs();
+        fs.mkdir("/d", 0o755, 0, 0).unwrap();
+        let f = fs.create("/d/f", 0o644, 0, 0).unwrap();
+        // Cut /d out of the root by marking its inode free: /d's entry
+        // dangles and /d/f becomes unreachable (orphan).
+        let d = fs.lookup("/d").unwrap();
+        rewrite_inode(&dev, d.0, |i| i.nlink = 0);
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+        assert!(rep.errors.iter().any(|e| e.contains("dangles")));
+        assert!(
+            rep.errors.iter().any(|e| e.contains("orphan")),
+            "{f:?} should be orphaned: {:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn bad_magic_reported_without_panic() {
+        let (dev, _mem) = system();
+        let rep = fsck(&dev);
+        assert_eq!(rep.errors, vec!["superblock: bad magic".to_string()]);
+    }
+
+    #[test]
+    fn garbage_image_never_panics() {
+        let (dev, _mem) = system();
+        // A superblock pointing every region out of bounds.
+        let sb = Superblock {
+            magic: SB_MAGIC,
+            blocks: u64::MAX,
+            journal_start: u64::MAX,
+            journal_blocks: u64::MAX,
+            bitmap_start: 3,
+            bitmap_blocks: 0,
+            itable_start: 2,
+            itable_blocks: u64::MAX,
+            data_start: 1,
+            max_ino: u64::MAX,
+        };
+        dev.write_raw(Lba(0), &sb.encode());
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+    }
+
+    #[test]
+    fn fsck_is_read_only() {
+        let (dev, fs) = small_fs();
+        fs.mkdir("/d", 0o700, 0, 0).unwrap();
+        let ino = fs.create("/d/f", 0o644, 0, 0).unwrap();
+        let _ = fs.allocate(ino, 0, 3 * BLOCK_SIZE).unwrap();
+        let before = dev.media_fingerprint();
+        let _ = fsck(&dev);
+        assert_eq!(dev.media_fingerprint(), before);
+    }
+
+    #[test]
+    fn nlink_mismatch_detected() {
+        let (dev, fs) = small_fs();
+        let ino: Ino = fs.create("/f", 0o644, 0, 0).unwrap();
+        rewrite_inode(&dev, ino.0, |d| d.nlink = 3);
+        let rep = fsck(&dev);
+        assert!(!rep.clean());
+        assert!(rep.errors.iter().any(|e| e.contains("nlink 3")));
+    }
+}

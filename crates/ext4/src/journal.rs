@@ -7,18 +7,25 @@
 //! ```text
 //! [descriptor: magic, tid, count, home block numbers...]
 //! [count data blocks]
-//! [commit: magic, tid]
+//! [commit: magic, tid, checksum]
 //! ```
 //!
-//! Recovery scans the region from the start, replaying transactions whose
-//! commit record is present, stopping at the first invalid or
-//! non-monotonic record. The journal wraps to the start when full — safe
-//! because checkpointing is immediate, so wrapped-over transactions were
-//! already home.
+//! The commit record carries an FNV-1a checksum over the transaction's
+//! tid, home block numbers, and data block contents. Recovery scans the
+//! region from the start, replaying transactions whose commit record is
+//! present **and whose checksum matches what is actually on media**,
+//! stopping at the first invalid, torn, or non-monotonic record. The
+//! checksum is what makes a *reordered* torn commit safe: if the commit
+//! record reached media but a data block did not (possible with a
+//! volatile write cache), the stale data block fails the checksum and the
+//! transaction is discarded instead of partially applied. The journal
+//! wraps to the start when full — safe because checkpointing is
+//! immediate, so wrapped-over transactions were already home.
 
 use std::sync::Arc;
 
 use bypassd_hw::types::Lba;
+use bypassd_sim::rng::Fnv64;
 use bypassd_ssd::device::NvmeDevice;
 
 use crate::layout::BLOCK_SIZE;
@@ -90,6 +97,10 @@ pub struct Journal {
     tid: u64,
     commits: u64,
     blocks_logged: u64,
+    /// Validate commit-record checksums during recovery. On by default;
+    /// the mutation-testing knob (`MountOptions`) can disable it to prove
+    /// the crash campaigns notice a recovery that trusts torn commits.
+    validate_checksums: bool,
 }
 
 impl Journal {
@@ -110,12 +121,31 @@ impl Journal {
             tid: 1,
             commits: 0,
             blocks_logged: 0,
+            validate_checksums: true,
         }
+    }
+
+    /// Enables/disables commit-checksum validation in [`Journal::recover`].
+    /// Only the fault-campaign mutation tests turn this off.
+    pub fn set_validate_checksums(&mut self, on: bool) {
+        self.validate_checksums = on;
     }
 
     fn write_block(&self, offset: u64, data: &[u8]) {
         self.dev
             .write_raw(Lba::from_block(self.start + offset), data);
+    }
+
+    /// Commit checksum: FNV-1a over tid, then each record's home block
+    /// number and contents, in order.
+    fn checksum<'a>(tid: u64, records: impl Iterator<Item = (u64, &'a [u8])>) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(tid);
+        for (home, data) in records {
+            h.write_u64(home);
+            h.write(data);
+        }
+        h.finish()
     }
 
     /// Commits a transaction: writes descriptor, data and commit blocks.
@@ -140,9 +170,11 @@ impl Journal {
         for (i, (_, data)) in tx.records.iter().enumerate() {
             self.write_block(self.head + 1 + i as u64, data);
         }
+        let sum = Self::checksum(self.tid, tx.records.iter().map(|(h, d)| (*h, d.as_slice())));
         let mut commit = Vec::with_capacity(BLOCK_SIZE as usize);
         commit.extend_from_slice(&JC_MAGIC.to_le_bytes());
         commit.extend_from_slice(&self.tid.to_le_bytes());
+        commit.extend_from_slice(&sum.to_le_bytes());
         commit.resize(BLOCK_SIZE as usize, 0);
         self.write_block(self.head + 1 + tx.records.len() as u64, &commit);
 
@@ -184,16 +216,32 @@ impl Journal {
                 .read_raw(Lba::from_block(self.start + offset + 1 + count), &mut cbuf);
             let cmagic = u64::from_le_bytes(cbuf[0..8].try_into().unwrap());
             let ctid = u64::from_le_bytes(cbuf[8..16].try_into().unwrap());
+            let csum = u64::from_le_bytes(cbuf[16..24].try_into().unwrap());
             if cmagic != JC_MAGIC || ctid != tid {
                 break 'scan; // torn transaction: discard
             }
-            for (i, home) in homes.iter().enumerate() {
+            // Read the data blocks, then verify the commit checksum over
+            // what is actually on media *before* applying anything: a
+            // commit record that persisted ahead of its data (reordered
+            // torn commit) must be discarded whole, never half-applied.
+            let mut datas: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
+            for i in 0..count {
                 let mut data = vec![0u8; BLOCK_SIZE as usize];
-                self.dev.read_raw(
-                    Lba::from_block(self.start + offset + 1 + i as u64),
-                    &mut data,
+                self.dev
+                    .read_raw(Lba::from_block(self.start + offset + 1 + i), &mut data);
+                datas.push(data);
+            }
+            if self.validate_checksums {
+                let actual = Self::checksum(
+                    tid,
+                    homes.iter().zip(&datas).map(|(h, d)| (*h, d.as_slice())),
                 );
-                apply(*home, &data);
+                if actual != csum {
+                    break 'scan; // data torn under the commit record
+                }
+            }
+            for (home, data) in homes.iter().zip(&datas) {
+                apply(*home, data);
             }
             last_tid = tid;
             offset += count + 2;
@@ -338,5 +386,66 @@ mod tests {
         let dev = device();
         let mut j = Journal::new(dev, 10, 600);
         assert_eq!(j.recover(|_, _| panic!("nothing to apply")), 0);
+    }
+
+    #[test]
+    fn reordered_torn_commit_discarded_by_checksum() {
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut tx = Tx::default();
+        tx.stage(1000, block_of(1));
+        j.commit(&tx); // blocks 10..13
+        let mut tx2 = Tx::default();
+        tx2.stage(2000, block_of(2));
+        j.commit(&tx2); // blocks 13..16
+                        // Model a volatile cache losing tx2's *data* block while its
+                        // commit record persisted: replace the data with stale bytes.
+        dev.write_raw(Lba::from_block(10 + 4), &block_of(0xEE));
+
+        let mut j2 = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut applied = Vec::new();
+        assert_eq!(j2.recover(|home, data| applied.push((home, data[0]))), 1);
+        assert_eq!(applied, vec![(1000, 1)], "torn commit must be discarded");
+    }
+
+    #[test]
+    fn checksum_validation_knob_admits_torn_commit() {
+        // The mutation the fault campaign must catch: with validation off,
+        // the same torn commit from above gets (wrongly) applied.
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        let mut tx = Tx::default();
+        tx.stage(1000, block_of(1));
+        j.commit(&tx);
+        let mut tx2 = Tx::default();
+        tx2.stage(2000, block_of(2));
+        j.commit(&tx2);
+        dev.write_raw(Lba::from_block(10 + 4), &block_of(0xEE));
+
+        let mut j2 = Journal::new(Arc::clone(&dev), 10, 600);
+        j2.set_validate_checksums(false);
+        let mut applied = Vec::new();
+        assert_eq!(j2.recover(|home, data| applied.push((home, data[0]))), 2);
+        assert_eq!(applied, vec![(1000, 1), (2000, 0xEE)]);
+    }
+
+    #[test]
+    fn recover_twice_is_idempotent() {
+        let dev = device();
+        let mut j = Journal::new(Arc::clone(&dev), 10, 600);
+        for i in 0..4u8 {
+            let mut tx = Tx::default();
+            tx.stage(100 + u64::from(i), block_of(i));
+            j.commit(&tx);
+        }
+        let run = |dev: &Arc<NvmeDevice>| {
+            let mut j = Journal::new(Arc::clone(dev), 10, 600);
+            let mut applied = Vec::new();
+            let n = j.recover(|home, data| applied.push((home, data[0])));
+            (n, applied, j.head, j.tid)
+        };
+        let a = run(&dev);
+        let b = run(&dev);
+        assert_eq!(a, b);
     }
 }

@@ -258,7 +258,11 @@ impl DiskInode {
         let ctime = u64::from_le_bytes(buf[36..44].try_into().unwrap());
         let overflow_block = u64::from_le_bytes(buf[44..52].try_into().unwrap());
         let extent_count = u32::from_le_bytes(buf[52..56].try_into().unwrap());
-        let n_inline = u16::from_le_bytes(buf[56..58].try_into().unwrap()) as usize;
+        // Clamp: a torn inode-table write can leave garbage here, and the
+        // decoder (used by fsck on post-crash images) must not read past
+        // the 256-byte slot. Valid encoders never exceed INLINE_EXTENTS.
+        let n_inline =
+            (u16::from_le_bytes(buf[56..58].try_into().unwrap()) as usize).min(INLINE_EXTENTS);
         let mut inline = Vec::with_capacity(n_inline);
         let mut pos = 58;
         for _ in 0..n_inline {

@@ -17,6 +17,9 @@
 //!   data / commit blocks with crash recovery.
 //! * [`dir`] — directories, path resolution and POSIX permission checks.
 //! * [`fs`] — the [`fs::Ext4`] facade: namespace and file operations.
+//! * [`fsck`] — offline checker: extent trees, bitmaps, directory
+//!   structure and journal checksums, run by the crash campaigns after
+//!   every simulated power cut.
 //! * [`fmap`] — BypassD's contribution inside the FS: building shared,
 //!   pre-populated **file table fragments** (one leaf table per 2 MB,
 //!   bottom-up, cached in the inode), warm/cold `fmap()`, growth on
@@ -27,9 +30,11 @@ pub mod dir;
 pub mod extent;
 pub mod fmap;
 pub mod fs;
+pub mod fsck;
 pub mod journal;
 pub mod layout;
 
 pub use fmap::{FmapCost, FmapOutcome};
-pub use fs::{Ext4, Ext4Error, Ext4Options, FileHandleKind, Stat};
+pub use fs::{Ext4, Ext4Error, Ext4Options, FileHandleKind, MountOptions, Stat};
+pub use fsck::{fsck, FsckReport};
 pub use layout::Ino;

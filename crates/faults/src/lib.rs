@@ -1,0 +1,34 @@
+//! # bypassd-faults
+//!
+//! Deterministic fault injection for the BypassD reproduction.
+//!
+//! The write/crash story is the least-exercised part of a kernel-bypass
+//! stack: the paper's direct path is only safe if the fallback and recovery
+//! paths hold under failure (§3.6 revocation, §4's metadata-only-journal
+//! ext4 configuration). This crate provides the machinery to search that
+//! space exhaustively inside the deterministic simulator:
+//!
+//! * [`plane::FaultPlane`] — a per-device interposer that observes every
+//!   sector write in global order, stamps it with a sequence number and the
+//!   virtual-time high-water mark, and can **cut power** at an arbitrary
+//!   point (clean prefix cut, mid-write sector tear, or reorder cut that
+//!   drops a seeded subset of un-flushed writes), inject transient media
+//!   errors, and drop completions. Everything is bit-reproducible from a
+//!   seed because the only inputs are the (deterministic) write schedule
+//!   and explicit arm calls.
+//! * [`campaign`] — a campaign runner: record a workload's write schedule
+//!   once, enumerate crash points across every inter-write boundary plus
+//!   sampled mid-write tears and reorder windows, re-execute the workload
+//!   under each cut, and shrink any failure to a minimal reproducer.
+//!
+//! The crate deliberately depends only on `bypassd-sim` and `bypassd-hw`
+//! so the device model (`bypassd-ssd`) can embed a plane without a
+//! dependency cycle; filesystem-aware harnesses (mount + fsck + data
+//! integrity) live upstack in `bypassd` (`CrashLab`) and implement
+//! [`campaign::FaultHarness`].
+
+pub mod campaign;
+pub mod plane;
+
+pub use campaign::{CampaignConfig, CampaignFailure, CampaignReport, CrashPoint, FaultHarness};
+pub use plane::{Cut, FaultPlane, FaultStats, Tear, WriteEvent, WriteKind, WriteVerdict};

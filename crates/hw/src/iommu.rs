@@ -306,6 +306,17 @@ impl Iommu {
         self.invalidate_pasid(pasid);
     }
 
+    /// Tears down every registered PASID (unmount / power-cycle
+    /// semantics): no pre-existing FTE may translate afterwards, so a
+    /// remount after a crash cannot leak reassigned blocks through a
+    /// stale mapping.
+    pub fn unregister_all(&mut self) {
+        let pasids: Vec<Pasid> = self.context.keys().copied().collect();
+        for p in pasids {
+            self.unregister(p);
+        }
+    }
+
     /// Drops all cached translations for `pasid` (called by the kernel
     /// after detaching FTEs, so revocation is visible immediately), and
     /// broadcasts the shootdown to registered device-side ATCs. Cost is

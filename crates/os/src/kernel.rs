@@ -21,7 +21,7 @@ use bypassd_sim::engine::ActorCtx;
 use bypassd_sim::time::Nanos;
 use bypassd_ssd::device::{BlockAddr, Command, NvmeDevice};
 use bypassd_ssd::dma::DmaBuffer;
-use bypassd_ssd::queue::QueueId;
+use bypassd_ssd::queue::{NvmeStatus, QueueId};
 use bypassd_trace::{IoPath, Metric, MetricSource, OpRecord, Recorder};
 
 use crate::cost::CostModel;
@@ -51,6 +51,8 @@ pub enum Errno {
     Busy,
     /// Resource temporarily unavailable.
     Again,
+    /// I/O error (unrecoverable media error after retries).
+    Io,
 }
 
 impl From<Ext4Error> for Errno {
@@ -530,15 +532,29 @@ impl Kernel {
                         return Err(Errno::Inval);
                     }
                     let dma = DmaBuffer::alloc(&self.mem, *len as usize);
-                    let (st, ready) = self.dev.execute(
+                    let (mut st, mut ready) = self.dev.execute(
                         self.kq,
                         Command::read(BlockAddr::Lba(*lba), (*len / SECTOR_SIZE) as u32, &dma),
                         ctx.now(),
                     );
-                    if !st.is_ok() {
-                        return Err(Errno::Inval);
+                    if matches!(st, NvmeStatus::MediaError) {
+                        // The kernel retries a transient media error once
+                        // before failing the request with EIO.
+                        ctx.wait_until(ready);
+                        (st, ready) = self.dev.execute(
+                            self.kq,
+                            Command::read(BlockAddr::Lba(*lba), (*len / SECTOR_SIZE) as u32, &dma),
+                            ctx.now(),
+                        );
                     }
-                    pending.push((ready, chunk, dma));
+                    match st {
+                        s if s.is_ok() => pending.push((ready, chunk, dma)),
+                        NvmeStatus::MediaError => {
+                            ctx.wait_until(ready);
+                            return Err(Errno::Io);
+                        }
+                        _ => return Err(Errno::Inval),
+                    }
                 }
                 None => chunk.fill(0),
             }
@@ -575,13 +591,27 @@ impl Kernel {
             }
             let dma = DmaBuffer::alloc(&self.mem, chunk.len());
             dma.write(0, chunk);
-            let (st, ready) = self.dev.execute(
+            let (mut st, mut ready) = self.dev.execute(
                 self.kq,
                 Command::write(BlockAddr::Lba(lba), (*len / SECTOR_SIZE) as u32, &dma),
                 ctx.now(),
             );
-            if !st.is_ok() {
-                return Err(Errno::Inval);
+            if matches!(st, NvmeStatus::MediaError) {
+                // One kernel-side retry, then EIO (mirrors device_read).
+                ctx.wait_until(ready);
+                (st, ready) = self.dev.execute(
+                    self.kq,
+                    Command::write(BlockAddr::Lba(lba), (*len / SECTOR_SIZE) as u32, &dma),
+                    ctx.now(),
+                );
+            }
+            match st {
+                s if s.is_ok() => {}
+                NvmeStatus::MediaError => {
+                    ctx.wait_until(ready);
+                    return Err(Errno::Io);
+                }
+                _ => return Err(Errno::Inval),
             }
             latest = latest.max(ready);
         }

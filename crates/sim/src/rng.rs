@@ -104,6 +104,54 @@ pub fn fnv1a_64(value: u64) -> u64 {
     hash
 }
 
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// Used wherever the simulation needs a cheap, deterministic,
+/// platform-stable content digest: journal commit checksums, device media
+/// fingerprints, and fault-campaign report fingerprints. Not
+/// collision-resistant against adversaries — these are integrity checks
+/// against *simulated* corruption, not cryptography.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Creates a hasher with the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Returns the current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
 /// Key-choice distributions used by the YCSB workloads.
 #[derive(Debug, Clone)]
 pub enum KeyDist {

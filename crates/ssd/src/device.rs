@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use bypassd_faults::plane::{FaultPlane, WriteKind, WriteVerdict};
 use bypassd_hw::iommu::{AccessKind, Iommu};
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, SECTOR_SIZE};
 use bypassd_offload::{
@@ -229,6 +230,10 @@ struct DevState {
     /// while the table (and the rest of the device state) stays mutable.
     programs: std::collections::HashMap<ProgHandle, Arc<Program>>,
     next_prog: u32,
+    /// Fault-injection interposer. Idle by default (one relaxed atomic
+    /// load per media write); crash campaigns install a shared plane via
+    /// [`NvmeDevice::set_fault_plane`].
+    faults: Arc<FaultPlane>,
 }
 
 /// Per-command stage latencies, filled in by `process_inner` as the
@@ -289,6 +294,7 @@ impl NvmeDevice {
                 recorder: None,
                 programs: std::collections::HashMap::new(),
                 next_prog: 1,
+                faults: Arc::new(FaultPlane::new()),
             }),
             next_qid: AtomicU32::new(1),
         })
@@ -318,6 +324,18 @@ impl NvmeDevice {
     /// ATC hit/miss/shootdown counters.
     pub fn atc_stats(&self) -> AtcStats {
         self.atc.stats()
+    }
+
+    /// The device's fault-injection plane (idle unless activated).
+    pub fn fault_plane(&self) -> Arc<FaultPlane> {
+        self.state.lock().faults.clone()
+    }
+
+    /// Replaces the fault plane, e.g. with one shared by a campaign
+    /// harness. Install before traffic starts — sequence numbers only
+    /// cover writes observed from this point on.
+    pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.state.lock().faults = plane;
     }
 
     /// Installs a QoS configuration (scheduling weights, rate limits,
@@ -467,6 +485,12 @@ impl NvmeDevice {
             }
         };
         let mut completion = self.process(state, qid, tenant, pasid, cmd, now);
+        // Injected completion loss: the command executed but its CQ entry
+        // never lands. The cid's slot stays claimed — exactly the host-
+        // visible symptom of a lost interrupt + lost CQ write.
+        if state.faults.is_active() && state.faults.take_completion_drop() {
+            return Ok(cid);
+        }
         // Depth pressure: with QoS on, flag completions once the queue
         // pair runs at ≥ 3/4 of its depth so UserLib backs off before
         // hitting hard QueueFull rejections.
@@ -583,6 +607,11 @@ impl NvmeDevice {
     ) -> Completion {
         if cmd.opcode == Opcode::Flush {
             state.stats.flushes += 1;
+            if state.faults.is_active() {
+                // A completed FLUSH empties the volatile write cache:
+                // reorder windows close at this barrier.
+                state.faults.note_flush(now);
+            }
             // With QoS pacing in force, media occupancy lives on the
             // per-tenant lane ledgers, not the shared channel ledger;
             // drain to whichever horizon is later.
@@ -609,6 +638,25 @@ impl NvmeDevice {
             };
         }
         let is_write = matches!(cmd.opcode, Opcode::Write | Opcode::WriteZeroes);
+
+        // Transient media-error injection: the command is charged its
+        // media service time but completes with MediaError and moves no
+        // data — a correctable-failure model for the retry paths.
+        if state.faults.is_active() && state.faults.take_io_error(is_write) {
+            let bytes = cmd.sectors as u64 * SECTOR_SIZE;
+            let cost = if cmd.opcode == Opcode::WriteZeroes {
+                state.timer.timing().write_zeroes_cost
+            } else {
+                state.timer.timing().service(is_write, bytes)
+            };
+            scratch.service = cost;
+            return Completion {
+                cid: 0,
+                status: NvmeStatus::MediaError,
+                ready_at: now + cost,
+                pressure: false,
+            };
+        }
 
         // QoS admission (§3.1 sharing): rate limits and fair-share
         // pacing delay the command's *effective arrival*; everything
@@ -765,7 +813,30 @@ impl NvmeDevice {
                         state.io_bufs.chunk.resize(n, 0);
                     }
                     dma.read(off, &mut state.io_bufs.chunk[..n]);
-                    state.store.write(lba, &state.io_bufs.chunk[..n]);
+                    if state.faults.is_active() {
+                        match state
+                            .faults
+                            .on_write(lba, sectors, Some(now), WriteKind::Timed)
+                        {
+                            WriteVerdict::Persist => {
+                                state.store.write(lba, &state.io_bufs.chunk[..n]);
+                            }
+                            WriteVerdict::Drop => {}
+                            WriteVerdict::Partial(mask) => {
+                                for (s, &keep) in mask.iter().enumerate() {
+                                    if keep {
+                                        let b = s * SECTOR_SIZE as usize;
+                                        state.store.write(
+                                            lba.advance(s as u64),
+                                            &state.io_bufs.chunk[b..b + SECTOR_SIZE as usize],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        state.store.write(lba, &state.io_bufs.chunk[..n]);
+                    }
                     off += n;
                 }
                 state.stats.writes += 1;
@@ -774,7 +845,24 @@ impl NvmeDevice {
             Opcode::WriteZeroes => {
                 for i in 0..state.io_bufs.extents.len() {
                     let (lba, sectors) = state.io_bufs.extents[i];
-                    state.store.write_zeroes(lba, sectors as u64);
+                    if state.faults.is_active() {
+                        match state
+                            .faults
+                            .on_write(lba, sectors, Some(now), WriteKind::Timed)
+                        {
+                            WriteVerdict::Persist => state.store.write_zeroes(lba, sectors as u64),
+                            WriteVerdict::Drop => {}
+                            WriteVerdict::Partial(mask) => {
+                                for (s, &keep) in mask.iter().enumerate() {
+                                    if keep {
+                                        state.store.write_zeroes(lba.advance(s as u64), 1);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        state.store.write_zeroes(lba, sectors as u64);
+                    }
                 }
                 state.stats.writes += 1;
                 state.stats.written_bytes += total_bytes;
@@ -1165,19 +1253,66 @@ impl NvmeDevice {
         self.state.lock().store.read(lba, buf);
     }
 
-    /// Writes raw sectors, bypassing queues and timing.
+    /// Writes raw sectors, bypassing queues and timing. Still passes
+    /// through the fault plane: journal and superblock writes are crash
+    /// candidates like any other.
     pub fn write_raw(&self, lba: Lba, data: &[u8]) {
-        self.state.lock().store.write(lba, data);
+        let state = &mut *self.state.lock();
+        if state.faults.is_active() {
+            let sectors = (data.len() as u64 / SECTOR_SIZE) as u32;
+            match state.faults.on_write(lba, sectors, None, WriteKind::Raw) {
+                WriteVerdict::Persist => state.store.write(lba, data),
+                WriteVerdict::Drop => {}
+                WriteVerdict::Partial(mask) => {
+                    for (s, &keep) in mask.iter().enumerate() {
+                        if keep {
+                            let b = s * SECTOR_SIZE as usize;
+                            state
+                                .store
+                                .write(lba.advance(s as u64), &data[b..b + SECTOR_SIZE as usize]);
+                        }
+                    }
+                }
+            }
+        } else {
+            state.store.write(lba, data);
+        }
     }
 
     /// Zeroes raw sectors, bypassing queues and timing.
     pub fn zero_raw(&self, lba: Lba, sectors: u64) {
-        self.state.lock().store.write_zeroes(lba, sectors);
+        let state = &mut *self.state.lock();
+        if state.faults.is_active() {
+            match state
+                .faults
+                .on_write(lba, sectors as u32, None, WriteKind::Zeroes)
+            {
+                WriteVerdict::Persist => state.store.write_zeroes(lba, sectors),
+                WriteVerdict::Drop => {}
+                WriteVerdict::Partial(mask) => {
+                    for (s, &keep) in mask.iter().enumerate() {
+                        if keep {
+                            state.store.write_zeroes(lba.advance(s as u64), 1);
+                        }
+                    }
+                }
+            }
+        } else {
+            state.store.write_zeroes(lba, sectors);
+        }
     }
 
     /// Materialised media blocks (memory accounting).
     pub fn resident_blocks(&self) -> usize {
         self.state.lock().store.resident_blocks()
+    }
+
+    /// Deterministic digest of the entire media contents. Two devices
+    /// with identical logical contents (zero-filled blocks are never
+    /// distinguished from absent ones) hash equal — used by the crash
+    /// campaigns to assert journal-replay idempotence.
+    pub fn media_fingerprint(&self) -> u64 {
+        self.state.lock().store.fingerprint()
     }
 }
 

@@ -42,6 +42,9 @@ pub enum NvmeStatus {
     /// engine raised a reserved trap (`0xFF00..` — out-of-bounds load,
     /// step budget, hop budget).
     ChainFault(u16),
+    /// Transient media error injected by the fault plane. Retryable: the
+    /// kernel maps it to `EIO` after UserLib's bounded retry gives up.
+    MediaError,
 }
 
 impl NvmeStatus {

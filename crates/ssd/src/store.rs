@@ -122,6 +122,24 @@ impl SectorStore {
     pub fn resident_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// Deterministic FNV digest of the logical contents: blocks visited
+    /// in index order, all-zero blocks skipped (so a sparse hole and an
+    /// explicitly zeroed block hash identically).
+    pub fn fingerprint(&self) -> u64 {
+        let mut keys: Vec<u64> = self.blocks.keys().copied().collect();
+        keys.sort_unstable();
+        let mut h = bypassd_sim::rng::Fnv64::new();
+        for k in keys {
+            let data = &self.blocks[&k];
+            if data.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h.write_u64(k);
+            h.write(data);
+        }
+        h.finish()
+    }
 }
 
 impl std::fmt::Debug for SectorStore {

@@ -1,0 +1,50 @@
+//! Runs the two acceptance crash campaigns (append + overwrite) and
+//! prints their reports — the numbers quoted in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example crash_campaign
+//! BYPASSD_CAMPAIGN_POINTS=40 cargo run --release --example crash_campaign
+//! ```
+
+use bypassd::{CrashLab, CrashWorkload};
+use bypassd_faults::campaign::CampaignConfig;
+
+fn budget(default: usize) -> usize {
+    std::env::var("BYPASSD_CAMPAIGN_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut total = 0usize;
+    for (name, workload, points) in [
+        (
+            "append",
+            CrashWorkload::Append {
+                steps: 10,
+                blocks_per_step: 3,
+            },
+            budget(120),
+        ),
+        (
+            "overwrite",
+            CrashWorkload::Overwrite {
+                steps: 8,
+                region_blocks: 12,
+            },
+            budget(100),
+        ),
+    ] {
+        let lab = CrashLab::new(workload);
+        let report = lab.campaign(&CampaignConfig {
+            max_points: points,
+            ..CampaignConfig::default()
+        });
+        println!("[{name}] {}", report.summary());
+        println!("[{name}] fingerprint={:#018x}", report.fingerprint);
+        total += report.points_run;
+        assert!(report.passed(), "{name} campaign failed");
+    }
+    println!("total crash points passed: {total}");
+}

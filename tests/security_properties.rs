@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use bypassd::{System, UserProcess};
+use bypassd_ext4::Ext4;
 use bypassd_hw::iommu::AccessKind;
 use bypassd_hw::types::{DevId, Lba, Pasid, Vba, PAGE_SIZE};
 use bypassd_sim::time::Nanos;
@@ -363,6 +364,153 @@ fn revocation_under_load_with_qos_throttling() {
         }
     }
     assert!(saw_flooder, "flooder tenant missing from the snapshot");
+}
+
+#[test]
+fn crash_recovery_never_leaks_blocks_through_stale_ftes() {
+    // Composition of the fault plane with revocation + QoS (§3.6 + §5.3):
+    // power is cut at several virtual-time instants while one tenant is
+    // being revoked mid-burst and another holds live direct mappings.
+    // After every cut, recovery must (a) leave the filesystem fsck-clean,
+    // (b) tear down every pre-crash FTE — a stale mapping must not
+    // translate into blocks recovery may hand to someone else — and
+    // (c) never let the other tenant's bytes surface in this tenant's
+    // file.
+    let revoke_at = Nanos(150_000);
+    for cut_ns in [400_000u64, 900_000, 1_600_000] {
+        let sys = System::builder()
+            .capacity(1 << 28)
+            .qos(bypassd::QosConfig::enabled())
+            .build();
+        let fs = sys.fs();
+        // The victim's secret: owner-only, filled with a marker byte.
+        fs.create("/secret", 0o600, 1, 1).unwrap();
+        let sec = fs.lookup("/secret").unwrap();
+        fs.allocate(sec, 0, 16 * 4096).unwrap();
+        let (secret_segs, _) = fs.resolve(sec, 0, 16 * 4096).unwrap();
+        for (lba, len) in &secret_segs {
+            let mut cur = lba.unwrap();
+            let mut left = *len;
+            while left > 0 {
+                sys.device().write_raw(cur, &[0x5E; 4096]);
+                cur = Lba(cur.0 + 8);
+                left -= 4096;
+            }
+        }
+        fs.populate("/mine", 64 * 4096, 0xAB).unwrap();
+        fs.populate("/work", 64 * 4096, 0x7B).unwrap();
+        sys.fs().crash_at(Nanos(cut_ns));
+
+        let sim = Simulation::new();
+        // The bystander's process outlives the simulation so its PASID
+        // stays registered — exactly the stale-FTE hazard at remount.
+        let holder: Arc<parking_lot::Mutex<Option<Arc<UserProcess>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let bystander_pasid = Arc::new(parking_lot::Mutex::new(None));
+
+        let s = sys.clone();
+        sim.spawn("attacker", move |ctx| {
+            let proc = UserProcess::start(&s, 666, 666);
+            let mut t = proc.thread();
+            let fd = t.open(ctx, "/mine", true).unwrap();
+            let mut buf = vec![0u8; 4096];
+            for i in 0..300u64 {
+                let off = (i % 64) * 4096;
+                // Post-cut syscalls may fail; keep the clock moving.
+                match t.pread(ctx, fd, &mut buf, off) {
+                    Ok(n) => {
+                        assert_eq!(n, 4096);
+                        assert!(
+                            buf.iter().all(|&b| b == 0xAB),
+                            "foreign bytes in /mine at op {i}"
+                        );
+                    }
+                    Err(_) => break,
+                }
+                if i % 8 == 0 && t.pwrite(ctx, fd, &[0xAB; 4096], off).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let s = sys.clone();
+        let h = Arc::clone(&holder);
+        let bp = Arc::clone(&bystander_pasid);
+        sim.spawn("bystander", move |ctx| {
+            let proc = UserProcess::start(&s, 1000, 1000);
+            *bp.lock() = Some(s.kernel().pasid_of(proc.pid()));
+            let mut t = proc.thread();
+            let fd = t.open(ctx, "/work", false).unwrap();
+            let mut buf = vec![0u8; 4096];
+            for i in 0..200u64 {
+                if t.pread(ctx, fd, &mut buf, (i % 64) * 4096).is_err() {
+                    break;
+                }
+            }
+            drop(t);
+            *h.lock() = Some(proc);
+        });
+
+        // Mid-burst revocation of the attacker's direct mappings, well
+        // before every candidate cut instant.
+        let s = sys.clone();
+        sim.spawn_at(revoke_at, "revoker", move |_ctx| {
+            let revoked = s.kernel().revoke_path("/mine").unwrap();
+            assert!(!revoked.is_empty(), "revocation found no direct openers");
+        });
+        sim.run();
+
+        // Vacuity check: the bystander's mapping is still live after the
+        // crash — this is the window a stale FTE would exploit.
+        let pasid = bystander_pasid.lock().expect("bystander never started");
+        let vba = Vba(0x10_0000_0000); // fmap region base
+        assert!(
+            sys.iommu()
+                .lock()
+                .translate(pasid, vba, PAGE_SIZE, AccessKind::Read, DevId(1))
+                .is_ok(),
+            "cut@{cut_ns}: pre-remount FTE already gone — test is vacuous"
+        );
+
+        // Recovery: journal replay + full fsck, then the FTE must be dead.
+        let fs2 = Ext4::mount(sys.device(), sys.mem())
+            .unwrap_or_else(|e| panic!("remount after cut@{cut_ns}: {e:?}"));
+        let report = bypassd_ext4::fsck(sys.device());
+        assert!(
+            report.clean(),
+            "fsck after cut@{cut_ns}: {}",
+            report.errors.join("; ")
+        );
+        assert!(
+            sys.iommu()
+                .lock()
+                .translate(pasid, vba, PAGE_SIZE, AccessKind::Read, DevId(1))
+                .is_err(),
+            "cut@{cut_ns}: stale FTE still translates after recovery"
+        );
+
+        // The attacker's file never absorbed the victim's marker bytes —
+        // at any crash point, every recovered block is its own pattern
+        // (or zero for a never-persisted write), never 0x5E.
+        let mine = fs2.lookup("/mine").unwrap();
+        let size = fs2.size_of(mine).unwrap();
+        let (segs, _) = fs2.resolve(mine, 0, size).unwrap();
+        let mut buf = vec![0u8; 4096];
+        for (lba, len) in &segs {
+            let Some(mut cur) = *lba else { continue };
+            let mut left = *len;
+            while left > 0 {
+                sys.device().read_raw(cur, &mut buf);
+                assert!(
+                    buf.iter().all(|&b| b == 0xAB || b == 0),
+                    "cut@{cut_ns}: foreign bytes in /mine after recovery"
+                );
+                cur = Lba(cur.0 + 8);
+                left -= 4096;
+            }
+        }
+        drop(holder.lock().take());
+    }
 }
 
 #[test]
