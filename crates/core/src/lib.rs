@@ -41,6 +41,7 @@
 //! ```
 
 pub mod crashlab;
+pub mod fleet;
 pub mod system;
 pub mod userlib;
 
@@ -50,5 +51,6 @@ pub use bypassd_trace::{
     MetricsRegistry, Recorder, TraceConfig,
 };
 pub use crashlab::{CrashLab, CrashWorkload};
+pub use fleet::{FleetBuilder, FleetConfig, FleetReport, LaneReport};
 pub use system::{System, SystemBuilder};
 pub use userlib::{ChainReq, IoPolicy, ReadReq, UserProcess, UserThread};

@@ -248,20 +248,29 @@ impl UserProcess {
     /// kernel driver, which registers this process's QoS share with the
     /// device arbiter.
     pub fn thread(self: &Arc<Self>) -> UserThread {
-        const QUEUE_DEPTH: usize = 64;
-        let qid = self.system.kernel().bind_user_queue(self.pid, QUEUE_DEPTH);
-        let dma = DmaBuffer::alloc(self.system.mem(), 1 << 20);
+        self.thread_with(64, 1 << 20)
+    }
+
+    /// [`thread`](Self::thread) with explicit queue depth and DMA buffer
+    /// size. Fleet runs stand up thousands of processes per machine, so
+    /// they use shallow queues and small buffers to keep the aggregate
+    /// pinned-memory footprint bounded; the defaults above match the
+    /// paper's single-process configuration.
+    pub fn thread_with(self: &Arc<Self>, queue_depth: usize, dma_len: usize) -> UserThread {
+        let queue_depth = queue_depth.max(1);
+        let qid = self.system.kernel().bind_user_queue(self.pid, queue_depth);
+        let dma = DmaBuffer::alloc(self.system.mem(), dma_len.max(SECTOR_SIZE as usize));
         UserThread {
             proc: Arc::clone(self),
             qid,
             dma,
-            queue_depth: QUEUE_DEPTH,
-            effective_depth: QUEUE_DEPTH,
+            queue_depth,
+            effective_depth: queue_depth,
             clean_streak: 0,
             pressure_events: 0,
             cached_fd: None,
             async_staging: None,
-            batch: BatchScratch::with_capacity(QUEUE_DEPTH),
+            batch: BatchScratch::with_capacity(queue_depth),
         }
     }
 

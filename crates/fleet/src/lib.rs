@@ -1,0 +1,83 @@
+//! # bypassd-fleet
+//!
+//! Sharded parallel discrete-event execution for fleet-scale BypassD
+//! scenarios: the simulation is partitioned into per-device (or
+//! per-control-plane) *event lanes*, each advancing its own virtual
+//! timeline on a worker thread, with conservative-lookahead
+//! synchronization (Chandy–Misra style null messages) at explicitly
+//! declared cross-shard ports — doorbell rings, completion posts, IOMMU
+//! shootdowns, QoS pressure bits. The natural lookahead floor is the
+//! modeled PCIe round trip (~345 ns): nothing crosses a shard boundary
+//! faster than the link the real hardware would use.
+//!
+//! Determinism is load-bearing: for a fixed seed, virtual-time results
+//! and report fingerprints are bit-identical whether the fleet runs on
+//! 1, 2, or N workers. See `DESIGN.md` §15 for the lane partition, the
+//! lookahead proof sketch, and the determinism argument.
+//!
+//! ## Pieces
+//!
+//! * [`Topology`] — static lanes + lookahead-annotated channels.
+//! * [`Executor`] — the conservative scheduler (worker pool, channel
+//!   clocks, promise validation, quiescence detection).
+//! * [`Lane`] — a [`LaneModel`] whose local world is a private
+//!   `bypassd_sim::Simulation` with its own actors and self-timers.
+//!
+//! The full-stack fleet scenario (10k+ `UserProcess`es over multiple
+//! simulated SSDs with QoS) lives in `bypassd::fleet`; this crate is
+//! scenario-agnostic.
+//!
+//! ## Example: a deterministic two-lane ping-pong
+//!
+//! Sends always carry the *current* event time; anything later is
+//! expressed as a self-timer (`arm`), which the executor folds into the
+//! lane's clock promises. Here each side reacts to a ping 100 ns after
+//! receiving it (hence `reaction = 100ns` on both edges):
+//!
+//! ```rust
+//! use bypassd_fleet::{Event, Executor, Lane, LaneHandle, Topology};
+//! use bypassd_sim::{Nanos, Port};
+//!
+//! let mut topo = Topology::new();
+//! let a = topo.add_lane();
+//! let b = topo.add_lane();
+//! let ab = topo.add_channel(a, b, Port::new("ping", Nanos(345)), Some(Nanos(100)));
+//! let ba = topo.add_channel(b, a, Port::new("pong", Nanos(345)), Some(Nanos(100)));
+//!
+//! let bounce = move |out| {
+//!     move |ev: Event<u32>, h: &LaneHandle<u32>| match ev.channel {
+//!         // Inbound ping: schedule our reply 100 ns from now.
+//!         Some(_) if ev.msg > 0 => h.arm(ev.at + Nanos(100), ev.msg),
+//!         Some(_) => {}
+//!         // Reply timer due: send at the current time.
+//!         None => h.send(ev.at, out, ev.msg - 1),
+//!     }
+//! };
+//! let lane_a = Lane::new(bounce(ab));
+//! let lane_b = Lane::new(bounce(ba));
+//! lane_a.handle().arm(Nanos::ZERO, 5u32); // kick off: first ping carries 4
+//!
+//! let mut exec = Executor::new(topo, vec![Box::new(lane_a), Box::new(lane_b)]);
+//! let stats = exec.run(2);
+//! assert_eq!(stats.delivered, 5); // counters 4,3,2,1,0 then silence
+//! ```
+
+pub mod exec;
+pub mod lane;
+pub mod topo;
+
+pub use exec::{ExecStats, Executor, LaneModel, OutMsg, SELF_CHANNEL};
+pub use lane::{Event, Lane, LaneHandle};
+pub use topo::{ChannelId, ChannelSpec, LaneId, Topology};
+
+/// Worker-thread count for fleet runs: `BYPASSD_FLEET_WORKERS` if set
+/// (clamped to at least 1), else `default`.
+///
+/// Reading an env var is configuration, not simulated time — results
+/// are bit-identical for every value; only wall-clock changes.
+pub fn workers_from_env(default: usize) -> usize {
+    match std::env::var("BYPASSD_FLEET_WORKERS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(default).max(1),
+        Err(_) => default.max(1),
+    }
+}

@@ -1,0 +1,151 @@
+//! Fleet topology: lanes and the channels that connect them.
+//!
+//! A *lane* is an independently clocked shard of the simulation (in
+//! BypassD terms: one device plus the processes driving it, or a
+//! control-plane shard). A *channel* is a directed cross-lane edge over
+//! a [`Port`] — doorbell rings, completion posts, IOMMU shootdowns, QoS
+//! pressure bits. The topology is static: every way an event can cross
+//! a shard boundary must be declared up front, because the conservative
+//! scheduler derives each lane's safe horizon from the channel set.
+
+use bypassd_sim::{Nanos, Port};
+
+/// Index of a lane within one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub u32);
+
+/// Index of a channel within one [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u32);
+
+/// One directed cross-lane edge.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelSpec {
+    /// Sending lane.
+    pub src: LaneId,
+    /// Receiving lane.
+    pub dst: LaneId,
+    /// Port (name + lookahead) this edge crosses.
+    pub port: Port,
+    /// Input-to-output reaction bound for the sending lane on this
+    /// channel: if the lane's sends on this edge can be *triggered by
+    /// its own inputs* (e.g. a completion post triggered by a doorbell),
+    /// this is a lower bound on that input→send delay, and the lane's
+    /// clock promise includes `input_horizon + reaction`.
+    ///
+    /// `None` declares that sends on this edge are never caused by
+    /// inputs — they are driven purely by the lane's own timers and
+    /// actors. That is what breaks promise cycles between mutually
+    /// connected lanes: such an edge promises up to the lane's next
+    /// locally scheduled event regardless of what its neighbours do. A
+    /// handler receiving an input on a `None`-reaction lane must not
+    /// send on that edge, nor wake an actor/timer earlier than the
+    /// lane's current next event; the executor traps (panics) if a send
+    /// ever undercuts a promise.
+    pub reaction: Option<Nanos>,
+}
+
+/// Static lane/channel graph for one fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    lanes: u32,
+    channels: Vec<ChannelSpec>,
+}
+
+impl Topology {
+    /// An empty topology with no lanes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a lane and returns its id.
+    pub fn add_lane(&mut self) -> LaneId {
+        let id = LaneId(self.lanes);
+        self.lanes += 1;
+        id
+    }
+
+    /// Adds a directed channel; see [`ChannelSpec`] for the `reaction`
+    /// contract.
+    ///
+    /// # Panics
+    /// Panics on unknown lanes, self-edges (same-lane traffic never
+    /// needs a channel), or a zero reaction bound (an input-coupled
+    /// edge with no modeled delay would pin the receiver's clock to the
+    /// sender's).
+    pub fn add_channel(
+        &mut self,
+        src: LaneId,
+        dst: LaneId,
+        port: Port,
+        reaction: Option<Nanos>,
+    ) -> ChannelId {
+        assert!(src.0 < self.lanes, "channel src {src:?} is not a lane");
+        assert!(dst.0 < self.lanes, "channel dst {dst:?} is not a lane");
+        assert_ne!(
+            src, dst,
+            "self-channels are not allowed: lane-local events stay in the lane"
+        );
+        if let Some(r) = reaction {
+            assert!(
+                r.0 >= 1,
+                "input-coupled channels need a positive reaction bound"
+            );
+        }
+        let id = ChannelId(self.channels.len() as u32);
+        // The executor uses the channel index as the u32 merge-key
+        // component, and reserves u32::MAX for lane-local timers.
+        assert!(id.0 < u32::MAX, "too many channels");
+        self.channels.push(ChannelSpec {
+            src,
+            dst,
+            port,
+            reaction,
+        });
+        id
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// All channels, indexed by [`ChannelId`].
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_lanes_and_channels() {
+        let mut t = Topology::new();
+        let a = t.add_lane();
+        let b = t.add_lane();
+        let p = Port::new("doorbell", Nanos(345));
+        let c = t.add_channel(a, b, p, None);
+        assert_eq!(c, ChannelId(0));
+        assert_eq!(t.lane_count(), 2);
+        assert_eq!(t.channels()[0].dst, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channels")]
+    fn rejects_self_edges() {
+        let mut t = Topology::new();
+        let a = t.add_lane();
+        t.add_channel(a, a, Port::new("loop", Nanos(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive reaction")]
+    fn rejects_zero_reaction() {
+        let mut t = Topology::new();
+        let a = t.add_lane();
+        let b = t.add_lane();
+        t.add_channel(a, b, Port::new("cq", Nanos(345)), Some(Nanos::ZERO));
+    }
+}

@@ -1,0 +1,173 @@
+//! Executor-level contracts: bit-identical results across worker
+//! counts, promise-violation trapping, and quiescence.
+
+use std::sync::Arc;
+
+use bypassd_fleet::{Event, Executor, Lane, LaneHandle, Topology};
+use bypassd_sim::rng::{Fnv64, Rng};
+use bypassd_sim::{Nanos, Port};
+use parking_lot::Mutex;
+
+/// A ring of lanes, each with a jittery producer actor sending tokens
+/// to the next lane plus a report edge into lane 0; every lane logs
+/// `(channel, at, payload)` in handler order. The fingerprint covers
+/// the logs (including merge order at lane 0, which has multiple
+/// inbound channels) and each lane's final virtual time.
+fn ring_fingerprint(lanes: usize, tokens: u64, seed: u64, workers: usize) -> (u64, u64) {
+    let mut topo = Topology::new();
+    let ids: Vec<_> = (0..lanes).map(|_| topo.add_lane()).collect();
+    let ring: Vec<_> = (0..lanes)
+        .map(|i| {
+            topo.add_channel(
+                ids[i],
+                ids[(i + 1) % lanes],
+                Port::new("token", Nanos(345)),
+                None, // producer actors never react to inputs
+            )
+        })
+        .collect();
+    let report: Vec<_> = (1..lanes)
+        .map(|i| topo.add_channel(ids[i], ids[0], Port::new("report", Nanos(345)), None))
+        .collect();
+
+    let logs: Vec<Arc<Mutex<Vec<(u32, u64, u64)>>>> = (0..lanes)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+    let mut models: Vec<Box<dyn bypassd_fleet::LaneModel<u64>>> = Vec::new();
+    for i in 0..lanes {
+        let log = Arc::clone(&logs[i]);
+        let lane = Lane::new(move |ev: Event<u64>, _h: &LaneHandle<u64>| {
+            let ch = ev.channel.map_or(u32::MAX, |c| c.0);
+            log.lock().push((ch, ev.at.0, ev.msg));
+        });
+        let handle = lane.handle();
+        let out_ring = ring[i];
+        let out_report = (i > 0).then(|| report[i - 1]);
+        lane.sim().spawn("producer", move |ctx| {
+            let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for k in 0..tokens {
+                ctx.delay(Nanos(50 + rng.gen_range(400)));
+                handle.send(ctx.now(), out_ring, (i as u64) << 32 | k);
+                if let Some(rep) = out_report {
+                    if k % 3 == 0 {
+                        handle.send(ctx.now(), rep, k);
+                    }
+                }
+            }
+        });
+        models.push(Box::new(lane));
+    }
+
+    let mut exec = Executor::new(topo, models);
+    let stats = exec.run(workers);
+    let mut fp = Fnv64::new();
+    for log in &logs {
+        let log = log.lock();
+        fp.write_u64(log.len() as u64);
+        for &(ch, at, msg) in log.iter() {
+            fp.write_u64(u64::from(ch));
+            fp.write_u64(at);
+            fp.write_u64(msg);
+        }
+    }
+    (fp.finish(), stats.delivered)
+}
+
+#[test]
+fn ring_results_identical_across_worker_counts() {
+    let (fp1, d1) = ring_fingerprint(4, 40, 0xF1EE7, 1);
+    let (fp2, d2) = ring_fingerprint(4, 40, 0xF1EE7, 2);
+    let (fp8, d8) = ring_fingerprint(4, 40, 0xF1EE7, 8);
+    assert_eq!(fp1, fp2, "1 vs 2 workers diverged");
+    assert_eq!(fp1, fp8, "1 vs 8 workers diverged");
+    // Real message counts are deterministic too (scheduling counters
+    // are not, and are deliberately not compared).
+    assert_eq!(d1, d2);
+    assert_eq!(d1, d8);
+    // 4 ring tokens per producer per round... sanity: every token and
+    // every third report token arrived.
+    let expected = 4 * 40 + 3 * ((40 + 2) / 3);
+    assert_eq!(d1, expected);
+}
+
+#[test]
+fn ring_rerun_is_bit_identical() {
+    assert_eq!(
+        ring_fingerprint(3, 25, 42, 2),
+        ring_fingerprint(3, 25, 42, 2)
+    );
+}
+
+#[test]
+fn seed_changes_results() {
+    assert_ne!(
+        ring_fingerprint(3, 25, 1, 1).0,
+        ring_fingerprint(3, 25, 2, 1).0
+    );
+}
+
+#[test]
+#[should_panic(expected = "promise violation")]
+fn undeclared_reaction_is_trapped() {
+    let mut topo = Topology::new();
+    let a = topo.add_lane();
+    let b = topo.add_lane();
+    let ab = topo.add_channel(a, b, Port::new("req", Nanos(345)), None);
+    // b declares it reacts no sooner than 500ns after an input...
+    let ba = topo.add_channel(b, a, Port::new("resp", Nanos(345)), Some(Nanos(500)));
+
+    let lane_a = Lane::new(|_ev: Event<u64>, _h: &LaneHandle<u64>| {});
+    let ha = lane_a.handle();
+    lane_a.sim().spawn("kick", move |ctx| {
+        ha.send(ctx.now(), ab, 7);
+    });
+    // ...but replies instantly, undercutting the promise its clock made.
+    let lane_b = Lane::new(move |ev: Event<u64>, h: &LaneHandle<u64>| {
+        h.send(ev.at, ba, ev.msg);
+    });
+
+    let mut exec = Executor::new(topo, vec![Box::new(lane_a), Box::new(lane_b)]);
+    exec.run(2);
+}
+
+#[test]
+fn empty_fleet_quiesces_immediately() {
+    let mut topo = Topology::new();
+    let a = topo.add_lane();
+    let b = topo.add_lane();
+    topo.add_channel(a, b, Port::new("quiet", Nanos(1)), None);
+    let models: Vec<Box<dyn bypassd_fleet::LaneModel<()>>> = vec![
+        Box::new(Lane::new(|_ev: Event<()>, _h: &LaneHandle<()>| {})),
+        Box::new(Lane::new(|_ev: Event<()>, _h: &LaneHandle<()>| {})),
+    ];
+    let mut exec = Executor::new(topo, models);
+    let stats = exec.run(4);
+    assert_eq!(stats.delivered, 0);
+}
+
+#[test]
+fn inboxes_are_sealed_after_run() {
+    // A lane that tries to arm a timer after finalization is trapped by
+    // the sealed mailbox; here we just verify the run seals cleanly and
+    // lanes can be recovered.
+    let mut topo = Topology::new();
+    let a = topo.add_lane();
+    let b = topo.add_lane();
+    let ab = topo.add_channel(a, b, Port::new("once", Nanos(10)), None);
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let g = Arc::clone(&got);
+    let lane_a = Lane::new(|_ev: Event<u64>, _h: &LaneHandle<u64>| {});
+    let ha = lane_a.handle();
+    lane_a.sim().spawn("send-one", move |ctx| {
+        ctx.delay(Nanos(5));
+        ha.send(ctx.now(), ab, 99);
+    });
+    let lane_b = Lane::new(move |ev: Event<u64>, _h: &LaneHandle<u64>| {
+        g.lock().push((ev.at.0, ev.msg));
+    });
+    let mut exec = Executor::new(topo, vec![Box::new(lane_a), Box::new(lane_b)]);
+    exec.run(1);
+    assert_eq!(*got.lock(), vec![(15, 99)]);
+    let models = exec.into_models();
+    assert_eq!(models.len(), 2);
+}

@@ -144,7 +144,7 @@ pub struct IommuTiming {
 impl Default for IommuTiming {
     fn default() -> Self {
         IommuTiming {
-            pcie_rtt: Nanos(345),
+            pcie_rtt: crate::ports::PCIE_RTT,
             iotlb_hit: Nanos(14),
             walk_miss: Nanos(183),
             multi_translation: Nanos(25),

@@ -23,6 +23,7 @@ pub mod iommu;
 pub mod lru;
 pub mod mem;
 pub mod page_table;
+pub mod ports;
 pub mod pte;
 pub mod types;
 

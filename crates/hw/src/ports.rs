@@ -1,0 +1,32 @@
+//! Cross-shard port annotations for the memory/IOMMU layer.
+//!
+//! When the fleet executor (`bypassd-fleet`) shards a scenario into
+//! per-device lanes, control-plane events that target a device's
+//! address-translation state — ATS invalidations / IOMMU shootdowns
+//! after an `fmap` revocation (§3.6) — cross lane boundaries over these
+//! ports. The lookahead is the modeled PCIe round trip: an invalidation
+//! issued by the kernel shard cannot reach a device shard faster than
+//! the link delivers it, which is exactly the slack conservative
+//! synchronization needs.
+
+use bypassd_sim::{Nanos, Port};
+
+/// The modeled PCIe round trip between host and device/IOMMU. This is
+/// the single source for [`crate::IommuTiming`]'s default `pcie_rtt`
+/// and for every cross-shard lookahead floor, so the sharded executor
+/// can never assume more slack than the timing model actually provides.
+pub const PCIE_RTT: Nanos = Nanos(345);
+
+/// ATS invalidation / IOMMU shootdown delivery to a device shard.
+pub const SHOOTDOWN: Port = Port::new("iommu.shootdown", PCIE_RTT);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IommuTiming;
+
+    #[test]
+    fn shootdown_lookahead_matches_timing_model() {
+        assert_eq!(SHOOTDOWN.lookahead, IommuTiming::default().pcie_rtt);
+    }
+}

@@ -105,6 +105,49 @@ fn r4_good_is_clean() {
     assert_eq!(rules::r4(&fixture("r4_good.rs")), vec![]);
 }
 
+/// Fleet executor idiom, wrong on both axes: a worker loop that reads
+/// the host clock (which would make virtual-time results depend on the
+/// worker count) and a sched/model lock inversion between the step and
+/// quiesce paths (the exact two-thread deadlock a sharded scheduler
+/// risks).
+#[test]
+fn fleet_bad_reports_wall_clock_and_lock_inversion() {
+    let diags = rules::r1(&fixture("fleet_bad.rs"));
+    assert_eq!(lines(&diags, "R1"), vec![13], "{diags:#?}");
+    assert!(diags[0].message.contains("Instant::now"));
+
+    let mut graph = LockGraph::default();
+    graph.scan_file(&fixture("fleet_bad.rs"), "fleet");
+    let cycles = graph.cycles();
+    assert_eq!(cycles.len(), 1, "{cycles:#?}");
+    assert_eq!(
+        cycles[0].edge.as_deref(),
+        Some("fleet::model -> fleet::sched -> fleet::model")
+    );
+    assert!(
+        cycles[0].message.contains("fn quiesce"),
+        "{}",
+        cycles[0].message
+    );
+}
+
+/// The real lane-step idiom: envelope-driven virtual time, per-driver
+/// seeded rngs, and one global sched-before-model lock order.
+#[test]
+fn fleet_good_is_clean_under_r1_and_r2() {
+    assert_eq!(rules::r1(&fixture("fleet_good.rs")), vec![]);
+    let mut graph = LockGraph::default();
+    graph.scan_file(&fixture("fleet_good.rs"), "fleet");
+    assert!(
+        graph
+            .edges
+            .contains_key(&("fleet::sched".into(), "fleet::model".into())),
+        "the sched -> model edge should be recorded: {:?}",
+        graph.edges
+    );
+    assert_eq!(graph.cycles(), vec![]);
+}
+
 /// End-to-end: violations surface through the allowlist filter with the
 /// exact `path:line: [RULE]` rendering the CI log shows.
 #[test]

@@ -1,0 +1,23 @@
+// Fleet fixture (positive): the two mistakes a sharded executor must
+// not make. A worker that consults the host clock breaks worker-count
+// invariance (R1), and locking sched/model in opposite orders across
+// the step and quiesce paths deadlocks two workers (R2).
+pub struct Lanes {
+    sched: Mutex<u32>,
+    model: Mutex<u32>,
+}
+
+impl Lanes {
+    pub fn step(&self) {
+        let s = self.sched.lock(); // sched held ...
+        let started = Instant::now(); // R1: wall clock inside a lane step
+        let m = self.model.lock(); // ... while acquiring model
+        use_both(s, m, started);
+    }
+
+    pub fn quiesce(&self) {
+        let m = self.model.lock(); // model held ...
+        let s = self.sched.lock(); // R2: ... while acquiring sched
+        use_both(s, m, ());
+    }
+}

@@ -1,0 +1,27 @@
+// Fleet fixture (negative): the real lane-step idiom. Virtual time
+// comes from envelopes and promises, never the host clock; randomness
+// is seeded per driver; and both paths take sched before model, so the
+// lock graph has one direction only.
+use bypassd_sim::rng::Rng;
+use bypassd_sim::time::Nanos;
+
+pub struct Lanes {
+    sched: Mutex<u32>,
+    model: Mutex<u32>,
+}
+
+impl Lanes {
+    pub fn step(&self, horizon: Nanos) {
+        let s = self.sched.lock(); // sched first ...
+        let m = self.model.lock(); // ... then model, everywhere
+        let mut rng = Rng::new(0xF1EE_7);
+        let jitter = Nanos(200 + rng.gen_range(800));
+        use_both(s, m, horizon.saturating_add(jitter));
+    }
+
+    pub fn quiesce(&self) {
+        let s = self.sched.lock(); // same order on the shutdown path
+        let m = self.model.lock();
+        use_both(s, m, ());
+    }
+}

@@ -29,6 +29,7 @@ pub mod arbiter;
 pub mod bucket;
 pub mod config;
 pub mod drr;
+pub mod ports;
 pub mod stats;
 
 pub use arbiter::{Admission, QosArbiter, Tenant};

@@ -7,9 +7,23 @@
 //! actor. Ties are broken FIFO by a global sequence number, so a run is
 //! fully deterministic for a fixed set of actors and seeds.
 //!
+//! Handoffs are targeted: each actor parks on its own condvar and the
+//! conductor wakes exactly the next runnable actor, so the cost of a
+//! handoff is independent of how many actors exist. (The earlier
+//! broadcast design woke every parked actor per event, which made large
+//! fleets quadratic in wakeups.)
+//!
 //! Shared simulation state (the SSD model, the kernel, …) can be protected
 //! by ordinary mutexes — they are never contended because only one actor
 //! executes at any moment.
+//!
+//! ## Lane mode
+//!
+//! A `Simulation` can also be driven incrementally with
+//! [`Simulation::run_until`], which executes events up to an inclusive
+//! horizon and then pauses. `bypassd-fleet` uses this to run many small
+//! simulations ("lanes") side by side, each advancing its own timeline
+//! between conservative synchronization points.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,31 +55,48 @@ struct SimState {
     started: bool,
     /// Name of an actor that panicked, if any.
     panicked: Option<String>,
+    /// Inclusive dispatch bound: actors with wake times beyond this are
+    /// not dispatched. `Nanos::MAX` (run-to-completion) except while a
+    /// lane executor drives the simulation via [`Simulation::run_until`].
+    horizon: Nanos,
+    /// Per-actor parking condvars, indexed by `ActorId`. Each handoff
+    /// wakes exactly one of these.
+    parkers: Vec<Arc<Condvar>>,
 }
 
 struct Inner {
     state: Mutex<SimState>,
+    /// Control condvar: signalled when the dispatcher pauses (horizon
+    /// reached) or the simulation quiesces, waking `run`/`run_until`.
     cond: Condvar,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Inner {
-    /// Pop the earliest waiting actor, advance time, and wake it.
-    /// Must be called with the state lock held and `current == None`.
+    /// Pop the earliest waiting actor (within the horizon), advance time,
+    /// and wake exactly that actor. Must be called with the state lock
+    /// held and `current == None`. If the earliest wakeup lies beyond the
+    /// horizon, or there is nothing left to run, wakes the conductor's
+    /// control condvar instead.
     fn dispatch_next(&self, state: &mut SimState) {
         debug_assert!(state.current.is_none());
-        if let Some(Reverse((t, _seq, id))) = state.waiting.pop() {
+        let runnable = match state.waiting.peek() {
+            Some(&Reverse((t, _, _))) => t <= state.horizon,
+            None => false,
+        };
+        if runnable {
+            let Reverse((t, _seq, id)) = state.waiting.pop().expect("peeked entry vanished");
             state.now = state.now.max(t);
             state.current = Some(id);
-            self.cond.notify_all();
-        } else if state.live > 0 && state.started {
+            state.parkers[id as usize].notify_one();
+        } else if state.waiting.is_empty() && state.live > 0 && state.started {
             panic!(
                 "simulation deadlock: {} live actor(s) but none runnable \
                  (an actor blocked outside the simulation primitives?)",
                 state.live
             );
         } else {
-            // All done; wake `run()`.
+            // Paused at the horizon, or all done; wake `run`/`run_until`.
             self.cond.notify_all();
         }
     }
@@ -81,8 +112,9 @@ impl Inner {
     /// virtual time at which it resumes (so the actor can cache it).
     fn wait_for_token(&self, id: ActorId) -> Nanos {
         let mut state = self.state.lock();
+        let parker = Arc::clone(&state.parkers[id as usize]);
         while state.current != Some(id) {
-            self.cond.wait(&mut state);
+            parker.wait(&mut state);
         }
         state.now
     }
@@ -105,6 +137,22 @@ impl Drop for FinishGuard {
             state.panicked = Some(self.name.clone());
         }
         self.inner.dispatch_next(&mut state);
+    }
+}
+
+/// Progress snapshot returned by [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStatus {
+    /// Earliest pending wakeup beyond the horizon, if any.
+    pub next_wake: Option<Nanos>,
+    /// Actors that have not yet finished.
+    pub live: usize,
+}
+
+impl RunStatus {
+    /// True when every actor has finished and no wakeups remain.
+    pub fn quiesced(&self) -> bool {
+        self.live == 0 && self.next_wake.is_none()
     }
 }
 
@@ -132,6 +180,18 @@ impl Default for Simulation {
     }
 }
 
+impl Clone for Simulation {
+    /// Clones the *handle*: both values drive the same simulation.
+    /// Lets long-lived helpers (e.g. a router that spawns actors
+    /// mid-run) hold the engine without threading `&Simulation` through
+    /// every call site.
+    fn clone(&self) -> Self {
+        Simulation {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
 impl Simulation {
     /// Creates an empty simulation at virtual time zero.
     pub fn new() -> Self {
@@ -146,6 +206,8 @@ impl Simulation {
                     next_id: 0,
                     started: false,
                     panicked: None,
+                    horizon: Nanos::MAX,
+                    parkers: Vec::new(),
                 }),
                 cond: Condvar::new(),
                 threads: Mutex::new(Vec::new()),
@@ -154,6 +216,10 @@ impl Simulation {
     }
 
     /// Spawns an actor that becomes runnable at virtual time zero.
+    ///
+    /// # Panics
+    /// Panics if the simulation clock has already advanced past zero; see
+    /// [`Simulation::spawn_at`].
     pub fn spawn<F>(&self, name: &str, f: F) -> ActorId
     where
         F: FnOnce(&mut ActorCtx) + Send + 'static,
@@ -165,6 +231,11 @@ impl Simulation {
     ///
     /// May be called before [`Simulation::run`] or from inside another
     /// actor (see [`ActorCtx::spawn_at`]).
+    ///
+    /// # Panics
+    /// Panics if `start` is earlier than the current virtual time:
+    /// admitting an actor into the past would silently reorder events
+    /// that have already been dispatched, so it traps instead.
     pub fn spawn_at<F>(&self, start: Nanos, name: &str, f: F) -> ActorId
     where
         F: FnOnce(&mut ActorCtx) + Send + 'static,
@@ -173,9 +244,19 @@ impl Simulation {
         let id;
         {
             let mut state = inner.state.lock();
+            if start < state.now {
+                panic!(
+                    "spawn_at schedules actor '{name}' in the past: start {start} < now {} \
+                     (events at {start} have already been dispatched; spawning behind the \
+                     clock would reorder the run queue)",
+                    state.now
+                );
+            }
             id = state.next_id;
             state.next_id += 1;
             state.live += 1;
+            state.parkers.push(Arc::new(Condvar::new()));
+            debug_assert_eq!(state.parkers.len() as u64, state.next_id);
             self.inner.enqueue(&mut state, start, id);
         }
         let name = name.to_string();
@@ -211,6 +292,7 @@ impl Simulation {
         {
             let mut state = self.inner.state.lock();
             state.started = true;
+            state.horizon = Nanos::MAX;
             if state.current.is_none() {
                 self.inner.dispatch_next(&mut state);
             }
@@ -229,10 +311,94 @@ impl Simulation {
         }
     }
 
+    /// Runs the simulation up to and including virtual time `horizon`,
+    /// then pauses.
+    ///
+    /// Dispatches every pending wakeup with time `<= horizon` (in the
+    /// same deterministic order [`Simulation::run`] would use) and
+    /// returns once no runnable actor remains at or below the horizon.
+    /// Actors whose next wakeup lies beyond the horizon stay parked;
+    /// a later `run_until` with a larger horizon (or [`Simulation::run`])
+    /// resumes them. Calling with a horizon at or before a previous one
+    /// is a no-op that just reports status.
+    ///
+    /// # Panics
+    /// Panics if an actor panicked during this slice, or on deadlock.
+    pub fn run_until(&self, horizon: Nanos) -> RunStatus {
+        let mut state = self.inner.state.lock();
+        state.started = true;
+        state.horizon = horizon;
+        loop {
+            if state.current.is_none() {
+                let runnable = match state.waiting.peek() {
+                    Some(&Reverse((t, _, _))) => t <= horizon,
+                    None => false,
+                };
+                if runnable {
+                    self.inner.dispatch_next(&mut state);
+                } else {
+                    break;
+                }
+            } else {
+                self.inner.cond.wait(&mut state);
+            }
+        }
+        let status = RunStatus {
+            next_wake: state.waiting.peek().map(|&Reverse((t, _, _))| t),
+            live: state.live,
+        };
+        let panicked = state.panicked.clone();
+        drop(state);
+        if let Some(name) = panicked {
+            panic!("simulation actor '{name}' panicked");
+        }
+        status
+    }
+
+    /// Joins all actor threads. Callable only once every actor has
+    /// finished (e.g. after [`Simulation::run_until`] reported
+    /// `live == 0`); [`Simulation::run`] already joins internally.
+    ///
+    /// # Panics
+    /// Panics if actors are still live (joining would block forever on a
+    /// parked actor), or if any actor panicked.
+    pub fn join_finished(&self) {
+        let live = self.inner.state.lock().live;
+        assert_eq!(
+            live, 0,
+            "join_finished with {live} live actor(s): drive the simulation \
+             to quiescence (run / run_until) before joining"
+        );
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let state = self.inner.state.lock();
+        if let Some(name) = &state.panicked {
+            panic!("simulation actor '{name}' panicked");
+        }
+    }
+
     /// The current virtual time (final time, once [`Simulation::run`] has
     /// returned).
     pub fn now(&self) -> Nanos {
         self.inner.state.lock().now
+    }
+
+    /// Earliest pending wakeup, if any. Stable only while the simulation
+    /// is paused (before `run`, or between `run_until` slices).
+    pub fn next_wake(&self) -> Option<Nanos> {
+        self.inner
+            .state
+            .lock()
+            .waiting
+            .peek()
+            .map(|&Reverse((t, _, _))| t)
+    }
+
+    /// Number of actors that have not finished.
+    pub fn live(&self) -> usize {
+        self.inner.state.lock().live
     }
 }
 
@@ -295,13 +461,15 @@ impl ActorCtx {
             // straight back to us, so advance the clock in place and keep
             // running. The comparison must be inclusive: an actor already
             // waiting at exactly that time has an earlier FIFO sequence
-            // number and must run first.
+            // number and must run first. The fast path must also respect
+            // the dispatch horizon — a lane executor relies on every
+            // actor parking before the clock crosses it.
             let eff = t.max(state.now);
             let handoff = match state.waiting.peek() {
                 Some(&Reverse((wake, _, _))) => wake <= eff,
                 None => false,
             };
-            if !handoff {
+            if !handoff && eff <= state.horizon {
                 state.now = eff;
                 self.now = eff;
                 return;
@@ -319,7 +487,11 @@ impl ActorCtx {
         self.wait_until(now);
     }
 
-    /// Spawns a new actor runnable at time `start` (clamped to now).
+    /// Spawns a new actor runnable at time `start`.
+    ///
+    /// # Panics
+    /// Panics if `start` is earlier than the current virtual time (see
+    /// [`Simulation::spawn_at`]).
     pub fn spawn_at<F>(&self, start: Nanos, name: &str, f: F) -> ActorId
     where
         F: FnOnce(&mut ActorCtx) + Send + 'static,
@@ -440,6 +612,28 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "in the past")]
+    fn spawn_into_the_past_traps() {
+        let sim = Simulation::new();
+        sim.spawn("clock-mover", |ctx| ctx.delay(Nanos(100)));
+        assert!(sim.run_until(Nanos(100)).quiesced());
+        // The clock is at 100; scheduling an actor at 50 must trap
+        // rather than silently reorder already-dispatched events.
+        sim.spawn_at(Nanos(50), "ghost", |_ctx| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn actor_spawning_into_the_past_traps_and_propagates() {
+        let sim = Simulation::new();
+        sim.spawn("late-spawner", move |ctx| {
+            ctx.delay(Nanos(100));
+            ctx.spawn_at(Nanos(50), "ghost", |_ctx| {});
+        });
+        sim.run();
+    }
+
+    #[test]
     fn wait_until_past_time_does_not_go_backwards() {
         let sim = Simulation::new();
         sim.spawn("a", |ctx| {
@@ -497,5 +691,91 @@ mod tests {
         });
         sim.run();
         assert_eq!(*log.lock(), vec!["first-before", "second", "first-after"]);
+    }
+
+    #[test]
+    fn run_until_pauses_at_horizon_and_resumes() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        sim.spawn("ticker", move |ctx| {
+            for _ in 0..5 {
+                ctx.delay(Nanos(10));
+                l.lock().push(ctx.now().0);
+            }
+        });
+        let st = sim.run_until(Nanos(25));
+        assert_eq!(*log.lock(), vec![10, 20]);
+        assert_eq!(st.next_wake, Some(Nanos(30)));
+        assert_eq!(st.live, 1);
+        assert!(!st.quiesced());
+
+        // A smaller horizon is a status-only no-op.
+        let st = sim.run_until(Nanos(5));
+        assert_eq!(st.next_wake, Some(Nanos(30)));
+
+        let st = sim.run_until(Nanos(40));
+        assert_eq!(*log.lock(), vec![10, 20, 30, 40]);
+        assert_eq!(st.next_wake, Some(Nanos(50)));
+
+        let st = sim.run_until(Nanos::MAX);
+        assert!(st.quiesced());
+        assert_eq!(*log.lock(), vec![10, 20, 30, 40, 50]);
+        sim.join_finished();
+    }
+
+    #[test]
+    fn run_until_slicing_matches_run() {
+        fn scenario(sim: &Simulation, log: &Arc<Mutex<Vec<(u64, u64)>>>) {
+            for id in 0..3u64 {
+                let l = Arc::clone(log);
+                sim.spawn(&format!("w{id}"), move |ctx| {
+                    let mut step = 5 + id * 7;
+                    for _ in 0..6 {
+                        ctx.delay(Nanos(step));
+                        l.lock().push((id, ctx.now().0));
+                        step = step * 13 % 41 + 1;
+                    }
+                });
+            }
+        }
+        let whole = Arc::new(Mutex::new(Vec::new()));
+        let sim = Simulation::new();
+        scenario(&sim, &whole);
+        sim.run();
+
+        let sliced = Arc::new(Mutex::new(Vec::new()));
+        let sim2 = Simulation::new();
+        scenario(&sim2, &sliced);
+        let mut h = 0u64;
+        loop {
+            h += 7;
+            if sim2.run_until(Nanos(h)).quiesced() {
+                break;
+            }
+        }
+        sim2.join_finished();
+        assert_eq!(*whole.lock(), *sliced.lock());
+        assert_eq!(sim.now(), sim2.now());
+    }
+
+    #[test]
+    fn run_until_fast_path_stops_at_horizon() {
+        // A single actor whose wait would normally advance the clock in
+        // place must still park at the horizon boundary.
+        let sim = Simulation::new();
+        sim.spawn("lone", |ctx| {
+            ctx.delay(Nanos(1_000));
+        });
+        let st = sim.run_until(Nanos(100));
+        assert_eq!(st.live, 1);
+        assert_eq!(st.next_wake, Some(Nanos(1_000)));
+        assert!(
+            sim.now() <= Nanos(100),
+            "clock ran past horizon: {:?}",
+            sim.now()
+        );
+        assert!(sim.run_until(Nanos::MAX).quiesced());
+        sim.join_finished();
     }
 }

@@ -11,6 +11,9 @@
 //! * [`rng`] — seedable PRNG plus the YCSB zipfian/latest distributions.
 //! * [`stats`] — log-bucketed latency histograms and throughput counters.
 //! * [`report`] — plain-text table formatting for the benchmark harnesses.
+//! * [`mailbox`] / [`port`] — the cross-lane primitives for the sharded
+//!   parallel executor (`bypassd-fleet`): deterministically merged
+//!   mailboxes and lookahead-annotated cross-shard ports.
 //!
 //! ## Example
 //!
@@ -28,10 +31,14 @@
 //! ```
 
 pub mod engine;
+pub mod mailbox;
+pub mod port;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{ActorCtx, Simulation};
+pub use engine::{ActorCtx, RunStatus, Simulation};
+pub use mailbox::{Envelope, Mailbox};
+pub use port::Port;
 pub use time::Nanos;

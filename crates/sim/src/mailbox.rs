@@ -1,0 +1,239 @@
+//! Cross-lane mailbox with deterministic merge order.
+//!
+//! A [`Mailbox`] is the only way events cross between lanes in the
+//! sharded executor (`bypassd-fleet`). Senders [`Mailbox::post`]
+//! time-stamped envelopes from any thread; the owning lane drains them
+//! strictly below its synchronization horizon with
+//! [`Mailbox::drain_next_below`]. Envelopes are totally ordered by
+//! `(deliver_at, channel, seq)` — per-channel sequence numbers are
+//! assigned in virtual-time order by the executor — so the merge order
+//! (and therefore every downstream virtual-time result) is independent
+//! of which worker thread posted first in wall-clock time.
+//!
+//! Once a lane quiesces its mailbox is [`Mailbox::seal`]ed; a post that
+//! loses that race is rejected (returns `false`) instead of vanishing
+//! into a box nobody will drain, which would silently drop a message
+//! and break the conservative-synchronization accounting.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use parking_lot::Mutex;
+
+use crate::time::Nanos;
+
+/// One cross-lane message: payload plus its deterministic merge key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Virtual time at which the receiving lane observes the message.
+    pub at: Nanos,
+    /// Channel the message travelled on (merge-key component; the
+    /// executor assigns each cross-lane edge a unique id).
+    pub channel: u32,
+    /// Per-channel monotone sequence number, assigned in virtual-time
+    /// send order.
+    pub seq: u64,
+    /// Payload.
+    pub msg: T,
+}
+
+impl<T> Envelope<T> {
+    /// The total-order merge key.
+    pub fn key(&self) -> (Nanos, u32, u64) {
+        (self.at, self.channel, self.seq)
+    }
+}
+
+/// Min-heap adapter: order envelopes by `(at, channel, seq)` ascending.
+struct Entry<T>(Envelope<T>);
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest key.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+struct Box_<T> {
+    heap: BinaryHeap<Entry<T>>,
+    sealed: bool,
+    accepted: u64,
+    drained: u64,
+}
+
+/// A sealed-capable, deterministically ordered inbound message queue.
+///
+/// Thread-safe: any thread may post; draining is normally done by the
+/// lane that owns the mailbox. See the module docs for ordering.
+pub struct Mailbox<T> {
+    inner: Mutex<Box_<T>>,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// Creates an empty, unsealed mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(Box_ {
+                heap: BinaryHeap::new(),
+                sealed: false,
+                accepted: 0,
+                drained: 0,
+            }),
+        }
+    }
+
+    /// Posts an envelope. Returns `false` (payload dropped, nothing
+    /// recorded) if the mailbox has been sealed.
+    pub fn post(&self, env: Envelope<T>) -> bool {
+        let mut b = self.inner.lock();
+        if b.sealed {
+            return false;
+        }
+        b.accepted += 1;
+        b.heap.push(Entry(env));
+        true
+    }
+
+    /// Removes and returns the earliest envelope with `at < horizon`, in
+    /// `(at, channel, seq)` order. Returns `None` when nothing is due.
+    pub fn drain_next_below(&self, horizon: Nanos) -> Option<Envelope<T>> {
+        let mut b = self.inner.lock();
+        match b.heap.peek() {
+            Some(e) if e.0.at < horizon => {
+                b.drained += 1;
+                Some(b.heap.pop().expect("peeked entry vanished").0)
+            }
+            _ => None,
+        }
+    }
+
+    /// Merge key of the earliest pending envelope, if any.
+    pub fn peek_key(&self) -> Option<(Nanos, u32, u64)> {
+        self.inner.lock().heap.peek().map(|e| e.0.key())
+    }
+
+    /// Deliver time of the earliest pending envelope, if any.
+    pub fn next_at(&self) -> Option<Nanos> {
+        self.peek_key().map(|(at, _, _)| at)
+    }
+
+    /// Seals the mailbox: every subsequent [`Mailbox::post`] is rejected.
+    /// Returns the number of envelopes accepted over the mailbox's life.
+    /// Sealing is idempotent.
+    pub fn seal(&self) -> u64 {
+        let mut b = self.inner.lock();
+        b.sealed = true;
+        b.accepted
+    }
+
+    /// Whether the mailbox has been sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.inner.lock().sealed
+    }
+
+    /// Pending (undrained) envelopes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// True when no envelopes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(accepted, drained)` lifetime counters; `accepted - drained`
+    /// equals [`Mailbox::len`].
+    pub fn counts(&self) -> (u64, u64) {
+        let b = self.inner.lock();
+        (b.accepted, b.drained)
+    }
+}
+
+impl<T> std::fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.inner.lock();
+        f.debug_struct("Mailbox")
+            .field("pending", &b.heap.len())
+            .field("sealed", &b.sealed)
+            .field("accepted", &b.accepted)
+            .field("drained", &b.drained)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(at: u64, channel: u32, seq: u64) -> Envelope<&'static str> {
+        Envelope {
+            at: Nanos(at),
+            channel,
+            seq,
+            msg: "m",
+        }
+    }
+
+    #[test]
+    fn drains_in_merge_order_regardless_of_post_order() {
+        let mb = Mailbox::new();
+        // Posted deliberately out of order.
+        assert!(mb.post(env(30, 0, 1)));
+        assert!(mb.post(env(10, 2, 0)));
+        assert!(mb.post(env(10, 1, 5)));
+        assert!(mb.post(env(10, 1, 2)));
+        assert!(mb.post(env(20, 0, 0)));
+        let mut keys = Vec::new();
+        while let Some(e) = mb.drain_next_below(Nanos::MAX) {
+            keys.push((e.at.0, e.channel, e.seq));
+        }
+        assert_eq!(
+            keys,
+            vec![(10, 1, 2), (10, 1, 5), (10, 2, 0), (20, 0, 0), (30, 0, 1)]
+        );
+        assert_eq!(mb.counts(), (5, 5));
+    }
+
+    #[test]
+    fn drain_is_strictly_below_horizon() {
+        let mb = Mailbox::new();
+        mb.post(env(10, 0, 0));
+        mb.post(env(20, 0, 1));
+        assert_eq!(mb.drain_next_below(Nanos(10)), None);
+        let e = mb.drain_next_below(Nanos(11)).unwrap();
+        assert_eq!(e.at, Nanos(10));
+        assert_eq!(mb.drain_next_below(Nanos(20)), None);
+        assert_eq!(mb.next_at(), Some(Nanos(20)));
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn sealed_mailbox_rejects_posts() {
+        let mb = Mailbox::new();
+        assert!(mb.post(env(1, 0, 0)));
+        assert_eq!(mb.seal(), 1);
+        assert!(mb.is_sealed());
+        assert!(!mb.post(env(2, 0, 1)));
+        assert_eq!(mb.seal(), 1, "seal is idempotent");
+        // The pre-seal envelope is still drainable.
+        assert!(mb.drain_next_below(Nanos::MAX).is_some());
+        assert_eq!(mb.counts(), (1, 1));
+    }
+}

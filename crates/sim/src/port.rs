@@ -1,0 +1,60 @@
+//! Cross-shard port annotations.
+//!
+//! A [`Port`] names one kind of edge along which events may cross lane
+//! boundaries in the sharded executor, together with its *lookahead*:
+//! a hardware-derived lower bound on the delay between the instant a
+//! lane decides to send and the instant the receiving lane can observe
+//! the message. Conservative synchronization (Chandy–Misra style) is
+//! only sound — and only fast — because every cross-shard edge declares
+//! a positive lookahead; for BypassD the natural floor is the modeled
+//! PCIe round-trip (~345 ns), since doorbells, completion posts, and
+//! ATS shootdowns all traverse the link.
+//!
+//! Hardware crates export their edges as `Port` constants (see
+//! `bypassd_ssd::ports`, `bypassd_hw::ports`, `bypassd_qos::ports`) so
+//! the fleet topology is assembled from the same timing model the
+//! devices themselves use.
+
+use crate::time::Nanos;
+
+/// A named cross-shard edge type with its minimum propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// Stable human-readable name (diagnostics, topology dumps).
+    pub name: &'static str,
+    /// Minimum virtual-time delay from send decision to delivery.
+    /// Must be at least 1 ns: a zero-lookahead edge would force the
+    /// receiving lane's clock to never get ahead of the sender's, which
+    /// defeats sharding (and, at equal times, would make the merge order
+    /// depend on tie-breaking between lanes).
+    pub lookahead: Nanos,
+}
+
+impl Port {
+    /// Creates a port; `lookahead` must be >= 1 ns.
+    pub const fn new(name: &'static str, lookahead: Nanos) -> Self {
+        assert!(
+            lookahead.0 >= 1,
+            "cross-shard ports need positive lookahead"
+        );
+        Port { name, lookahead }
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(+{})", self.name, self.lookahead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_display_shows_lookahead() {
+        let p = Port::new("doorbell", Nanos(345));
+        assert_eq!(p.lookahead, Nanos(345));
+        assert_eq!(format!("{p}"), "doorbell(+345ns)");
+    }
+}

@@ -83,6 +83,12 @@ impl Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
 
+    /// Addition clamped at [`Nanos::MAX`] (used by horizon arithmetic,
+    /// where `MAX` means "unbounded").
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
     /// The larger of two times.
     pub fn max(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.max(rhs.0))
