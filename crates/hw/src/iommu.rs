@@ -311,7 +311,10 @@ impl Iommu {
     /// remount after a crash cannot leak reassigned blocks through a
     /// stale mapping.
     pub fn unregister_all(&mut self) {
-        let pasids: Vec<Pasid> = self.context.keys().copied().collect();
+        let mut pasids: Vec<Pasid> = self.context.keys().copied().collect();
+        // Sorted drain: each unregister broadcasts an ATS shootdown, and
+        // those land in traces — HashMap order would vary run to run.
+        pasids.sort_unstable();
         for p in pasids {
             self.unregister(p);
         }

@@ -1,0 +1,212 @@
+//! The workspace-wide call graph the interprocedural passes share.
+//!
+//! Nodes are every `fn` item found in the scanned library sources;
+//! edges are call sites resolved *by final identifier* — a call to
+//! `admit` points at every workspace function named `admit`. That
+//! over-approximation (no type-based resolution without `syn`/rustc)
+//! is deliberate: for taint and lock analysis a superset of the real
+//! graph errs on the reporting side, and `lint.toml` documents the
+//! cases where the approximation is wrong.
+//!
+//! Ultra-common method names (`get`, `push`, `len`, ...) are excluded
+//! from *method-call* resolution: `.get(k)` on a `Vec` resolving to
+//! some workspace `fn get` that takes a lock would drown the report in
+//! noise. Path-qualified calls (`Kernel::get`) still resolve.
+
+use std::collections::BTreeMap;
+
+use crate::model::Span;
+use crate::rules::SourceFile;
+use crate::syntax::{self, CallSite};
+
+/// Index of a function in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into the workspace file list.
+    pub file: usize,
+    pub name: String,
+    pub crate_name: String,
+    pub body: Span,
+    pub line: usize,
+    /// True when the function lies inside test-only code.
+    pub in_test: bool,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Method names too generic to resolve through a bare `.name(...)`
+/// call — std-trait and collection vocabulary that would alias half
+/// the workspace together.
+/// Resolution gives up on names with more definitions than this: such
+/// names (`new`, `collect`, `write`) carry no identity, and the
+/// over-approximation flips from conservative to useless.
+pub const MAX_CANDIDATES: usize = 2;
+
+const COMMON_METHODS: [&str; 30] = [
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clone",
+    "new",
+    "default",
+    "next",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "clear",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "append",
+    "take",
+    "replace",
+    "as_ref",
+    "as_mut",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+];
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `files` (parallel to the workspace file
+    /// list; `library[i]` gives file `i`'s crate name when it is
+    /// library code).
+    pub fn build(files: &[SourceFile], library: &[Option<String>]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (fi, file) in files.iter().enumerate() {
+            let Some(crate_name) = &library[fi] else {
+                continue;
+            };
+            let toks = &file.model.lexed.tokens;
+            for func in &file.model.functions {
+                let id = g.fns.len();
+                g.fns.push(FnNode {
+                    file: fi,
+                    name: func.name.clone(),
+                    crate_name: crate_name.clone(),
+                    body: func.body,
+                    line: func.line,
+                    in_test: file.model.in_test_code(func.body.start),
+                    calls: syntax::calls_in(toks, func.body),
+                });
+                g.by_name.entry(func.name.clone()).or_default().push(id);
+            }
+        }
+        g
+    }
+
+    /// Workspace functions a call site may reach. Method calls with
+    /// ultra-common names resolve to nothing (see module docs), and
+    /// *ambiguous* names — more than [`MAX_CANDIDATES`] same-named
+    /// definitions workspace-wide (`new`, `collect`, ...) — resolve to
+    /// nothing either: joining every `fn new` into one node would fuse
+    /// unrelated crates and drown both interprocedural passes in
+    /// cross-crate phantom chains.
+    pub fn resolve(&self, call: &CallSite) -> &[FnId] {
+        if call.is_method && COMMON_METHODS.contains(&call.name.as_str()) {
+            return &[];
+        }
+        let candidates = self
+            .by_name
+            .get(&call.name)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        if candidates.len() > MAX_CANDIDATES {
+            return &[];
+        }
+        candidates
+    }
+
+    /// Runs `f` over every (caller, call site, callee) edge until no
+    /// call to `f` returns true (a fixpoint driver for summaries).
+    pub fn fixpoint(&self, mut f: impl FnMut(FnId, &CallSite, FnId) -> bool) {
+        // Bounded by the longest acyclic chain; the workspace graph is
+        // shallow, but cap defensively so a pathological cycle of
+        // summaries cannot spin.
+        for _ in 0..64 {
+            let mut changed = false;
+            for (caller, node) in self.fns.iter().enumerate() {
+                for call in &node.calls {
+                    for &callee in self.resolve(call) {
+                        changed |= f(caller, call, callee);
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(path, src)| SourceFile::new(path, src))
+            .collect();
+        let lib: Vec<Option<String>> = srcs.iter().map(|_| Some("x".to_string())).collect();
+        let g = CallGraph::build(&files, &lib);
+        (files, g)
+    }
+
+    #[test]
+    fn builds_nodes_and_resolves_by_name() {
+        let (_f, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "fn outer() { helper(1); }\nfn helper(v: u32) -> u32 { v }",
+        )]);
+        assert_eq!(g.fns.len(), 2);
+        let outer = &g.fns[0];
+        assert_eq!(outer.calls.len(), 1);
+        let callees = g.resolve(&outer.calls[0]);
+        assert_eq!(callees, &[1]);
+        assert_eq!(g.fns[callees[0]].name, "helper");
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve() {
+        let (_f, g) = graph(&[(
+            "crates/x/src/lib.rs",
+            "fn caller(v: &Vec<u8>) { v.get(0); }\nfn get(k: u32) -> u32 { k }",
+        )]);
+        let call = &g.fns[0].calls[0];
+        assert!(call.is_method);
+        assert!(g.resolve(call).is_empty());
+    }
+
+    #[test]
+    fn cross_file_resolution() {
+        let (_f, g) = graph(&[
+            (
+                "crates/x/src/a.rs",
+                "pub fn entry() { crate::b::laundry(); }",
+            ),
+            ("crates/x/src/b.rs", "pub fn laundry() -> u64 { 7 }"),
+        ]);
+        let call = &g.fns[0].calls[0];
+        let callees = g.resolve(call);
+        assert_eq!(g.fns[callees[0]].name, "laundry");
+    }
+}

@@ -2,12 +2,60 @@
 
 use crate::config::{AllowEntry, Config};
 
-/// One lint finding, printable as `path:line: [RULE] message`.
+/// Stable rule catalog: IDs never change once shipped (baselines and
+/// SARIF consumers key on them). `(id, name, short description)`.
+pub const RULES: [(&str, &str, &str); 6] = [
+    (
+        "R1",
+        "wall-clock-free",
+        "No wall clock, sleeps or OS randomness outside the benchmark crate",
+    ),
+    (
+        "R2",
+        "lock-order",
+        "Lock acquisition order must be acyclic, including across calls",
+    ),
+    (
+        "R3",
+        "atomic-ordering-justified",
+        "Weak atomic orderings need an `// ordering:` justification comment",
+    ),
+    (
+        "R4",
+        "no-lock-unwrap",
+        "Lock results must not be `.unwrap()`ed in non-test code",
+    ),
+    (
+        "R5",
+        "determinism-taint",
+        "Nondeterministic values must not flow into fingerprints, virtual time or deadlines",
+    ),
+    (
+        "R6",
+        "fleet-port-contract",
+        "Cross-lane channels must use declared `ports` constants, not inline ports",
+    ),
+];
+
+/// Metadata for a rule ID, for SARIF `rules` descriptors.
+pub fn rule_meta(id: &str) -> Option<(&'static str, &'static str)> {
+    RULES
+        .iter()
+        .find(|(r, _, _)| *r == id)
+        .map(|(_, name, desc)| (*name, *desc))
+}
+
+/// One lint finding, printable as `path:line:col: [RULE] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub rule: &'static str,
     pub path: String,
     pub line: usize,
+    /// 1-based byte column of the offending token (0 = unknown, for
+    /// whole-line findings).
+    pub col: usize,
+    /// 1-based byte column one past the token (== `col` when unknown).
+    pub end_col: usize,
     pub message: String,
     /// The offending source line (trimmed), used for allowlist `pattern`
     /// matching and shown under the diagnostic.
@@ -18,11 +66,19 @@ pub struct Diagnostic {
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
-        )?;
+        if self.col > 0 {
+            writeln!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                self.path, self.line, self.col, self.rule, self.message
+            )?;
+        } else {
+            writeln!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )?;
+        }
         if !self.context.is_empty() {
             write!(f, "    | {}", self.context)?;
         }
@@ -88,6 +144,8 @@ mod tests {
             rule,
             path: path.to_string(),
             line: 1,
+            col: 0,
+            end_col: 0,
             message: "m".to_string(),
             context: context.to_string(),
             edge: None,
@@ -124,5 +182,21 @@ mod tests {
                 .unwrap();
         let f = filter(vec![], &cfg);
         assert_eq!(f.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn every_rule_has_stable_metadata() {
+        for id in ["R1", "R2", "R3", "R4", "R5", "R6"] {
+            assert!(rule_meta(id).is_some(), "missing metadata for {id}");
+        }
+        assert_eq!(rule_meta("R5").unwrap().0, "determinism-taint");
+    }
+
+    #[test]
+    fn display_includes_column_when_known() {
+        let mut d = diag("R5", "crates/x/src/lib.rs", "ctx");
+        d.col = 9;
+        d.end_col = 12;
+        assert!(d.to_string().starts_with("crates/x/src/lib.rs:1:9: [R5]"));
     }
 }

@@ -11,11 +11,25 @@
 
 use std::collections::HashMap;
 
-/// One lexical token with its 1-based source line.
+/// One lexical token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokenKind,
     pub line: usize,
+    /// 1-based byte column of the token's first character — the
+    /// diagnostic span anchor (SARIF `startColumn`).
+    pub col: usize,
+}
+
+impl Token {
+    /// Width in bytes of the token text (for span end columns);
+    /// punctuation and literals report 1 (the anchor character).
+    pub fn width(&self) -> usize {
+        match &self.kind {
+            TokenKind::Ident(s) | TokenKind::Lifetime(s) => s.len(),
+            _ => 1,
+        }
+    }
 }
 
 /// The token categories the lint rules distinguish.
@@ -60,19 +74,35 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let mut i = 0;
     let mut line = 1;
-
-    macro_rules! push {
-        ($kind:expr) => {
-            out.tokens.push(Token { kind: $kind, line })
-        };
-    }
+    let mut line_start = 0usize;
 
     while i < bytes.len() {
         let c = bytes[i] as char;
+        // Span anchor of whatever token starts here.
+        let tok_col = i - line_start + 1;
+        macro_rules! push {
+            ($kind:expr) => {
+                out.tokens.push(Token {
+                    kind: $kind,
+                    line,
+                    col: tok_col,
+                })
+            };
+        }
+        // Multi-line constructs bump `line` internally; re-anchor the
+        // column base afterwards from the last newline consumed.
+        macro_rules! reanchor {
+            ($start:expr) => {
+                if let Some(p) = src[$start..i].rfind('\n') {
+                    line_start = $start + p + 1;
+                }
+            };
+        }
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if bytes.get(i + 1) == Some(&b'/') => {
@@ -109,21 +139,28 @@ pub fn lex(src: &str) -> Lexed {
                 for l in start_line..=line {
                     out.comments.entry(l).or_default().push_str(text);
                 }
+                reanchor!(start);
             }
             '"' => {
+                let start = i;
                 i = skip_string(bytes, i, &mut line);
                 push!(TokenKind::Literal);
+                reanchor!(start);
             }
             'r' | 'b' | 'c' if starts_string_prefix(bytes, i) => {
+                let start = i;
                 i = skip_prefixed_string(bytes, i, &mut line);
                 push!(TokenKind::Literal);
+                reanchor!(start);
             }
             '\'' => {
                 // Char literal vs lifetime: a lifetime is `'ident` NOT
                 // followed by a closing quote.
+                let start = i;
                 let (next, kind) = lex_quote(src, bytes, i, &mut line);
                 i = next;
                 push!(kind);
+                reanchor!(start);
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -365,5 +402,36 @@ mod tests {
     fn nested_block_comments() {
         let ids = idents("/* a /* b */ c */ real");
         assert_eq!(ids, vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn columns_are_one_based_byte_offsets() {
+        let src = "let x = now();\n    deep();";
+        let toks = lex(src).tokens;
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident(name.into()))
+                .unwrap()
+        };
+        assert_eq!((find("let").line, find("let").col), (1, 1));
+        assert_eq!((find("now").line, find("now").col), (1, 9));
+        assert_eq!((find("deep").line, find("deep").col), (2, 5));
+        assert_eq!(find("deep").width(), 4);
+    }
+
+    #[test]
+    fn columns_reanchor_after_multiline_strings_and_comments() {
+        let src = "let s = \"one\ntwo\"; after\n/* x\ny */ tail";
+        let toks = lex(src).tokens;
+        let after = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("after".into()))
+            .unwrap();
+        assert_eq!((after.line, after.col), (2, 7));
+        let tail = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("tail".into()))
+            .unwrap();
+        assert_eq!((tail.line, tail.col), (4, 6));
     }
 }

@@ -5,33 +5,52 @@
 //! the simulator's virtual clock must stay deterministic (bit-identical
 //! traces), the lock-light hot paths must be deadlock-free, and every
 //! weakened atomic ordering must be justified. This crate enforces them
-//! as machine-checked rules with `file:line` diagnostics:
+//! as machine-checked rules with `file:line:col` diagnostics:
 //!
 //! | rule | property | scope |
 //! |------|----------|-------|
 //! | R1 | virtual-time determinism (no wall clock / OS randomness) | all scanned files, minus `lint.toml` exemptions |
-//! | R2 | lock-order discipline (no acquisition-graph cycles) | `crates/*/src` |
+//! | R2 | lock-order discipline (no acquisition-graph cycles, incl. across calls) | `crates/*/src` |
 //! | R3 | atomic-ordering justification (`// ordering:` comments) | `crates/*/src`, non-test code |
 //! | R4 | no `.unwrap()` on lock results (poisoning policy) | `crates/*/src`, non-test code |
+//! | R5 | determinism taint (no nondeterministic value reaches a fingerprint/deadline sink) | `crates/*/src`, interprocedural |
+//! | R6 | fleet port contract (channels use declared `ports` constants) | `crates/*/src`, non-test code |
+//!
+//! R2 and R5 are *interprocedural*: all scanned library sources are
+//! parsed once into a [`syntax`] model, joined by a workspace
+//! [`callgraph`], and analyzed with per-function summaries propagated
+//! to fixpoint — a wall-clock read three calls away from a
+//! `Simulation::spawn_at` deadline is reported at the spawn site with
+//! the full chain.
 //!
 //! Exemptions live in `lint.toml` at the workspace root; every entry
 //! carries a mandatory `reason`, so the allowlist doubles as the audit
 //! log of every place the rules are deliberately bent. Unused entries
-//! are reported so the file cannot rot.
+//! are reported (fatal under `--strict`) so the file cannot rot.
+//! `lint.baseline` + `--baseline` give CI a differential mode that
+//! fails only on findings new since the committed baseline; [`sarif`]
+//! renders the findings machine-readably for artifact upload.
 //!
 //! `syn` is unavailable offline, so the pass runs on a purpose-built
 //! lexer ([`lexer`]) plus a light structural model ([`model`]) — see
-//! DESIGN.md §11 for the trade-offs.
+//! DESIGN.md §11 and §16 for the trade-offs.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod lockgraph;
 pub mod model;
+pub mod portcheck;
 pub mod rules;
+pub mod sarif;
+pub mod syntax;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use config::Config;
 use diag::Diagnostic;
 use lockgraph::LockGraph;
@@ -60,42 +79,69 @@ impl LintReport {
 /// `lint.toml` and `Cargo.toml`).
 pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
     let cfg = Config::load(root)?;
-    let files = collect_files(root, &cfg)?;
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut graph = LockGraph::default();
-    let mut n = 0;
+    let rels = collect_files(root, &cfg)?;
 
-    for rel in &files {
+    // Parse every file once; the interprocedural passes share the
+    // models through the call graph.
+    let mut files: Vec<SourceFile> = Vec::with_capacity(rels.len());
+    let mut library: Vec<Option<String>> = Vec::with_capacity(rels.len());
+    for rel in &rels {
         let text = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
-        let file = SourceFile::new(rel, &text);
-        n += 1;
+        files.push(SourceFile::new(rel, &text));
+        library.push(library_crate(rel).map(str::to_string));
+    }
 
-        if !cfg.is_exempt("R1", rel) {
-            diags.extend(rules::r1(&file));
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Per-file rules.
+    for (i, file) in files.iter().enumerate() {
+        if !cfg.is_exempt("R1", &file.path) {
+            diags.extend(rules::r1(file));
         }
-        if let Some(crate_name) = library_crate(rel) {
-            if !cfg.is_exempt("R2", rel) {
-                graph.scan_file(&file, crate_name);
+        if library[i].is_some() {
+            if !cfg.is_exempt("R3", &file.path) {
+                diags.extend(rules::r3(file));
             }
-            if !cfg.is_exempt("R3", rel) {
-                diags.extend(rules::r3(&file));
+            if !cfg.is_exempt("R4", &file.path) {
+                diags.extend(rules::r4(file));
             }
-            if !cfg.is_exempt("R4", rel) {
-                diags.extend(rules::r4(&file));
+            if !cfg.is_exempt("R6", &file.path) {
+                diags.extend(portcheck::r6(file));
             }
         }
     }
 
-    // R2: apply edge allowlist entries to the graph, then look for cycles.
+    // Interprocedural passes share one call graph.
+    let graph = CallGraph::build(&files, &library);
+
+    // R2: local guard tracking plus call-graph extension, then the
+    // edge allowlist, then cycle detection.
+    let mut lock = LockGraph::default();
+    for (i, file) in files.iter().enumerate() {
+        if let Some(crate_name) = &library[i] {
+            if !cfg.is_exempt("R2", &file.path) {
+                lock.scan_file(file, crate_name);
+            }
+        }
+    }
+    lock.extend_with_calls(&files, &graph);
     let mut r2_used = vec![false; cfg.allow.len()];
     for (i, entry) in cfg.allow.iter().enumerate() {
         if entry.rule == "R2" {
             if let Some(pattern) = &entry.pattern {
-                r2_used[i] = graph.allow_edge(pattern, &entry.path);
+                r2_used[i] = lock.allow_edge(pattern, &entry.path);
             }
         }
     }
-    diags.extend(graph.cycles());
+    diags.extend(lock.cycles());
+
+    // R5: determinism taint. Exempt files still contribute summaries
+    // (a bench helper returning wall-clock time must taint its
+    // callers); only their own sink reports are suppressed.
+    diags.extend(
+        taint::TaintPass::new(&files, &graph)
+            .run(|fi| library[fi].is_some() && !cfg.is_exempt("R5", &files[fi].path)),
+    );
 
     let mut filtered = diag::filter(diags, &cfg);
     filtered
@@ -106,12 +152,12 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
         active: filtered.active,
         suppressed: filtered.suppressed,
         unused_allows: filtered.unused_allows,
-        files_scanned: n,
+        files_scanned: files.len(),
     })
 }
 
-/// `crates/<name>/src/...` → `<name>` with any `bypassd-` prefix dropped;
-/// everything else (tests, benches, examples) is not library code.
+/// `crates/<name>/src/...` → `<name>`; everything else (tests, benches,
+/// examples) is not library code.
 fn library_crate(rel: &str) -> Option<&str> {
     let rest = rel.strip_prefix("crates/")?;
     let (name, tail) = rest.split_once('/')?;

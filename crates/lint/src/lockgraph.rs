@@ -18,6 +18,16 @@
 //!    lock class while holding it) across the whole workspace graph are
 //!    reported with one example site per edge.
 //!
+//! **v2 — interprocedural extension.** Per-function pairs miss the
+//! classic split deadlock: `flush()` takes `ring` then calls
+//! `account()`, which takes `stats` — no single function shows the
+//! `ring -> stats` edge. With the workspace call graph we compute each
+//! function's *transitive may-acquire set* to fixpoint, and every call
+//! made while a guard is held extends the order graph with
+//! `held × may_acquire(callee)` edges ([`LockGraph::extend_with_calls`]).
+//! Name-keyed call resolution over-approximates, so some of these edges
+//! are spurious — the allowlist documents those with reasons.
+//!
 //! The receiver-name heuristic can produce false positives (two distinct
 //! mutexes that happen to share a field name, hand-over-hand traversals
 //! ordered by some other key). Those are what `lint.toml` allow entries
@@ -26,6 +36,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
 use crate::rules::SourceFile;
@@ -38,11 +49,26 @@ pub struct EdgeSite {
     pub func: String,
 }
 
+/// Per-function lock facts feeding the interprocedural pass, keyed by
+/// `(file path, body start token)` — the same identity the call graph
+/// uses for its nodes.
+#[derive(Debug, Default)]
+pub struct FnLockInfo {
+    /// Lock classes this function acquires directly (non-test code),
+    /// with one example site each.
+    pub local: BTreeMap<String, EdgeSite>,
+    /// Call sites executed while guards are held:
+    /// `(callee-name token index, held lock classes)`.
+    pub held_calls: Vec<(usize, Vec<String>)>,
+}
+
 /// The workspace-wide lock-acquisition graph.
 #[derive(Debug, Default)]
 pub struct LockGraph {
     /// `(held, acquired)` → example sites.
     pub edges: BTreeMap<(String, String), Vec<EdgeSite>>,
+    /// Per-function facts for [`Self::extend_with_calls`].
+    fn_info: BTreeMap<(String, usize), FnLockInfo>,
 }
 
 #[derive(Debug)]
@@ -73,9 +99,28 @@ impl LockGraph {
         let toks = &file.model.lexed.tokens;
         let depth = &file.model.depth;
         let mut held: Vec<Guard> = Vec::new();
+        let mut info = FnLockInfo::default();
+        // Depths of `if`/`while` conditions currently being scanned:
+        // their temporaries drop before the block runs (unlike `match`
+        // scrutinees and — pre-2024 — `if let`, which keep theirs).
+        let mut cond_depths: Vec<usize> = Vec::new();
 
         for i in func.body.start..func.body.end.min(toks.len()) {
             match &toks[i].kind {
+                TokenKind::Ident(kw) if kw == "if" || kw == "while" => {
+                    let is_let = matches!(toks.get(i + 1).map(|t| &t.kind),
+                        Some(TokenKind::Ident(next)) if next == "let");
+                    if !is_let {
+                        cond_depths.push(depth[i]);
+                    }
+                }
+                TokenKind::Open('{') if cond_depths.last() == Some(&depth[i]) => {
+                    // End of an `if`/`while` condition: its temporary
+                    // guards are dropped before the block executes.
+                    let d = depth[i];
+                    cond_depths.pop();
+                    held.retain(|g| !(g.temporary && g.depth >= d));
+                }
                 TokenKind::Punct(';') => {
                     let d = depth[i];
                     held.retain(|g| !(g.temporary && g.depth >= d));
@@ -98,6 +143,7 @@ impl LockGraph {
                 }
                 TokenKind::Ident(m) if matches!(m.as_str(), "lock" | "read" | "write") => {
                     if !is_blocking_acquisition(toks, i) || file.model.in_test_code(i) {
+                        record_held_call(toks, i, &held, &mut info);
                         continue;
                     }
                     let recv = receiver_name(toks, i);
@@ -107,6 +153,9 @@ impl LockGraph {
                         line: toks[i].line,
                         func: func.name.clone(),
                     };
+                    info.local
+                        .entry(key.clone())
+                        .or_insert_with(|| site.clone());
                     for g in &held {
                         self.edges
                             .entry((g.key.clone(), key.clone()))
@@ -132,7 +181,106 @@ impl LockGraph {
                         depth: depth[i],
                     });
                 }
+                TokenKind::Ident(_) => record_held_call(toks, i, &held, &mut info),
                 _ => {}
+            }
+        }
+        self.fn_info
+            .insert((file.path.clone(), func.body.start), info);
+    }
+
+    /// Extends the edge set interprocedurally: computes each function's
+    /// transitive may-acquire set over the call graph, then adds
+    /// `held × may_acquire(callee)` edges for every call made while
+    /// guards are live. `files` must be the same list the graph was
+    /// built from (node identity is `(path, body start)`).
+    pub fn extend_with_calls(&mut self, files: &[SourceFile], graph: &CallGraph) {
+        // Transitive may-acquire per call-graph node, seeded from the
+        // per-function scans.
+        let mut trans: Vec<BTreeMap<String, EdgeSite>> = graph
+            .fns
+            .iter()
+            .map(|node| {
+                let key = (files[node.file].path.clone(), node.body.start);
+                self.fn_info
+                    .get(&key)
+                    .map(|i| i.local.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+
+        // Fixpoint: merge callee sets into callers (bounded like the
+        // call-graph driver; cycles converge because sets only grow).
+        for _ in 0..64 {
+            let mut changed = false;
+            for caller in 0..graph.fns.len() {
+                for ci in 0..graph.fns[caller].calls.len() {
+                    for &callee in graph.resolve(&graph.fns[caller].calls[ci]) {
+                        if callee == caller {
+                            continue;
+                        }
+                        let merged: Vec<(String, EdgeSite)> = trans[callee]
+                            .iter()
+                            .filter(|(k, _)| !trans[caller].contains_key(*k))
+                            .map(|(k, s)| (k.clone(), s.clone()))
+                            .collect();
+                        if !merged.is_empty() {
+                            trans[caller].extend(merged);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Edges: a guard held across a call orders before everything the
+        // callee may transitively acquire. The example site is the call
+        // itself — that is where the hold must be shortened.
+        for (caller, node) in graph.fns.iter().enumerate() {
+            if node.in_test {
+                continue;
+            }
+            let file = &files[node.file];
+            let key = (file.path.clone(), node.body.start);
+            let Some(info) = self.fn_info.get(&key) else {
+                continue;
+            };
+            let mut new_edges: Vec<((String, String), EdgeSite)> = Vec::new();
+            for (call_idx, held) in &info.held_calls {
+                for call in &node.calls {
+                    if call.idx != *call_idx {
+                        continue;
+                    }
+                    for &callee in graph.resolve(call) {
+                        if callee == caller {
+                            continue;
+                        }
+                        for (acquired, seed) in &trans[callee] {
+                            if std::env::var("LINT_DEBUG_EDGES").is_ok() {
+                                eprintln!(
+                                    "edge {}:{} {} --call {}--> {} ({}:{}) acquires {} (seeded at {}:{} in {})",
+                                    file.path, call.line, node.name, call.name,
+                                    graph.fns[callee].name, files[graph.fns[callee].file].path,
+                                    graph.fns[callee].line, acquired, seed.path, seed.line, seed.func,
+                                );
+                            }
+                            let site = EdgeSite {
+                                path: file.path.clone(),
+                                line: call.line,
+                                func: format!("{} (via call to {})", node.name, call.name),
+                            };
+                            for h in held {
+                                new_edges.push(((h.clone(), acquired.clone()), site.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            for (edge, site) in new_edges {
+                self.edges.entry(edge).or_default().push(site);
             }
         }
     }
@@ -211,6 +359,8 @@ impl LockGraph {
             rule: "R2",
             path: site.path,
             line: site.line,
+            col: 0,
+            end_col: 0,
             message: format!(
                 "lock-order cycle: {chain}; a thread holding one side while another \
                  holds the other deadlocks. Fix the acquisition order or allowlist \
@@ -220,6 +370,19 @@ impl LockGraph {
             edge: Some(chain),
         }
     }
+}
+
+/// Records `toks[i]` as a call site made under `held` guards when it
+/// looks like one (`name(`), feeding the interprocedural pass.
+fn record_held_call(toks: &[crate::lexer::Token], i: usize, held: &[Guard], info: &mut FnLockInfo) {
+    if held.is_empty() {
+        return;
+    }
+    if toks.get(i + 1).map(|t| &t.kind) != Some(&TokenKind::Open('(')) {
+        return;
+    }
+    info.held_calls
+        .push((i, held.iter().map(|g| g.key.clone()).collect()));
 }
 
 /// `.lock()` / `.read()` / `.write()` with zero args, called as a method.
@@ -233,7 +396,7 @@ fn is_blocking_acquisition(toks: &[crate::lexer::Token], i: usize) -> bool {
 /// Walks backwards from the `.` before the method name to find the last
 /// identifier of the receiver expression, skipping index/call groups:
 /// `self.dev_rings[shard]` → `dev_rings`, `ring` → `ring`.
-fn receiver_name(toks: &[crate::lexer::Token], method_idx: usize) -> String {
+pub(crate) fn receiver_name(toks: &[crate::lexer::Token], method_idx: usize) -> String {
     let mut j = method_idx as isize - 2;
     while j >= 0 {
         match &toks[j as usize].kind {
@@ -424,6 +587,96 @@ mod tests {
             "fn f(&self) { let a = self.alpha.try_lock(); let b = self.beta.lock(); u(a, b); }",
         );
         assert!(g.edges.is_empty());
+    }
+
+    fn graph_v2(src: &str) -> LockGraph {
+        let files = vec![SourceFile::new("crates/x/src/lib.rs", src)];
+        let lib = vec![Some("x".to_string())];
+        let cg = CallGraph::build(&files, &lib);
+        let mut g = LockGraph::default();
+        g.scan_file(&files[0], "x");
+        g.extend_with_calls(&files, &cg);
+        g
+    }
+
+    #[test]
+    fn if_condition_temporary_drops_before_the_block() {
+        // Rust drops the condition's temporary guard before entering the
+        // block, so the body's acquisition is not nested.
+        let g = graph_of(
+            "fn f(&self) { if self.pending.lock().len() > 4 { let b = self.other.lock(); b.x(); } }",
+        );
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn if_condition_call_is_not_made_under_the_guard() {
+        let g = graph_v2(
+            "fn f(&self) { if self.pending.lock().len() > 4 { grab(); } }\n\
+             fn grab(&self) { let p = self.pending.lock(); p.x(); }",
+        );
+        assert!(
+            !g.edges
+                .contains_key(&("x::pending".into(), "x::pending".into())),
+            "{:?}",
+            g.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hold_across_call_extends_the_order_graph() {
+        // flush holds `ring` while calling account, which takes `stats`:
+        // no single function shows the pair, but the order edge exists.
+        let g = graph_v2(
+            "fn flush(&self) { let r = self.ring.lock(); account(&r); }\n\
+             fn account(&self, r: &Ring) { let s = self.stats.lock(); s.add(r); }",
+        );
+        assert!(
+            g.edges.contains_key(&("x::ring".into(), "x::stats".into())),
+            "{:?}",
+            g.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn interprocedural_inversion_is_a_cycle() {
+        let g = graph_v2(
+            "fn flush(&self) { let r = self.ring.lock(); account(&r); }\n\
+             fn account(&self, r: &Ring) { let s = self.stats.lock(); s.add(r); }\n\
+             fn report(&self) { let s = self.stats.lock(); let r = self.ring.lock(); u(s, r); }",
+        );
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        let edge = cycles[0].edge.as_deref().unwrap();
+        assert!(edge.contains("ring") && edge.contains("stats"), "{edge}");
+    }
+
+    #[test]
+    fn transitive_may_acquire_reaches_two_hops() {
+        // flush -> mid -> deep: deep's lock is visible to flush's hold.
+        let g = graph_v2(
+            "fn flush(&self) { let r = self.ring.lock(); mid(); }\n\
+             fn mid(&self) { deep(); }\n\
+             fn deep(&self) { let s = self.stats.lock(); s.x(); }",
+        );
+        assert!(
+            g.edges.contains_key(&("x::ring".into(), "x::stats".into())),
+            "{:?}",
+            g.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn call_after_guard_release_adds_no_edge() {
+        let g = graph_v2(
+            "fn flush(&self) { { let r = self.ring.lock(); r.x(); } account(); }\n\
+             fn account(&self) { let s = self.stats.lock(); s.x(); }",
+        );
+        assert!(
+            !g.edges.contains_key(&("x::ring".into(), "x::stats".into())),
+            "{:?}",
+            g.edges.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

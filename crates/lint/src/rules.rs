@@ -38,17 +38,19 @@ impl SourceFile {
         }
     }
 
-    fn context(&self, line: usize) -> String {
+    pub fn context(&self, line: usize) -> String {
         self.lines
             .get(line.saturating_sub(1))
             .map(|l| l.trim().to_string())
             .unwrap_or_default()
     }
 
-    fn diag(
+    pub(crate) fn diag(
         &self,
         rule: &'static str,
         line: usize,
+        col: usize,
+        end_col: usize,
         message: String,
         edge: Option<String>,
     ) -> Diagnostic {
@@ -56,6 +58,8 @@ impl SourceFile {
             rule,
             path: self.path.clone(),
             line,
+            col,
+            end_col,
             message,
             context: self.context(line),
             edge,
@@ -103,6 +107,8 @@ pub fn r1(file: &SourceFile) -> Vec<Diagnostic> {
             out.push(file.diag(
                 "R1",
                 t.line,
+                t.col,
+                t.col + t.width(),
                 format!(
                     "{why}; simulated timing must come from the virtual clock \
                      (bypassd_sim::time) or the seeded Rng so runs stay reproducible"
@@ -138,6 +144,8 @@ pub fn r3(file: &SourceFile) -> Vec<Diagnostic> {
             out.push(file.diag(
                 "R3",
                 t.line,
+                t.col,
+                t.col + t.width(),
                 format!(
                     "`Ordering::{ord}` without an `// ordering:` justification comment \
                      (same line or the two lines above); state why this ordering is \
@@ -175,6 +183,8 @@ pub fn r4(file: &SourceFile) -> Vec<Diagnostic> {
             out.push(file.diag(
                 "R4",
                 toks[i].line,
+                toks[i].col,
+                toks[i].col + toks[i].width(),
                 format!(
                     "`.{m}().unwrap()` on a lock result in non-test code; recover the \
                      guard with `unwrap_or_else(PoisonError::into_inner)` or `.expect()` \

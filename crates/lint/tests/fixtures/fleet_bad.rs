@@ -21,3 +21,10 @@ impl Lanes {
         use_both(s, m, ());
     }
 }
+
+// R6: a raw cross-lane send. The channel's port (and therefore its
+// lookahead promise) is whatever the caller happened to pass in —
+// nothing a reviewer of `ports.rs` ever sees.
+pub fn wire(t: &mut Topology, opaque: Port) {
+    t.add_channel(0, 1, opaque, None);
+}

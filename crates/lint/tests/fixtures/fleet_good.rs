@@ -25,3 +25,9 @@ impl Lanes {
         use_both(s, m, ());
     }
 }
+
+// Cross-lane sends reference a declared port constant, so the hop's
+// lookahead is a reviewed, static contract.
+pub fn wire(t: &mut Topology) {
+    t.add_channel(0, 1, ports::LANE_HOP, None);
+}

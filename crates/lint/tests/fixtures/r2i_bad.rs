@@ -1,0 +1,31 @@
+// Interprocedural lock-order fixture (positive): neither function
+// locks both mutexes directly — the inversion only exists through the
+// call graph. `step` holds sched across `touch_model`, which acquires
+// model; `drain` holds model across `touch_sched`, which acquires
+// sched. The PR 4 per-function scan saw four one-lock functions.
+pub struct Lanes {
+    sched: Mutex<u32>,
+    model: Mutex<u32>,
+}
+
+impl Lanes {
+    pub fn step(&self) {
+        let s = self.sched.lock();
+        self.touch_model(s);
+    }
+
+    fn touch_model(&self, s: Guard) {
+        let m = self.model.lock();
+        use_both(s, m);
+    }
+
+    pub fn drain(&self) {
+        let m = self.model.lock();
+        self.touch_sched(m);
+    }
+
+    fn touch_sched(&self, m: Guard) {
+        let s = self.sched.lock();
+        use_both(s, m);
+    }
+}

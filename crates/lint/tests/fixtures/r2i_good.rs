@@ -1,0 +1,30 @@
+// Interprocedural lock-order fixture (negative): the same call
+// structure, but `drain` drops its guard before calling back into the
+// sched side, so the call-graph-extended lock graph stays acyclic.
+pub struct Lanes {
+    sched: Mutex<u32>,
+    model: Mutex<u32>,
+}
+
+impl Lanes {
+    pub fn step(&self) {
+        let s = self.sched.lock();
+        self.touch_model(s);
+    }
+
+    fn touch_model(&self, s: Guard) {
+        let m = self.model.lock();
+        use_one(s, m);
+    }
+
+    pub fn drain(&self) {
+        let m = self.model.lock();
+        drop(m);
+        self.touch_sched();
+    }
+
+    fn touch_sched(&self) {
+        let s = self.sched.lock();
+        use_one(s, ());
+    }
+}

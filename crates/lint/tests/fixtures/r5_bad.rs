@@ -1,0 +1,32 @@
+// Determinism-taint fixture (positive): a wall-clock value laundered
+// through two helpers into a simulation deadline, plus an unordered
+// map iteration folded into an FNV fingerprint. Neither function
+// containing a sink mentions `Instant` or `HashMap` directly — only
+// the interprocedural pass can connect them.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn jitter() -> u64 {
+    stamp() / 3
+}
+
+pub fn schedule(sim: &Simulation) {
+    let at = jitter();
+    sim.spawn_at(Nanos(at), "lane", step);
+}
+
+pub struct Registry {
+    lanes: HashMap<u64, u64>,
+}
+
+impl Registry {
+    pub fn digest(&self, h: &mut Fnv64) {
+        for k in self.lanes.keys() {
+            h.write_u64(*k);
+        }
+    }
+}

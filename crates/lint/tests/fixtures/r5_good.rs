@@ -1,0 +1,27 @@
+// Determinism-taint fixture (negative): the blessed idioms. Deadlines
+// derive from seeded arithmetic, and the unordered map is drained
+// through a sort before anything order-sensitive consumes it.
+use std::collections::HashMap;
+
+pub fn base(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9)
+}
+
+pub fn schedule(sim: &Simulation) {
+    let at = base(7);
+    sim.spawn_at(Nanos(at), "lane", step);
+}
+
+pub struct Registry {
+    lanes: HashMap<u64, u64>,
+}
+
+impl Registry {
+    pub fn digest(&self, h: &mut Fnv64) {
+        let mut keys: Vec<u64> = self.lanes.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            h.write_u64(k);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Port-contract fixture (positive): lane wiring that hides timing
+// contracts. An inline `Port::new` buries an unreviewed lookahead in
+// wiring code, and an opaque `Port` variable makes the channel's
+// conservative-lookahead promise invisible to review.
+pub fn wire(t: &mut Topology, opaque: Port) {
+    t.add_channel(LANE_A, LANE_B, Port::new("qos.req", Nanos(250)), None);
+    t.add_channel(LANE_A, LANE_B, opaque, None);
+}

@@ -1,0 +1,7 @@
+// Port-contract fixture (negative): every channel references a port
+// constant declared in a `ports` module, so each lookahead promise is
+// reviewed in one place.
+pub fn wire(t: &mut Topology) {
+    t.add_channel(LANE_A, LANE_B, ports::QOS_REQ, None);
+    t.add_channel(LANE_B, LANE_A, ports::QOS_RSP, None);
+}

@@ -26,7 +26,7 @@
 //! the scheme work-conserving at coarse grain: a tenant alone on the
 //! device gets every lane, hence full throughput.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bypassd_hw::types::Pasid;
 use bypassd_sim::time::Nanos;
@@ -95,7 +95,10 @@ impl TenantState {
 pub struct QosArbiter {
     config: QosConfig,
     channels: usize,
-    tenants: HashMap<Tenant, TenantState>,
+    /// Ordered map: `active_weight`/`horizon`/`totals` iterate it, and
+    /// their results flow into admission arrivals and `Nanos` delays —
+    /// iteration order must not vary run to run.
+    tenants: BTreeMap<Tenant, TenantState>,
 }
 
 impl QosArbiter {
@@ -104,7 +107,7 @@ impl QosArbiter {
         QosArbiter {
             config,
             channels: channels.max(1),
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
         }
     }
 
@@ -271,13 +274,10 @@ impl QosArbiter {
 
     /// All tenants' accounting, ordered by tenant for determinism.
     pub fn snapshot(&self) -> Vec<(Tenant, TenantStats)> {
-        let mut all: Vec<_> = self
-            .tenants
+        self.tenants
             .iter()
             .map(|(t, st)| (*t, st.stats.clone()))
-            .collect();
-        all.sort_by_key(|(t, _)| *t);
-        all
+            .collect()
     }
 
     /// Forgets absolute time (lane ledgers, activity marks, bucket
